@@ -1,0 +1,374 @@
+package fastba
+
+// One benchmark family per table/figure of the paper and per lemma
+// experiment of DESIGN.md §3. Besides wall-clock ns/op, every bench reports
+// the metric the corresponding paper artifact is about via b.ReportMetric
+// (bits/node, rounds, coverage, expansion ratios, ...), so
+// `go test -bench=. -benchmem` regenerates the quantitative story and
+// cmd/benchtab renders the full tables.
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/fastba/fastba/internal/adversary"
+	"github.com/fastba/fastba/internal/core"
+	"github.com/fastba/fastba/internal/prng"
+	"github.com/fastba/fastba/internal/sampler"
+	"github.com/fastba/fastba/internal/simnet"
+)
+
+var benchNs = []int{64, 128, 256}
+
+// benchAER runs one AER configuration per iteration and reports the
+// Figure 1(a) metrics.
+func benchAER(b *testing.B, n int, opts ...Option) {
+	b.Helper()
+	cfg := NewConfig(n, append([]Option{
+		WithSeed(7), WithCorruptFrac(0.05), WithKnowFrac(0.92),
+	}, opts...)...)
+	var last *AERResult
+	for i := 0; i < b.N; i++ {
+		res, err := RunAER(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Agreement {
+			b.Fatalf("agreement lost: %+v", res)
+		}
+		last = res
+	}
+	b.ReportMetric(last.MeanBitsPerNode, "bits/node")
+	b.ReportMetric(float64(last.MaxBitsPerNode)/last.MeanBitsPerNode, "max/mean")
+	b.ReportMetric(float64(last.Time), "rounds")
+}
+
+// BenchmarkFig1aAERSync measures the AER column of Figure 1(a) under the
+// synchronous non-rushing model: O(1) time, polylog bits.
+func BenchmarkFig1aAERSync(b *testing.B) {
+	for _, n := range benchNs {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchAER(b, n) })
+	}
+}
+
+// BenchmarkFig1aAERAsync measures the asynchronous AER column of
+// Figure 1(a): causal depth O(log n / log log n), same bits.
+func BenchmarkFig1aAERAsync(b *testing.B) {
+	for _, n := range benchNs {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchAER(b, n, WithModel(Async)) })
+	}
+}
+
+// BenchmarkFig1aKLST11 measures the [KLST11] baseline column: Õ(√n) bits,
+// load-balanced.
+func BenchmarkFig1aKLST11(b *testing.B) {
+	for _, n := range benchNs {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cfg := NewConfig(n, WithSeed(7), WithCorruptFrac(0.05), WithKnowFrac(0.92))
+			var last *BaselineResult
+			for i := 0; i < b.N; i++ {
+				res, err := RunBaseline(cfg, BaselineKLST11)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.MeanBitsPerNode, "bits/node")
+			b.ReportMetric(float64(last.MaxBitsPerNode)/last.MeanBitsPerNode, "max/mean")
+			b.ReportMetric(float64(last.Time), "rounds")
+		})
+	}
+}
+
+// BenchmarkFig1bBA measures the composed protocol of Figure 1(b): both
+// phases' bits and time.
+func BenchmarkFig1bBA(b *testing.B) {
+	for _, n := range benchNs {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cfg := NewConfig(n, WithSeed(7), WithCorruptFrac(0.05))
+			var last *BAResult
+			for i := 0; i < b.N; i++ {
+				res, err := RunBA(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.AER.Agreement {
+					b.Fatalf("BA failed: %+v", res.AER)
+				}
+				last = res
+			}
+			b.ReportMetric(last.TotalMeanBitsPerNode, "bits/node")
+			b.ReportMetric(float64(last.TotalTime), "rounds")
+			b.ReportMetric(last.AE.KnowFrac, "ae-know")
+		})
+	}
+}
+
+// benchBaseline runs one Figure 1(b) comparison protocol.
+func benchBaseline(b *testing.B, n int, which Baseline) {
+	b.Helper()
+	cfg := NewConfig(n, WithSeed(7), WithCorruptFrac(0.05), WithKnowFrac(0.92))
+	var last *BaselineResult
+	for i := 0; i < b.N; i++ {
+		res, err := RunBaseline(cfg, which)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Agreement {
+			b.Fatalf("%v failed", which)
+		}
+		last = res
+	}
+	b.ReportMetric(last.MeanBitsPerNode, "bits/node")
+	b.ReportMetric(float64(last.Time), "rounds")
+}
+
+// BenchmarkFig1bFlood is the Θ(n²)-total yardstick row.
+func BenchmarkFig1bFlood(b *testing.B) {
+	for _, n := range benchNs {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchBaseline(b, n, BaselineFlood) })
+	}
+}
+
+// BenchmarkFig1bRabin is the PR10-class quadratic randomized BA row.
+func BenchmarkFig1bRabin(b *testing.B) {
+	for _, n := range benchNs {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchBaseline(b, n, BaselineRabin) })
+	}
+}
+
+// BenchmarkLemma3Push measures push-phase sends per correct node under the
+// flooding adversary — Lemma 3's O(log n) messages.
+func BenchmarkLemma3Push(b *testing.B) {
+	for _, n := range benchNs {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var pushesPerNode float64
+			for i := 0; i < b.N; i++ {
+				sc, err := core.NewScenario(core.DefaultParams(n), 7, core.DefaultScenarioConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				mk := adversary.Maker(adversary.Flood{Strings: 8}, adversary.FromScenario(sc))
+				nodes, correct := sc.Build(mk)
+				simnet.NewSync(nodes, sc.Corrupt).Run(60)
+				var pushes, count float64
+				for _, node := range correct {
+					if node != nil {
+						pushes += float64(node.Stats().PushesSent)
+						count++
+					}
+				}
+				pushesPerNode = pushes / count
+			}
+			b.ReportMetric(pushesPerNode, "push-msgs/node")
+			b.ReportMetric(float64(core.DefaultParams(n).QuorumSize), "bound-d")
+		})
+	}
+}
+
+// BenchmarkLemma4Lists measures Σ|L_x|/n under flooding — Lemma 4's O(n)
+// candidate mass.
+func BenchmarkLemma4Lists(b *testing.B) {
+	for _, n := range benchNs {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var perNode float64
+			for i := 0; i < b.N; i++ {
+				sc, err := core.NewScenario(core.DefaultParams(n), 7, core.DefaultScenarioConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				mk := adversary.Maker(adversary.Flood{Strings: 10}, adversary.FromScenario(sc))
+				nodes, correct := sc.Build(mk)
+				simnet.NewSync(nodes, sc.Corrupt).Run(60)
+				o := core.Evaluate(correct, sc.GString)
+				perNode = float64(o.SumCandidates) / float64(o.Correct)
+			}
+			b.ReportMetric(perNode, "candidates/node")
+		})
+	}
+}
+
+// BenchmarkLemma5Coverage measures the fraction of correct nodes that end
+// the push phase holding gstring — Lemma 5.
+func BenchmarkLemma5Coverage(b *testing.B) {
+	const n = 128
+	var coverage float64
+	for i := 0; i < b.N; i++ {
+		sc, err := core.NewScenario(core.DefaultParams(n), uint64(i)+1, core.DefaultScenarioConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes, correct := sc.Build(nil)
+		simnet.NewSync(nodes, sc.Corrupt).Run(60)
+		have, count := 0, 0
+		for _, node := range correct {
+			if node == nil {
+				continue
+			}
+			count++
+			if node.HasCandidate(sc.GString) {
+				have++
+			}
+		}
+		coverage = float64(have) / float64(count)
+	}
+	b.ReportMetric(coverage, "coverage")
+}
+
+// BenchmarkLemma6Overload measures decision times under the rushing
+// cornering adversary with the budget in the attack regime — the
+// stretched tail of Lemma 6.
+func BenchmarkLemma6Overload(b *testing.B) {
+	const n = 128
+	var last *AERResult
+	for i := 0; i < b.N; i++ {
+		res, err := RunAER(NewConfig(n,
+			WithSeed(11), WithModel(SyncRushing), WithAdversary(AdversaryCornerRushing),
+			WithCorruptFrac(0.10), WithKnowFrac(0.90), WithAnswerBudget(33)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.LastDecision), "last-decision")
+	b.ReportMetric(float64(last.AnswersDeferred), "deferred")
+}
+
+// BenchmarkLemma8NonRushing measures the same population without the
+// attack — Lemma 8's constant time.
+func BenchmarkLemma8NonRushing(b *testing.B) {
+	const n = 128
+	var last *AERResult
+	for i := 0; i < b.N; i++ {
+		res, err := RunAER(NewConfig(n,
+			WithSeed(11), WithCorruptFrac(0.10), WithKnowFrac(0.90), WithAnswerBudget(33)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.LastDecision), "last-decision")
+	b.ReportMetric(float64(last.AnswersDeferred), "deferred")
+}
+
+// BenchmarkLemma7Agreement measures the fraction of correct nodes deciding
+// gstring on the default (tight) population — the w.h.p. of Lemma 7, with
+// the equivocating adversary trying to split the system.
+func BenchmarkLemma7Agreement(b *testing.B) {
+	const n = 256
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		res, err := RunAER(NewConfig(n, WithSeed(uint64(i)+1), WithAdversary(AdversaryEquivocate)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.DecidedOther > 0 {
+			b.Fatal("validity violated: a correct node decided the adversary's string")
+		}
+		frac = float64(res.DecidedGString) / float64(res.Correct)
+	}
+	b.ReportMetric(frac, "decided-frac")
+}
+
+// BenchmarkNoFault measures the t = 0 guarantee (§1): success on every
+// iteration, not w.h.p.
+func BenchmarkNoFault(b *testing.B) {
+	const n = 128
+	for i := 0; i < b.N; i++ {
+		res, err := RunAER(NewConfig(n,
+			WithSeed(uint64(i)+1), WithAdversary(AdversaryNone), WithKnowFrac(0.9)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Agreement {
+			b.Fatal("fault-free run failed: the no-fault guarantee is broken")
+		}
+	}
+	b.ReportMetric(1, "success")
+}
+
+// BenchmarkProperty2 measures the border expansion a greedy cornering
+// adversary can force on J — Lemma 2 Property 2 requires > 2/3.
+func BenchmarkProperty2(b *testing.B) {
+	const n = 256
+	p := core.DefaultParams(n)
+	poll := sampler.NewPoll(n, p.PollSize, p.Labels, p.SamplerSeed)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		src := prng.New(uint64(i) + 1)
+		res := sampler.GreedyCorner(poll, n/8, 24, 4, src)
+		ratio = res.Ratio
+		if ratio <= 2.0/3 {
+			b.Fatalf("Property 2 violated: expansion %.3f", ratio)
+		}
+	}
+	b.ReportMetric(ratio, "expansion")
+}
+
+// BenchmarkAblationLoadBalance compares the answer budget against the
+// unlimited variant under attack — the §5 load-balance/communication
+// trade-off (E12).
+func BenchmarkAblationLoadBalance(b *testing.B) {
+	const n = 128
+	for _, budget := range []int{0, 33} {
+		name := "budget=unlimited"
+		if budget > 0 {
+			name = fmt.Sprintf("budget=%d", budget)
+		}
+		b.Run(name, func(b *testing.B) {
+			var last *AERResult
+			for i := 0; i < b.N; i++ {
+				res, err := RunAER(NewConfig(n,
+					WithSeed(11), WithModel(SyncRushing), WithAdversary(AdversaryCornerRushing),
+					WithCorruptFrac(0.10), WithKnowFrac(0.90), WithAnswerBudget(budget)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.MaxBitsPerNode)/last.MeanBitsPerNode, "max/mean")
+			b.ReportMetric(float64(last.AnswersDeferred), "deferred")
+			b.ReportMetric(float64(last.LastDecision), "last-decision")
+		})
+	}
+}
+
+// BenchmarkAblationDeferredRelay compares the deferred-relay extension on
+// the tight default population (E13).
+func BenchmarkAblationDeferredRelay(b *testing.B) {
+	const n = 128
+	for _, relay := range []bool{false, true} {
+		b.Run(fmt.Sprintf("relay=%v", relay), func(b *testing.B) {
+			agree := 0
+			for i := 0; i < b.N; i++ {
+				opts := []Option{WithSeed(uint64(i) + 1)}
+				if relay {
+					opts = append(opts, WithDeferredRelay())
+				}
+				res, err := RunAER(NewConfig(n, opts...))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Agreement {
+					agree++
+				}
+			}
+			b.ReportMetric(float64(agree)/float64(b.N), "agree-rate")
+		})
+	}
+}
+
+// BenchmarkRunnerGoroutines cross-checks the goroutine runtime at fixed n.
+func BenchmarkRunnerGoroutines(b *testing.B) {
+	const n = 64
+	for i := 0; i < b.N; i++ {
+		res, err := RunAER(NewConfig(n,
+			WithSeed(3), WithModel(Goroutines), WithCorruptFrac(0.05), WithKnowFrac(0.92)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Agreement {
+			b.Fatal("goroutine run failed")
+		}
+	}
+}

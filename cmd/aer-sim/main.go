@@ -1,0 +1,164 @@
+// Command aer-sim runs a single AER (almost-everywhere to everywhere)
+// simulation and prints its outcome and communication metrics.
+//
+// Example:
+//
+//	aer-sim -n 256 -model async -adversary flood -corrupt 0.1 -know 0.85
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/fastba/fastba"
+	"github.com/fastba/fastba/internal/core"
+	"github.com/fastba/fastba/internal/simnet"
+	"github.com/fastba/fastba/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "aer-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("aer-sim", flag.ContinueOnError)
+	var (
+		n         = fs.Int("n", 256, "system size")
+		seed      = fs.Uint64("seed", 1, "master seed")
+		model     = fs.String("model", "sync", "model: sync | sync-rushing | async | async-adversarial | goroutines")
+		adv       = fs.String("adversary", "silent", "adversary: none | silent | flood | equivocate | corner | corner-rushing")
+		corrupt   = fs.Float64("corrupt", 0.10, "fraction of Byzantine nodes (t/n)")
+		know      = fs.Float64("know", 0.85, "fraction of correct nodes that know gstring")
+		budget    = fs.Int("budget", -1, "answer budget override (-1 = log² n default, 0 = unlimited)")
+		deferred  = fs.Bool("deferred-relay", false, "enable the deferred-relay extension")
+		quorum    = fs.Int("quorum", 0, "quorum size override (0 = default)")
+		junkIndep = fs.Bool("independent-junk", false, "unknowing nodes hold individual junk strings")
+		showTrace = fs.Bool("trace", false, "print the message-flow timeline and hotspot nodes (sync model only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := []fastba.Option{
+		fastba.WithSeed(*seed),
+		fastba.WithCorruptFrac(*corrupt),
+		fastba.WithKnowFrac(*know),
+	}
+	m, err := parseModel(*model)
+	if err != nil {
+		return err
+	}
+	opts = append(opts, fastba.WithModel(m))
+	a, err := parseAdversary(*adv)
+	if err != nil {
+		return err
+	}
+	opts = append(opts, fastba.WithAdversary(a))
+	if *budget >= 0 {
+		opts = append(opts, fastba.WithAnswerBudget(*budget))
+	}
+	if *deferred {
+		opts = append(opts, fastba.WithDeferredRelay())
+	}
+	if *quorum > 0 {
+		opts = append(opts, fastba.WithQuorumSize(*quorum))
+	}
+	if *junkIndep {
+		opts = append(opts, fastba.WithIndependentJunk())
+	}
+
+	res, err := fastba.RunAER(fastba.NewConfig(*n, opts...))
+	if err != nil {
+		return err
+	}
+	if *showTrace {
+		if err := printTrace(*n, *seed, *corrupt, *know); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("AER n=%d model=%v adversary=%v seed=%d\n", *n, m, a, *seed)
+	fmt.Printf("  gstring          %s\n", res.GString)
+	fmt.Printf("  agreement        %v (%d/%d decided, %d on gstring, %d other)\n",
+		res.Agreement, res.Decided, res.Correct, res.DecidedGString, res.DecidedOther)
+	fmt.Printf("  time             %d (last decision at %d)\n", res.Time, res.LastDecision)
+	fmt.Printf("  bits/node        mean %.0f, max %d\n", res.MeanBitsPerNode, res.MaxBitsPerNode)
+	fmt.Printf("  messages         %d delivered\n", res.TotalMessages)
+	fmt.Printf("  Σ|L_x|           %d over %d correct nodes\n", res.SumCandidates, res.Correct)
+	fmt.Printf("  deferred answers %d\n", res.AnswersDeferred)
+	var kinds []string
+	for k := range res.MessagesByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Printf("  msg[%s] %d\n", k, res.MessagesByKind[k])
+	}
+	return nil
+}
+
+func parseModel(s string) (fastba.Model, error) {
+	switch s {
+	case "sync", "sync-nonrushing":
+		return fastba.SyncNonRushing, nil
+	case "sync-rushing":
+		return fastba.SyncRushing, nil
+	case "async":
+		return fastba.Async, nil
+	case "async-adversarial":
+		return fastba.AsyncAdversarial, nil
+	case "goroutines":
+		return fastba.Goroutines, nil
+	default:
+		return 0, fmt.Errorf("unknown model %q", s)
+	}
+}
+
+func parseAdversary(s string) (fastba.Adversary, error) {
+	switch s {
+	case "none":
+		return fastba.AdversaryNone, nil
+	case "silent":
+		return fastba.AdversarySilent, nil
+	case "flood":
+		return fastba.AdversaryFlood, nil
+	case "equivocate":
+		return fastba.AdversaryEquivocate, nil
+	case "corner":
+		return fastba.AdversaryCorner, nil
+	case "corner-rushing":
+		return fastba.AdversaryCornerRushing, nil
+	default:
+		return 0, fmt.Errorf("unknown adversary %q", s)
+	}
+}
+
+// printTrace re-runs the scenario synchronously with a trace attached and
+// renders the message-flow timeline (the temporal Figure 2) plus the five
+// most-loaded nodes.
+func printTrace(n int, seed uint64, corrupt, know float64) error {
+	sc, err := core.NewScenario(core.DefaultParams(n), seed, core.ScenarioConfig{
+		CorruptFrac: corrupt,
+		KnowFrac:    know,
+		SharedJunk:  true,
+		AdvBits:     1.0 / 3,
+	})
+	if err != nil {
+		return err
+	}
+	nodes, _ := sc.Build(nil)
+	tr := trace.New(n)
+	runner := simnet.NewSync(nodes, sc.Corrupt)
+	runner.Observe(tr.Observer())
+	runner.Run(64)
+	fmt.Println("message-flow timeline:")
+	tr.Timeline(os.Stdout)
+	fmt.Println("hotspots:")
+	tr.Hotspots(os.Stdout, 5)
+	return nil
+}

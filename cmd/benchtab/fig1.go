@@ -1,0 +1,129 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/fastba/fastba"
+	"github.com/fastba/fastba/internal/metrics"
+)
+
+// fig1a regenerates Figure 1(a): the almost-everywhere-to-everywhere
+// comparison — [KLST11-style] vs AER under sync-non-rushing and async —
+// over time, bits per node and load balance.
+func fig1a(sw sweep) error {
+	tb := metrics.NewTable(
+		"Figure 1(a) — almost-everywhere to everywhere (measured; paper rows: KLST11 O(log²n)/Õ(√n)/LB, AER-SNR O(1)/O(log²n)/unbalanced, AER-async O(logn/loglogn))",
+		"protocol", "model", "n", "time", "bits/node", "max bits/node", "max/mean", "agree")
+
+	type series struct{ xs, bits []float64 }
+	collected := map[string]*series{}
+	record := func(proto string, n int, time int, mean float64, max int64, agree bool) {
+		ratio := float64(max) / mean
+		tb.Add(proto, protoModel(proto), fmt.Sprint(n), fmt.Sprint(time),
+			metrics.Bits(mean), metrics.Bits(float64(max)), fmt.Sprintf("%.1f", ratio), fmt.Sprint(agree))
+		s := collected[proto]
+		if s == nil {
+			s = &series{}
+			collected[proto] = s
+		}
+		s.xs = append(s.xs, float64(n))
+		s.bits = append(s.bits, mean)
+	}
+
+	for _, n := range sw.ns {
+		cfg := func(opts ...fastba.Option) fastba.Config {
+			base := []fastba.Option{fastba.WithSeed(7), fastba.WithCorruptFrac(0.05), fastba.WithKnowFrac(0.92)}
+			return fastba.NewConfig(n, append(base, opts...)...)
+		}
+
+		sync, err := fastba.RunAER(cfg())
+		if err != nil {
+			return err
+		}
+		record("AER", n, sync.Time, sync.MeanBitsPerNode, sync.MaxBitsPerNode, sync.Agreement)
+
+		async, err := fastba.RunAER(cfg(fastba.WithModel(fastba.Async)))
+		if err != nil {
+			return err
+		}
+		record("AER-async", n, async.Time, async.MeanBitsPerNode, async.MaxBitsPerNode, async.Agreement)
+
+		klst, err := fastba.RunBaseline(cfg(), fastba.BaselineKLST11)
+		if err != nil {
+			return err
+		}
+		record("KLST11", n, klst.Time, klst.MeanBitsPerNode, klst.MaxBitsPerNode, klst.Agreement)
+	}
+	tb.Render(os.Stdout)
+
+	fmt.Println("growth fits (bits/node):")
+	for _, proto := range []string{"AER", "AER-async", "KLST11"} {
+		s := collected[proto]
+		fmt.Printf("  %-10s ~ n^%.2f  ~ log(n)^%.1f\n", proto,
+			metrics.PowerFit(s.xs, s.bits), metrics.PolylogFit(s.xs, s.bits))
+	}
+	fmt.Println("shape check: AER time is flat (O(1) sync) and its bits grow polylog —")
+	fmt.Println("n-exponent → 0 as n grows — while KLST11 stays ≈ n^0.5 and load-balanced.")
+	return nil
+}
+
+func protoModel(proto string) string {
+	switch proto {
+	case "AER":
+		return "sync-NR"
+	case "AER-async":
+		return "async"
+	default:
+		return "sync"
+	}
+}
+
+// fig1b regenerates Figure 1(b): end-to-end Byzantine Agreement — measured
+// rows for BA (AE + AER), the flood yardstick and the Rabin/PR10-class
+// baseline, plus the paper-reported analytical rows that cannot reasonably
+// be run (BOPV06's n^O(log n) bits; KS13's Õ(n^2.5) expected time).
+func fig1b(sw sweep) error {
+	tb := metrics.NewTable(
+		"Figure 1(b) — Byzantine Agreement",
+		"protocol", "source", "n", "resilience", "time", "total bits", "bits/node", "agree")
+
+	for _, n := range sw.ns {
+		ba, err := fastba.RunBA(fastba.NewConfig(n, fastba.WithSeed(7), fastba.WithCorruptFrac(0.05)))
+		if err != nil {
+			return err
+		}
+		totalBits := ba.TotalMeanBitsPerNode * float64(n)
+		tb.Add("BA (AE+AER)", "measured", fmt.Sprint(n), "3t+1",
+			fmt.Sprint(ba.TotalTime), metrics.Bits(totalBits),
+			metrics.Bits(ba.TotalMeanBitsPerNode), fmt.Sprint(ba.AER.Agreement))
+
+		cfg := fastba.NewConfig(n, fastba.WithSeed(7), fastba.WithCorruptFrac(0.05), fastba.WithKnowFrac(0.92))
+		flood, err := fastba.RunBaseline(cfg, fastba.BaselineFlood)
+		if err != nil {
+			return err
+		}
+		tb.Add("flood", "measured", fmt.Sprint(n), "2t+1",
+			fmt.Sprint(flood.Time), metrics.Bits(flood.MeanBitsPerNode*float64(n)),
+			metrics.Bits(flood.MeanBitsPerNode), fmt.Sprint(flood.Agreement))
+
+		rabin, err := fastba.RunBaseline(cfg, fastba.BaselineRabin)
+		if err != nil {
+			return err
+		}
+		tb.Add("Rabin/PR10-class", "measured", fmt.Sprint(n), "4t+1",
+			fmt.Sprint(rabin.Time), metrics.Bits(rabin.MeanBitsPerNode*float64(n)),
+			metrics.Bits(rabin.MeanBitsPerNode), fmt.Sprint(rabin.Agreement))
+	}
+
+	// Paper-reported rows for protocols outside simulatable reach.
+	tb.Add("BOPV06", "analytical", "-", "4t+1", "O(log n)", "n^O(log n)", "n^O(log n)", "-")
+	tb.Add("KLST11-BA", "analytical", "-", "3t+1", "polylog", "Õ(n^1.5)", "Õ(√n)", "-")
+	tb.Add("KS13", "analytical", "-", "500t", "Õ(n^2.5)", "?", "?", "-")
+	tb.Render(os.Stdout)
+	fmt.Println("who wins: BA's bits/node grows polylog (the paper's headline);")
+	fmt.Println("flood and Rabin-class grow Θ(n) per node (Θ(n²) total). At laptop n the")
+	fmt.Println("absolute constants still favour flood — see EXPERIMENTS.md for the")
+	fmt.Println("measured exponents and the extrapolated crossover.")
+	return nil
+}

@@ -1,0 +1,385 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/fastba/fastba"
+	"github.com/fastba/fastba/internal/adversary"
+	"github.com/fastba/fastba/internal/core"
+	"github.com/fastba/fastba/internal/metrics"
+	"github.com/fastba/fastba/internal/prng"
+	"github.com/fastba/fastba/internal/sampler"
+	"github.com/fastba/fastba/internal/simnet"
+)
+
+// probeConfig is the population used by the lemma probes: the default
+// (tight) fault model under a flooding adversary.
+func probeScenario(n int, seed uint64) (*core.Scenario, error) {
+	return core.NewScenario(core.DefaultParams(n), seed, core.DefaultScenarioConfig())
+}
+
+// runProbe executes one synchronous AER run with the given strategy.
+func runProbe(sc *core.Scenario, st adversary.Strategy) ([]*core.Node, *simnet.Metrics) {
+	var mk func(int) simnet.Node
+	if st != nil {
+		mk = adversary.Maker(st, adversary.FromScenario(sc))
+	}
+	nodes, correct := sc.Build(mk)
+	m := simnet.NewSync(nodes, sc.Corrupt).Run(60)
+	return correct, m
+}
+
+// lemma3 measures the push phase: messages and bits sent per correct node
+// must be O(log n) messages of O(log n) bits — flat against flooding.
+func lemma3(sw sweep) error {
+	tb := metrics.NewTable(
+		"Lemma 3 — push-phase communication per correct node is O(s·log n), adversary-independent",
+		"n", "d=|I|", "push msgs/node (silent)", "push msgs/node (flood)", "push bits/node", "bound d")
+	for _, n := range sw.ns {
+		p := core.DefaultParams(n)
+		var perAdv [2]float64
+		for i, st := range []adversary.Strategy{adversary.Silent{}, adversary.Flood{Strings: 10}} {
+			sc, err := probeScenario(n, 7)
+			if err != nil {
+				return err
+			}
+			correct, _ := runProbe(sc, st)
+			var pushes, count float64
+			for _, node := range correct {
+				if node != nil {
+					pushes += float64(node.Stats().PushesSent)
+					count++
+				}
+			}
+			perAdv[i] = pushes / count
+		}
+		pushBits := perAdv[0] * float64(p.StringBits+11*8) // payload + envelope
+		tb.Add(fmt.Sprint(n), fmt.Sprint(p.QuorumSize),
+			fmt.Sprintf("%.1f", perAdv[0]), fmt.Sprintf("%.1f", perAdv[1]),
+			metrics.Bits(pushBits), fmt.Sprint(p.QuorumSize))
+	}
+	tb.Render(os.Stdout)
+	fmt.Println("push sends are bounded by d = O(log n) and unchanged by flooding.")
+	return nil
+}
+
+// lemma4 measures Σ|L_x|: the sum of candidate-list sizes stays O(n) under
+// the flooding adversary.
+func lemma4(sw sweep) error {
+	tb := metrics.NewTable(
+		"Lemma 4 — Σ|L_x| = O(n) under push flooding",
+		"n", "adversary", "Σ|L_x|", "Σ|L_x| / correct", "agree")
+	for _, n := range sw.ns {
+		for _, st := range []adversary.Strategy{adversary.Silent{}, adversary.Flood{Strings: 10}} {
+			sc, err := probeScenario(n, 7)
+			if err != nil {
+				return err
+			}
+			correct, _ := runProbe(sc, st)
+			o := core.Evaluate(correct, sc.GString)
+			tb.Add(fmt.Sprint(n), st.Name(), fmt.Sprint(o.SumCandidates),
+				fmt.Sprintf("%.2f", float64(o.SumCandidates)/float64(o.Correct)),
+				fmt.Sprint(o.Agreement()))
+		}
+	}
+	tb.Render(os.Stdout)
+	fmt.Println("candidate lists stay ≈ 1 entry per node regardless of flooding.")
+	return nil
+}
+
+// lemma5 measures push-phase coverage: the fraction of runs in which every
+// correct node ends the push phase with gstring in its candidate list.
+func lemma5(sw sweep) error {
+	tb := metrics.NewTable(
+		"Lemma 5 — w.h.p. every node has gstring in its candidate list after the push",
+		"n", "runs", "full-coverage runs", "worst node coverage")
+	for _, n := range sw.ns {
+		fullRuns := 0
+		worst := 1.0
+		for seed := uint64(1); seed <= uint64(sw.seeds); seed++ {
+			sc, err := probeScenario(n, seed)
+			if err != nil {
+				return err
+			}
+			correct, _ := runProbe(sc, adversary.Flood{Strings: 6})
+			have, count := 0, 0
+			for _, node := range correct {
+				if node == nil {
+					continue
+				}
+				count++
+				if node.HasCandidate(sc.GString) {
+					have++
+				}
+			}
+			frac := float64(have) / float64(count)
+			if frac == 1 {
+				fullRuns++
+			}
+			if frac < worst {
+				worst = frac
+			}
+		}
+		tb.Add(fmt.Sprint(n), fmt.Sprint(sw.seeds), fmt.Sprint(fullRuns), fmt.Sprintf("%.4f", worst))
+	}
+	tb.Render(os.Stdout)
+	return nil
+}
+
+// lemma6 measures decision times under overload: the answer budget is
+// swept from below honest demand (where deferral cascades stretch and can
+// stall decisions — the regime the adversary aims for) through the paper's
+// safe log² n zone, with and without the rushing cornering attack
+// (Lemmas 6 and 8). Honest per-node demand at n=128 measures ≈ p50 19 /
+// max 32 answers, so budgets are expressed relative to the quorum size d.
+func lemma6(sw sweep) error {
+	tb := metrics.NewTable(
+		"Lemmas 6+8 — decision time vs answer budget (n fixed; rushing corner vs quiet)",
+		"n", "budget", "adversary", "p50", "p95", "max", "deferred", "decided frac")
+	n := sw.ns[len(sw.ns)-1]
+	d := core.DefaultParams(n).QuorumSize
+	budgets := []int{d / 2, 3 * d / 4, d, 21 * d / 13, 0} // deep overload … log²n-like … unlimited
+	for _, budget := range budgets {
+		for _, s := range []struct {
+			name  string
+			model fastba.Model
+			adv   fastba.Adversary
+		}{
+			{"silent", fastba.SyncNonRushing, fastba.AdversarySilent},
+			{"corner-rushing", fastba.SyncRushing, fastba.AdversaryCornerRushing},
+			{"async corner", fastba.AsyncAdversarial, fastba.AdversaryCorner},
+		} {
+			res, err := fastba.RunAER(fastba.NewConfig(n,
+				fastba.WithSeed(11), fastba.WithModel(s.model), fastba.WithAdversary(s.adv),
+				fastba.WithCorruptFrac(0.10), fastba.WithKnowFrac(0.90),
+				fastba.WithAnswerBudget(budget)))
+			if err != nil {
+				return err
+			}
+			times := make([]float64, len(res.DecisionTimes))
+			for i, v := range res.DecisionTimes {
+				times[i] = float64(v)
+			}
+			if len(times) == 0 {
+				times = []float64{-1}
+			}
+			label := fmt.Sprint(budget)
+			if budget == 0 {
+				label = "unlimited"
+			}
+			tb.Add(fmt.Sprint(n), label, s.name,
+				fmt.Sprintf("%.0f", metrics.Quantile(times, 0.5)),
+				fmt.Sprintf("%.0f", metrics.Quantile(times, 0.95)),
+				fmt.Sprintf("%.0f", metrics.Quantile(times, 1)),
+				fmt.Sprint(res.AnswersDeferred),
+				fmt.Sprintf("%.3f", float64(res.Decided)/float64(res.Correct)))
+		}
+	}
+	tb.Render(os.Stdout)
+	fmt.Println("the paper's log² n budget sits above honest demand by design: decisions")
+	fmt.Println("stay constant-time. Below demand, answers defer until budget holders decide")
+	fmt.Println("— the dependency chains of Lemma 6 — stretching the tail and, far below")
+	fmt.Println("demand, stalling the cascade. The attack adds deferrals at its targets.")
+	return nil
+}
+
+// lemma7 measures the agreement rate (Lemmas 7, 9, 10) across seeds,
+// models and adversaries, on the default (tight) population.
+func lemma7(sw sweep) error {
+	tb := metrics.NewTable(
+		"Lemmas 7/9/10 — agreement w.h.p. across models and adversaries (default population)",
+		"n", "model", "adversary", "runs", "agreement runs", "worst decided frac")
+	type cell struct {
+		model fastba.Model
+		adv   fastba.Adversary
+		relay bool
+	}
+	cells := []cell{
+		{fastba.SyncNonRushing, fastba.AdversarySilent, false},
+		{fastba.SyncNonRushing, fastba.AdversaryFlood, false},
+		{fastba.SyncNonRushing, fastba.AdversaryEquivocate, false},
+		{fastba.Async, fastba.AdversarySilent, false},
+		{fastba.Async, fastba.AdversaryEquivocate, false},
+		{fastba.SyncNonRushing, fastba.AdversarySilent, true},
+		{fastba.Async, fastba.AdversaryEquivocate, true},
+	}
+	n := sw.ns[len(sw.ns)-1]
+	for _, c := range cells {
+		agreeRuns := 0
+		worst := 1.0
+		for seed := uint64(1); seed <= uint64(sw.seeds); seed++ {
+			opts := []fastba.Option{
+				fastba.WithSeed(seed), fastba.WithModel(c.model), fastba.WithAdversary(c.adv),
+			}
+			if c.relay {
+				opts = append(opts, fastba.WithDeferredRelay())
+			}
+			res, err := fastba.RunAER(fastba.NewConfig(n, opts...))
+			if err != nil {
+				return err
+			}
+			if res.Agreement {
+				agreeRuns++
+			}
+			if frac := float64(res.DecidedGString) / float64(res.Correct); frac < worst {
+				worst = frac
+			}
+			if res.DecidedOther > 0 {
+				worst = 0 // validity violation would be fatal
+			}
+		}
+		name := c.adv.String()
+		if c.relay {
+			name += "+relay"
+		}
+		tb.Add(fmt.Sprint(n), c.model.String(), name,
+			fmt.Sprint(sw.seeds), fmt.Sprint(agreeRuns), fmt.Sprintf("%.4f", worst))
+	}
+	tb.Render(os.Stdout)
+	fmt.Println("w.h.p. at small n and d = 3·log₂n: isolated nodes can miss strict quorum")
+	fmt.Println("majorities (never validity — no run decides a non-gstring value); the")
+	fmt.Println("deferred-relay extension closes exactly that tail (see E13).")
+	return nil
+}
+
+// nofault verifies the §1 claim: with no Byzantine fault, success is
+// guaranteed, not just probable.
+func nofault(sw sweep) error {
+	tb := metrics.NewTable(
+		"§1 — success guaranteed without Byzantine faults (t = 0)",
+		"n", "runs", "agreement runs")
+	for _, n := range sw.ns {
+		agree := 0
+		runs := sw.seeds * 4
+		for seed := uint64(1); seed <= uint64(runs); seed++ {
+			res, err := fastba.RunAER(fastba.NewConfig(n,
+				fastba.WithSeed(seed), fastba.WithAdversary(fastba.AdversaryNone),
+				fastba.WithKnowFrac(0.9)))
+			if err != nil {
+				return err
+			}
+			if res.Agreement {
+				agree++
+			}
+		}
+		tb.Add(fmt.Sprint(n), fmt.Sprint(runs), fmt.Sprint(agree))
+	}
+	tb.Render(os.Stdout)
+	return nil
+}
+
+// property2 checks Lemma 2 Property 2 empirically: random and greedy
+// corner-seeking pair sets L must keep border expansion above 2/3·d·|L|,
+// and the keyed construction must track the §4.1 uniform-digraph model the
+// proof actually analyzes.
+func property2(sw sweep) error {
+	tb := metrics.NewTable(
+		"Lemma 2 Property 2 — border expansion of J (must stay > 2/3)",
+		"n", "d", "|L|", "random-L min (20 trials)", "greedy-L", "§4.1 model min", "holds")
+	for _, n := range sw.ns {
+		p := core.DefaultParams(n)
+		poll := sampler.NewPoll(n, p.PollSize, p.Labels, p.SamplerSeed)
+		src := prng.New(99)
+		size := n / 8
+
+		minRandom := 3.0
+		for trial := 0; trial < 20; trial++ {
+			used := map[int]bool{}
+			var L []sampler.Pair
+			for len(L) < size {
+				x := src.Intn(n)
+				if used[x] {
+					continue
+				}
+				used[x] = true
+				L = append(L, sampler.Pair{X: x, R: src.Uint64()})
+			}
+			if r := sampler.BorderExpansion(poll, L).Ratio; r < minRandom {
+				minRandom = r
+			}
+		}
+		greedy := sampler.GreedyCorner(poll, size, 24, 8, src)
+		model := sampler.DigraphBorderStats(n, p.PollSize, size, 200, src)
+		holds := minRandom > 2.0/3 && greedy.Ratio > 2.0/3 && model.Violations == 0
+		tb.Add(fmt.Sprint(n), fmt.Sprint(p.PollSize), fmt.Sprint(size),
+			fmt.Sprintf("%.3f", minRandom), fmt.Sprintf("%.3f", greedy.Ratio),
+			fmt.Sprintf("%.3f", model.MinRatio), fmt.Sprint(holds))
+	}
+	tb.Render(os.Stdout)
+	return nil
+}
+
+// ablation covers E12/E13: the answer budget (load-balance trade-off of
+// §5), the deferred-relay extension, and the sampler construction.
+func ablation(sw sweep) error {
+	n := sw.ns[len(sw.ns)-1]
+
+	tb := metrics.NewTable(
+		"E12 — answer budget ablation under the rushing corner attack (n="+fmt.Sprint(n)+"): time vs protection trade-off (§5)",
+		"budget", "deferred", "max bits/node", "max/mean", "last decision", "agree")
+	d := core.DefaultParams(n).QuorumSize
+	for _, b := range []int{0, d / 2, 21 * d / 13} {
+		res, err := fastba.RunAER(fastba.NewConfig(n,
+			fastba.WithSeed(11), fastba.WithModel(fastba.SyncRushing),
+			fastba.WithAdversary(fastba.AdversaryCornerRushing),
+			fastba.WithCorruptFrac(0.10), fastba.WithKnowFrac(0.90),
+			fastba.WithAnswerBudget(b)))
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprint(b)
+		if b == 0 {
+			label = "unlimited"
+		}
+		tb.Add(label, fmt.Sprint(res.AnswersDeferred), metrics.Bits(float64(res.MaxBitsPerNode)),
+			fmt.Sprintf("%.1f", float64(res.MaxBitsPerNode)/res.MeanBitsPerNode),
+			fmt.Sprint(res.LastDecision), fmt.Sprint(res.Agreement))
+	}
+	tb.Render(os.Stdout)
+
+	tb2 := metrics.NewTable(
+		"E13 — deferred-relay extension: agreement rate on the tight default population (n="+fmt.Sprint(n)+")",
+		"deferred relay", "runs", "agreement runs")
+	for _, relay := range []bool{false, true} {
+		agree := 0
+		for seed := uint64(1); seed <= uint64(sw.seeds*2); seed++ {
+			opts := []fastba.Option{fastba.WithSeed(seed)}
+			if relay {
+				opts = append(opts, fastba.WithDeferredRelay())
+			}
+			res, err := fastba.RunAER(fastba.NewConfig(n, opts...))
+			if err != nil {
+				return err
+			}
+			if res.Agreement {
+				agree++
+			}
+		}
+		tb2.Add(fmt.Sprint(relay), fmt.Sprint(sw.seeds*2), fmt.Sprint(agree))
+	}
+	tb2.Render(os.Stdout)
+
+	tb3 := metrics.NewTable(
+		"E12b — sampler construction: permutation (Lemma 1, no overload) vs naive hashing",
+		"n", "d", "perm MaxLoad", "hash MaxLoad")
+	for _, n := range sw.ns {
+		p := core.DefaultParams(n)
+		perm := sampler.NewPermQuorum(n, p.QuorumSize, p.SamplerSeed, "I")
+		hash := sampler.NewHashQuorum(n, p.QuorumSize, p.SamplerSeed, "I")
+		src := prng.New(5)
+		worstPerm, worstHash := 0, 0
+		for k := 0; k < 5; k++ {
+			s := randomString(src, p.StringBits)
+			if l := sampler.MaxLoad(perm, s); l > worstPerm {
+				worstPerm = l
+			}
+			if l := sampler.MaxLoad(hash, s); l > worstHash {
+				worstHash = l
+			}
+		}
+		tb3.Add(fmt.Sprint(n), fmt.Sprint(p.QuorumSize), fmt.Sprint(worstPerm), fmt.Sprint(worstHash))
+	}
+	tb3.Render(os.Stdout)
+	return nil
+}

@@ -1,0 +1,98 @@
+// Command benchtab regenerates every table and figure of the paper's
+// evaluation (Figure 1(a), Figure 1(b)) plus one empirical table per
+// analytical lemma (Lemmas 3–10 and Lemma 2 Property 2), as indexed in
+// DESIGN.md §3 and recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchtab               # quick sweep (n ≤ 256, few seeds)
+//	benchtab -full         # full sweep (n ≤ 1024, more seeds; minutes)
+//	benchtab -only fig1a   # one experiment (fig1a, fig1b, lemma3, lemma4,
+//	                       # lemma5, lemma6, lemma7, nofault, property2,
+//	                       # ablation, sensitivity)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+type sweep struct {
+	ns    []int
+	seeds int
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
+	full := fs.Bool("full", false, "full sweep: larger n, more seeds (minutes of runtime)")
+	only := fs.String("only", "", "run a single experiment by name")
+	nsFlag := fs.String("ns", "", "comma-separated system sizes (overrides -full)")
+	seedsFlag := fs.Int("seeds", 0, "seeds per statistical cell (overrides -full)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sw := sweep{ns: []int{64, 128, 256}, seeds: 5}
+	if *full {
+		sw = sweep{ns: []int{64, 128, 256, 512, 1024}, seeds: 10}
+	}
+	if *nsFlag != "" {
+		sw.ns = nil
+		for _, part := range strings.Split(*nsFlag, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n < 8 {
+				return fmt.Errorf("bad -ns entry %q", part)
+			}
+			sw.ns = append(sw.ns, n)
+		}
+	}
+	if *seedsFlag > 0 {
+		sw.seeds = *seedsFlag
+	}
+
+	experiments := []struct {
+		name string
+		fn   func(sweep) error
+	}{
+		{"fig1a", fig1a},
+		{"fig1b", fig1b},
+		{"lemma3", lemma3},
+		{"lemma4", lemma4},
+		{"lemma5", lemma5},
+		{"lemma6", lemma6},
+		{"lemma7", lemma7},
+		{"nofault", nofault},
+		{"property2", property2},
+		{"ablation", ablation},
+		{"sensitivity", sensitivity},
+	}
+
+	names := make([]string, 0, len(experiments))
+	for _, e := range experiments {
+		names = append(names, e.name)
+	}
+	if *only != "" {
+		for _, e := range experiments {
+			if e.name == *only {
+				return e.fn(sw)
+			}
+		}
+		return fmt.Errorf("unknown experiment %q (have: %s)", *only, strings.Join(names, ", "))
+	}
+	for _, e := range experiments {
+		if err := e.fn(sw); err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+package main
+
+import (
+	"github.com/fastba/fastba/internal/bitstring"
+	"github.com/fastba/fastba/internal/prng"
+)
+
+// randomString draws a candidate-domain string for the sampler ablation.
+func randomString(src *prng.Source, bits int) bitstring.String {
+	return bitstring.Random(src, bits)
+}

@@ -1,0 +1,245 @@
+// Package fastba is a from-scratch Go implementation of "Fast Byzantine
+// Agreement" (Braud-Santoni, Guerraoui, Huc — PODC 2013): the AER
+// almost-everywhere-to-everywhere agreement protocol (push/pull over
+// sampler-defined quorums, Algorithms 1–3 of the paper) and its composition
+// with a KSSV06-style almost-everywhere committee protocol into BA, the
+// first Byzantine Agreement protocol with poly-logarithmic communication
+// and time.
+//
+// The package simulates the paper's model — a fully connected message-
+// passing network of n nodes, authenticated reliable channels, a
+// non-adaptive Byzantine adversary controlling t < (1/3−ε)n nodes — under
+// synchronous (rushing or non-rushing), asynchronous and goroutine-backed
+// runtimes, with per-node communication metering.
+//
+// Quick start:
+//
+//	res, err := fastba.RunBA(fastba.NewConfig(256, fastba.WithSeed(1)))
+//	if err != nil { ... }
+//	fmt.Println(res.AER.Agreement, res.GString)
+//
+// Everything is deterministic given the configuration's seed.
+package fastba
+
+import (
+	"fmt"
+
+	"github.com/fastba/fastba/internal/core"
+)
+
+// Model selects the network/adversary timing model of §2.1.
+type Model int
+
+// Timing models.
+const (
+	// SyncNonRushing is the synchronous model where the adversary picks
+	// its round-r messages independently of correct round-r messages
+	// (Lemmas 8–9: constant expected time).
+	SyncNonRushing Model = iota + 1
+	// SyncRushing lets Byzantine nodes observe the correct nodes' round
+	// messages before sending their own (Lemma 6's setting).
+	SyncRushing
+	// Async delivers messages in seeded-random order; time is causal
+	// depth (Lemma 10: O(log n / log log n)).
+	Async
+	// AsyncAdversarial delivers messages in an adversary-chosen order
+	// (Byzantine traffic first) within an eventual-delivery age bound.
+	AsyncAdversarial
+	// Goroutines runs one goroutine per node over unbounded mailboxes;
+	// scheduling is up to the Go runtime, so only outcome properties are
+	// deterministic, not traces.
+	Goroutines
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case SyncNonRushing:
+		return "sync-nonrushing"
+	case SyncRushing:
+		return "sync-rushing"
+	case Async:
+		return "async"
+	case AsyncAdversarial:
+		return "async-adversarial"
+	case Goroutines:
+		return "goroutines"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Adversary selects the Byzantine strategy.
+type Adversary int
+
+// Byzantine strategies (see internal/adversary for their behaviour).
+const (
+	// AdversaryNone corrupts nobody (t = 0).
+	AdversaryNone Adversary = iota + 1
+	// AdversarySilent crashes the corrupted nodes from the start.
+	AdversarySilent
+	// AdversaryFlood floods the push phase with bogus candidates.
+	AdversaryFlood
+	// AdversaryEquivocate colludes on a bogus string and pushes
+	// per-target variants.
+	AdversaryEquivocate
+	// AdversaryCorner plays the Lemma 6 answer-budget overload attack.
+	AdversaryCorner
+	// AdversaryCornerRushing is the rushing variant of the overload
+	// attack (it observes honest poll lists first).
+	AdversaryCornerRushing
+)
+
+// String implements fmt.Stringer.
+func (a Adversary) String() string {
+	switch a {
+	case AdversaryNone:
+		return "none"
+	case AdversarySilent:
+		return "silent"
+	case AdversaryFlood:
+		return "flood"
+	case AdversaryEquivocate:
+		return "equivocate"
+	case AdversaryCorner:
+		return "corner"
+	case AdversaryCornerRushing:
+		return "corner-rushing"
+	default:
+		return fmt.Sprintf("Adversary(%d)", int(a))
+	}
+}
+
+// Config describes one run. Build it with NewConfig and options.
+type Config struct {
+	n           int
+	seed        uint64
+	model       Model
+	adversary   Adversary
+	corruptFrac float64
+	knowFrac    float64
+	sharedJunk  bool
+	params      core.Params
+	maxRounds   int
+}
+
+// Option customizes a Config (functional options).
+type Option interface {
+	apply(*Config)
+}
+
+type optionFunc func(*Config)
+
+func (f optionFunc) apply(c *Config) { f(c) }
+
+// WithSeed sets the master seed (default 1). Runs are deterministic per
+// seed under every model except Goroutines.
+func WithSeed(seed uint64) Option {
+	return optionFunc(func(c *Config) { c.seed = seed })
+}
+
+// WithModel sets the timing model (default SyncNonRushing).
+func WithModel(m Model) Option {
+	return optionFunc(func(c *Config) { c.model = m })
+}
+
+// WithAdversary sets the Byzantine strategy (default AdversarySilent when
+// corruptFrac > 0).
+func WithAdversary(a Adversary) Option {
+	return optionFunc(func(c *Config) { c.adversary = a })
+}
+
+// WithCorruptFrac sets t/n (default 0.10; the paper requires < 1/3 − ε).
+func WithCorruptFrac(f float64) Option {
+	return optionFunc(func(c *Config) { c.corruptFrac = f })
+}
+
+// WithKnowFrac sets the fraction of correct nodes that initially know
+// gstring in AER-only runs (default 0.85); BA runs derive knowledge from
+// the almost-everywhere phase instead.
+func WithKnowFrac(f float64) Option {
+	return optionFunc(func(c *Config) { c.knowFrac = f })
+}
+
+// WithIndependentJunk gives unknowing nodes individually random candidates
+// instead of one shared bogus string (the default, harder case).
+func WithIndependentJunk() Option {
+	return optionFunc(func(c *Config) { c.sharedJunk = false })
+}
+
+// WithQuorumSize overrides the sampler quorum size d.
+func WithQuorumSize(d int) Option {
+	return optionFunc(func(c *Config) { c.params.QuorumSize = d })
+}
+
+// WithPollSize overrides the poll-list size.
+func WithPollSize(d int) Option {
+	return optionFunc(func(c *Config) { c.params.PollSize = d })
+}
+
+// WithAnswerBudget overrides the log² n answer budget (0 = unlimited, the
+// load-balance ablation).
+func WithAnswerBudget(b int) Option {
+	return optionFunc(func(c *Config) { c.params.AnswerBudget = b })
+}
+
+// WithDeferredRelay enables the deferred-relay extension (see
+// DESIGN.md "Faithfulness notes").
+func WithDeferredRelay() Option {
+	return optionFunc(func(c *Config) { c.params.DeferredRelay = true })
+}
+
+// WithMaxRounds caps synchronous executions (default 64).
+func WithMaxRounds(r int) Option {
+	return optionFunc(func(c *Config) { c.maxRounds = r })
+}
+
+// NewConfig returns the default configuration for n nodes, customized by
+// the options: synchronous non-rushing model, 10% silent corruption, 85%
+// knowledgeable correct nodes, DESIGN.md §5 protocol geometry.
+func NewConfig(n int, opts ...Option) Config {
+	c := Config{
+		n:           n,
+		seed:        1,
+		model:       SyncNonRushing,
+		adversary:   AdversarySilent,
+		corruptFrac: 0.10,
+		knowFrac:    0.85,
+		sharedJunk:  true,
+		params:      core.DefaultParams(n),
+		maxRounds:   64,
+	}
+	for _, o := range opts {
+		o.apply(&c)
+	}
+	if c.adversary == AdversaryNone {
+		c.corruptFrac = 0
+	}
+	return c
+}
+
+// N returns the configured system size.
+func (c Config) N() int { return c.n }
+
+// Seed returns the master seed.
+func (c Config) Seed() uint64 { return c.seed }
+
+// Model returns the timing model.
+func (c Config) Model() Model { return c.model }
+
+// validate checks the configuration.
+func (c Config) validate() error {
+	if c.n < 8 {
+		return fmt.Errorf("fastba: n = %d too small (need ≥ 8)", c.n)
+	}
+	if c.model < SyncNonRushing || c.model > Goroutines {
+		return fmt.Errorf("fastba: unknown model %d", int(c.model))
+	}
+	if c.adversary < AdversaryNone || c.adversary > AdversaryCornerRushing {
+		return fmt.Errorf("fastba: unknown adversary %d", int(c.adversary))
+	}
+	if c.corruptFrac < 0 || c.corruptFrac >= 1.0/3 {
+		return fmt.Errorf("fastba: corrupt fraction %v outside [0, 1/3)", c.corruptFrac)
+	}
+	return c.params.Validate()
+}

@@ -1,0 +1,44 @@
+// Nofault: the paper's §1 distinctive property — "unlike many randomized
+// protocols, success is guaranteed when there is no Byzantine fault" — is
+// exercised by running AER with t = 0 across many seeds under all three
+// runtimes (deterministic event loop, random asynchrony and real
+// goroutines). Every run must reach full agreement; none may merely be
+// "likely" to.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/fastba/fastba"
+)
+
+func main() {
+	const n, seeds = 128, 25
+
+	for _, model := range []fastba.Model{fastba.SyncNonRushing, fastba.Async, fastba.Goroutines} {
+		failures := 0
+		for seed := uint64(1); seed <= seeds; seed++ {
+			res, err := fastba.RunAER(fastba.NewConfig(n,
+				fastba.WithSeed(seed),
+				fastba.WithModel(model),
+				fastba.WithAdversary(fastba.AdversaryNone),
+				fastba.WithKnowFrac(0.90),
+			))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !res.Agreement {
+				failures++
+			}
+		}
+		fmt.Printf("%-18s %d/%d fault-free runs reached full agreement\n",
+			model.String()+":", seeds-failures, seeds)
+		if failures > 0 {
+			log.Fatalf("model %v: %d fault-free runs failed — the no-fault guarantee is broken", model, failures)
+		}
+	}
+	fmt.Println("\nWith t = 0 every quorum has an honest majority by construction, so the")
+	fmt.Println("push filter, the relay majorities and the poll majorities all pass")
+	fmt.Println("deterministically — no 'with high probability' qualifier needed.")
+}

@@ -1,0 +1,56 @@
+// Scaling: the headline claim of the paper in one sweep — AER's per-node
+// communication grows poly-logarithmically in n while its round count stays
+// flat, against the Θ(n)-per-node flood and the Õ(√n) load-balanced
+// baseline (Figure 1's comparison, at laptop scale).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/fastba/fastba"
+)
+
+func main() {
+	ns := []int{64, 128, 256, 512}
+
+	fmt.Println("Per-node communication and time vs n (silent 5% corruption)")
+	fmt.Println()
+	fmt.Printf("%6s | %12s %6s | %12s %6s | %12s %6s\n",
+		"n", "AER bits", "time", "KLST11 bits", "time", "flood bits", "time")
+
+	var prevAER, prevFlood float64
+	for _, n := range ns {
+		cfg := fastba.NewConfig(n,
+			fastba.WithSeed(7),
+			fastba.WithCorruptFrac(0.05),
+			fastba.WithKnowFrac(0.92),
+		)
+		aer, err := fastba.RunAER(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		klst, err := fastba.RunBaseline(cfg, fastba.BaselineKLST11)
+		if err != nil {
+			log.Fatal(err)
+		}
+		flood, err := fastba.RunBaseline(cfg, fastba.BaselineFlood)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d | %12.0f %6d | %12.0f %6d | %12.0f %6d\n",
+			n, aer.MeanBitsPerNode, aer.Time,
+			klst.MeanBitsPerNode, klst.Time,
+			flood.MeanBitsPerNode, flood.Time)
+		if prevAER > 0 {
+			fmt.Printf("%6s | growth ×%.2f        | %21s | growth ×%.2f\n",
+				"", aer.MeanBitsPerNode/prevAER, "", flood.MeanBitsPerNode/prevFlood)
+		}
+		prevAER, prevFlood = aer.MeanBitsPerNode, flood.MeanBitsPerNode
+	}
+
+	fmt.Println()
+	fmt.Println("Doubling n multiplies flood's per-node bits by ≈ 2 (linear) but AER's by a")
+	fmt.Println("shrinking factor (polylog): the paper's asymptotic separation, visible as a")
+	fmt.Println("growth-rate gap at simulation scale. AER's round count never moves (O(1)).")
+}

@@ -1,0 +1,87 @@
+// Package adversary implements the Byzantine node behaviours used by the
+// experiments. The adversary of §2.1 is non-adaptive (corrupt nodes are
+// fixed before the run — the scenario does this), has full knowledge of the
+// network (every strategy receives the shared samplers, the corruption
+// pattern and gstring itself), coordinates all its nodes, and comes in
+// rushing and non-rushing flavours (rushing strategies implement
+// simnet.Rusher and observe the correct nodes' round messages before
+// sending their own).
+//
+// Strategies:
+//
+//   - Silent: crash from the start — the weakest adversary; used by the
+//     "success guaranteed without Byzantine faults" experiments as the
+//     t = 0 limit behaves identically.
+//   - Flood: push-phase flooding (§3.1.1): bogus candidate strings sprayed
+//     at everyone, plus garbage pulls; demonstrates that the Push Quorum
+//     filter keeps candidate lists O(n) (Lemma 4) and that pushes cannot
+//     inflate correct nodes' sending (Lemma 3).
+//   - Equivocate: pushes per-target different bogus strings from every
+//     Byzantine node that legitimately sits in the target's Push Quorum,
+//     and answers polls for its bogus strings — the classic attempt to
+//     split the system that Lemma 7 rules out.
+//   - Corner: the Lemma 6 overload attack. Rushing: observes the Poll
+//     messages of correct nodes, learns their poll lists J(x, r), and
+//     directs its own *well-formed* pull requests (for gstring, so correct
+//     quorums forward them) at the busiest poll-list members to exhaust
+//     their log² n answer budgets and delay honest answers.
+package adversary
+
+import (
+	"github.com/fastba/fastba/internal/bitstring"
+	"github.com/fastba/fastba/internal/core"
+	"github.com/fastba/fastba/internal/prng"
+	"github.com/fastba/fastba/internal/simnet"
+)
+
+// Env is the full-information view handed to every Byzantine node.
+type Env struct {
+	Params  core.Params
+	Smp     *core.Samplers
+	GString bitstring.String
+	Corrupt []bool
+	Seed    uint64
+}
+
+// FromScenario extracts the adversary's view from a scenario.
+func FromScenario(sc *core.Scenario) Env {
+	return Env{
+		Params:  sc.Params,
+		Smp:     sc.Smp,
+		GString: sc.GString,
+		Corrupt: sc.Corrupt,
+		Seed:    sc.Seed,
+	}
+}
+
+// Strategy builds Byzantine nodes.
+type Strategy interface {
+	// Name identifies the strategy in experiment tables.
+	Name() string
+	// New returns the Byzantine node with the given ID.
+	New(env Env, id int) simnet.Node
+}
+
+// Maker adapts a Strategy to core.Scenario.Build's factory argument.
+func Maker(st Strategy, env Env) func(id int) simnet.Node {
+	return func(id int) simnet.Node { return st.New(env, id) }
+}
+
+// rng derives the strategy-private randomness for one Byzantine node.
+func rng(env Env, name string, id int) *prng.Source {
+	return prng.New(prng.DeriveKey(env.Seed, "adversary/"+name, uint64(id)))
+}
+
+// Silent is the crash adversary.
+type Silent struct{}
+
+// Name implements Strategy.
+func (Silent) Name() string { return "silent" }
+
+// New implements Strategy.
+func (Silent) New(env Env, id int) simnet.Node { return silentNode{} }
+
+type silentNode struct{}
+
+func (silentNode) Init(simnet.Context)                                   {}
+func (silentNode) Deliver(simnet.Context, simnet.NodeID, simnet.Message) {}

@@ -1,0 +1,145 @@
+package adversary
+
+import (
+	"sort"
+
+	"github.com/fastba/fastba/internal/core"
+	"github.com/fastba/fastba/internal/simnet"
+)
+
+// Corner is the Lemma 6 overload attack. Byzantine nodes issue
+// *well-formed* pull requests for gstring itself — the only requests
+// correct proxies will forward (Algorithm 2's s = s_y filter means "this
+// pull request will be considered by x iff it is for gstring") — with
+// labels chosen so their poll lists concentrate on a target set of
+// nodes, consuming those nodes' log² n answer budgets and forcing honest
+// answers to defer until the targets decide.
+//
+// The rushing variant observes the Poll messages of correct nodes during
+// the round (simnet.Rusher), recovers the poll lists J(x, r) that honest
+// verifications depend on, and aims its budget-burning requests at exactly
+// those members — the adversary of Lemma 6 that "can overload all the
+// nodes x′ to which a given node x has sent pull requests".
+type Corner struct {
+	// LabelTries bounds the per-node search for a poll list covering the
+	// targets (default 512).
+	LabelTries int
+	// Rushing enables the poll-list-observing variant; otherwise targets
+	// are the statically busiest nodes under the public samplers.
+	Rushing bool
+}
+
+// Name implements Strategy.
+func (c Corner) Name() string {
+	if c.Rushing {
+		return "corner-rushing"
+	}
+	return "corner"
+}
+
+// New implements Strategy.
+func (c Corner) New(env Env, id int) simnet.Node {
+	tries := c.LabelTries
+	if tries <= 0 {
+		tries = 512
+	}
+	n := &cornerNode{env: env, id: id, tries: tries, rushing: c.Rushing}
+	return n
+}
+
+type cornerNode struct {
+	env     Env
+	id      int
+	tries   int
+	rushing bool
+	fired   bool
+}
+
+var _ simnet.Rusher = (*cornerNode)(nil)
+
+// Init: the non-rushing variant attacks immediately using public
+// information only (it cannot know the labels correct nodes will draw —
+// Lemma 8's argument for O(1) time against non-rushing adversaries).
+func (n *cornerNode) Init(ctx simnet.Context) {
+	if n.rushing {
+		return // wait for Rush to observe poll traffic
+	}
+	n.fire(ctx, nil)
+}
+
+// Rush observes the correct nodes' round messages; on the first round
+// containing Poll messages it extracts the polled members and fires.
+func (n *cornerNode) Rush(ctx simnet.Context, round int, correctSends []simnet.Envelope) {
+	if !n.rushing || n.fired {
+		return
+	}
+	var observed []int
+	for _, e := range correctSends {
+		if _, ok := e.Msg.(core.MsgPoll); ok {
+			observed = append(observed, e.To)
+		}
+	}
+	if len(observed) == 0 {
+		return
+	}
+	n.fire(ctx, observed)
+}
+
+func (n *cornerNode) Deliver(ctx simnet.Context, from simnet.NodeID, m simnet.Message) {
+	// Corner nodes also refuse to relay gstring traffic (they are counted
+	// in quorums but contribute nothing).
+}
+
+// fire issues the budget-burning pull request. targets lists node IDs
+// observed to serve on honest poll lists (rushing) or nil for the static
+// variant.
+func (n *cornerNode) fire(ctx simnet.Context, targets []int) {
+	n.fired = true
+	src := rng(n.env, "corner", n.id)
+
+	hit := make(map[int]int, len(targets))
+	for _, w := range targets {
+		hit[w]++
+	}
+
+	// Search the label space for the poll list maximizing overlap with the
+	// targets (weighted by how many honest verifications each target
+	// serves). Without targets, any label works — the request still
+	// consumes one budget unit at each of its d poll-list members.
+	bestLabel := src.Uint64() % n.env.Params.Labels
+	if len(hit) > 0 {
+		bestScore := -1
+		for try := 0; try < n.tries; try++ {
+			r := src.Uint64() % n.env.Params.Labels
+			score := 0
+			for _, w := range n.env.Smp.J.List(n.id, r) {
+				score += hit[w]
+			}
+			if score > bestScore {
+				bestScore = score
+				bestLabel = r
+			}
+		}
+	}
+
+	// The request is indistinguishable from an honest verification of
+	// gstring: Poll to J(b, r), Pull to H(gstring, b). Correct proxies
+	// forward it because the string matches their belief.
+	for _, w := range n.env.Smp.J.List(n.id, bestLabel) {
+		ctx.Send(w, core.MsgPoll{S: n.env.GString, R: bestLabel})
+	}
+	for _, y := range dedupe(n.env.Smp.H.Quorum(n.env.GString, n.id)) {
+		ctx.Send(y, core.MsgPull{S: n.env.GString, R: bestLabel})
+	}
+}
+
+func dedupe(ids []int) []int {
+	sort.Ints(ids)
+	out := ids[:0]
+	for i, v := range ids {
+		if i == 0 || ids[i-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package adversary
+
+import (
+	"github.com/fastba/fastba/internal/bitstring"
+	"github.com/fastba/fastba/internal/core"
+	"github.com/fastba/fastba/internal/simnet"
+)
+
+// Flood is the push-phase flooding adversary: every Byzantine node sprays
+// Strings bogus candidates at Fanout random correct nodes each, and fires
+// garbage Pull requests. §3.1.1: "the adversary cannot increase the
+// communication complexity of this phase by sending many candidate strings
+// to all nodes" — the experiments verify that correct nodes' sent bits and
+// candidate lists stay flat under this attack (Lemmas 3–4).
+type Flood struct {
+	// Strings is the number of distinct bogus strings per Byzantine node
+	// (default 8).
+	Strings int
+	// Fanout is how many nodes each bogus string is pushed to (default:
+	// the whole system).
+	Fanout int
+}
+
+// Name implements Strategy.
+func (f Flood) Name() string { return "flood" }
+
+// New implements Strategy.
+func (f Flood) New(env Env, id int) simnet.Node {
+	strings := f.Strings
+	if strings <= 0 {
+		strings = 8
+	}
+	fanout := f.Fanout
+	if fanout <= 0 || fanout > env.Params.N {
+		fanout = env.Params.N
+	}
+	return &floodNode{env: env, id: id, strings: strings, fanout: fanout}
+}
+
+type floodNode struct {
+	env     Env
+	id      int
+	strings int
+	fanout  int
+}
+
+func (n *floodNode) Init(ctx simnet.Context) {
+	src := rng(n.env, "flood", n.id)
+	for k := 0; k < n.strings; k++ {
+		bogus := bitstring.Random(src, n.env.Params.StringBits)
+		// Spray the bogus candidate at fanout nodes regardless of quorum
+		// membership — the Push Quorum filter must discard almost all of
+		// these on arrival.
+		for i := 0; i < n.fanout; i++ {
+			ctx.Send(src.Intn(n.env.Params.N), core.MsgPush{S: bogus})
+		}
+		// Garbage pull traffic: correct proxies must refuse to amplify it
+		// (the s = s_y filter of Algorithm 2).
+		for _, y := range n.env.Smp.H.Quorum(bogus, n.id) {
+			ctx.Send(y, core.MsgPull{S: bogus, R: src.Uint64() % n.env.Params.Labels})
+		}
+	}
+}
+
+func (n *floodNode) Deliver(ctx simnet.Context, from simnet.NodeID, m simnet.Message) {
+	// Echo-flood: answer any poll with a bogus answer; correct nodes must
+	// reject answers from outside their poll lists or with wrong labels.
+	if poll, ok := m.(core.MsgPoll); ok {
+		ctx.Send(from, core.MsgAnswer{S: poll.S, R: poll.R + 1})
+	}
+}

@@ -1,0 +1,167 @@
+// Package ae implements the almost-everywhere agreement substrate that the
+// paper composes with AER to obtain the full Byzantine Agreement protocol
+// BA (§1: "Composed with an almost-everywhere agreement protocol (along the
+// lines of [KSSV06]) ... this yields the most effective protocol for
+// Byzantine Agreement to date").
+//
+// The protocol is a synchronous committee tree in the spirit of KSSV06:
+//
+//  1. Committees are selected by the shared sampler (a keyed pseudorandom
+//     permutation of each range) — the same common-knowledge assumption AER
+//     already makes for I, H and J. With a non-adaptive adversary, every
+//     committee is good-majority w.h.p.
+//  2. The root committee generates gstring: every member broadcasts a
+//     random bin choice plus a private random segment (one message);
+//     members then run Feige's lightest-bin election — the members that
+//     chose the least-loaded bin are elected — and gstring is the
+//     concatenation of the elected members' segments in ID order. Because
+//     the adversary cannot overpopulate the lightest bin (overloading a bin
+//     stops it from being lightest), its elected share stays proportional,
+//     so a ≥ 2/3+ε fraction of gstring's bits is uniformly random — exactly
+//     the randomness precondition AER places on gstring (§3.1).
+//  3. gstring descends the tree: each committee's members send the value
+//     they hold to the members of the two child committees, which adopt the
+//     majority of what they received; leaf committees finally fan the value
+//     out to every node of their range.
+//
+// Byzantine members may stay silent or equivocate arbitrarily (the Poison
+// strategy sends per-target garbage); committees where they reach a
+// majority poison their whole subtree — that is precisely the
+// O(log⁻¹ n)-fraction of unknowing nodes that "almost everywhere" permits,
+// and it is what the experiment harness measures.
+//
+// The protocol is synchronous (it acts on simnet round boundaries via the
+// Ticker interface), matching KSSV06; the paper leaves asynchronous
+// almost-everywhere agreement as future work (§5).
+package ae
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/fastba/fastba/internal/prng"
+)
+
+// Params configures the committee tree.
+type Params struct {
+	// N is the system size.
+	N int
+	// CommitteeSize is m, the number of members per committee.
+	CommitteeSize int
+	// Bins is the number of buckets in the lightest-bin election
+	// (Feige suggests ~√m; DefaultParams uses max(2, √m)).
+	Bins int
+	// StringBits is the length of the generated gstring.
+	StringBits int
+	// Seed keys committee selection (public, like the AER samplers).
+	Seed uint64
+}
+
+// DefaultParams mirrors core.DefaultParams geometry: committees of
+// max(12, 3·⌈log₂ n⌉) members and a 4·⌈log₂ n⌉-bit string.
+func DefaultParams(n int) Params {
+	lg := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		lg++
+	}
+	if lg == 0 {
+		lg = 1
+	}
+	m := 3 * lg
+	if m < 12 {
+		m = 12
+	}
+	if m > n {
+		m = n
+	}
+	bins := 2
+	for bins*bins < m {
+		bins++
+	}
+	return Params{N: n, CommitteeSize: m, Bins: bins, StringBits: 4 * lg, Seed: 0x5eed}
+}
+
+// Validate reports whether the parameters are consistent.
+func (p Params) Validate() error {
+	switch {
+	case p.N <= 1:
+		return fmt.Errorf("ae: N = %d too small", p.N)
+	case p.CommitteeSize <= 0 || p.CommitteeSize > p.N:
+		return fmt.Errorf("ae: CommitteeSize = %d out of range", p.CommitteeSize)
+	case p.Bins < 2:
+		return fmt.Errorf("ae: Bins = %d too small", p.Bins)
+	case p.StringBits <= 0:
+		return fmt.Errorf("ae: StringBits must be positive")
+	}
+	return nil
+}
+
+// Tree is the committee structure: level k holds 2^k committees; committee
+// (k, j) is drawn from the contiguous range of nodes it supervises. Depth
+// is the largest D with n/2^D ≥ 2·CommitteeSize, so leaf ranges comfortably
+// contain their committees.
+type Tree struct {
+	p     Params
+	depth int
+}
+
+// NewTree builds the committee structure for the given parameters.
+func NewTree(p Params) (*Tree, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	depth := 0
+	for (p.N >> (depth + 1)) >= 2*p.CommitteeSize {
+		depth++
+	}
+	return &Tree{p: p, depth: depth}, nil
+}
+
+// Depth returns the number of levels below the root.
+func (t *Tree) Depth() int { return t.depth }
+
+// Range returns the node range [lo, hi) supervised by committee (level, idx).
+func (t *Tree) Range(level, idx int) (lo, hi int) {
+	count := 1 << level
+	lo = idx * t.p.N / count
+	hi = (idx + 1) * t.p.N / count
+	return lo, hi
+}
+
+// Committee returns the members of committee (level, idx): a pseudorandom
+// sample of CommitteeSize nodes from its range, chosen by the shared seed.
+func (t *Tree) Committee(level, idx int) []int {
+	lo, hi := t.Range(level, idx)
+	size := hi - lo
+	m := t.p.CommitteeSize
+	if m > size {
+		m = size
+	}
+	perm := prng.NewPerm(size, prng.DeriveKey(t.p.Seed, "ae/committee", uint64(level)<<32|uint64(idx)))
+	out := make([]int, m)
+	for i := range out {
+		out[i] = lo + perm.Apply(i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Memberships returns every (level, idx) pair whose committee contains id.
+func (t *Tree) Memberships(id int) []CommitteeID {
+	var out []CommitteeID
+	for level := 0; level <= t.depth; level++ {
+		idx := id * (1 << level) / t.p.N
+		for _, member := range t.Committee(level, idx) {
+			if member == id {
+				out = append(out, CommitteeID{Level: level, Index: idx})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// CommitteeID names one committee.
+type CommitteeID struct {
+	Level, Index int
+}

@@ -1,0 +1,246 @@
+package ae
+
+import (
+	"testing"
+
+	"github.com/fastba/fastba/internal/prng"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	for _, n := range []int{16, 64, 256, 1000, 4096} {
+		if err := DefaultParams(n).Validate(); err != nil {
+			t.Errorf("DefaultParams(%d): %v", n, err)
+		}
+	}
+}
+
+func TestParamsValidateErrors(t *testing.T) {
+	base := DefaultParams(64)
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"tiny N", func(p *Params) { p.N = 1 }},
+		{"zero committee", func(p *Params) { p.CommitteeSize = 0 }},
+		{"committee over N", func(p *Params) { p.CommitteeSize = p.N + 1 }},
+		{"one bin", func(p *Params) { p.Bins = 1 }},
+		{"zero bits", func(p *Params) { p.StringBits = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := base
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestTreeRangesPartition(t *testing.T) {
+	tree, err := NewTree(DefaultParams(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for level := 0; level <= tree.Depth(); level++ {
+		covered := 0
+		prevHi := 0
+		for idx := 0; idx < 1<<level; idx++ {
+			lo, hi := tree.Range(level, idx)
+			if lo != prevHi {
+				t.Fatalf("level %d: range %d starts at %d, want %d", level, idx, lo, prevHi)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != 1000 {
+			t.Fatalf("level %d covers %d nodes", level, covered)
+		}
+	}
+}
+
+func TestTreeCommitteeProperties(t *testing.T) {
+	p := DefaultParams(512)
+	tree, err := NewTree(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() < 1 {
+		t.Fatalf("depth %d too shallow for n=512", tree.Depth())
+	}
+	for level := 0; level <= tree.Depth(); level++ {
+		for idx := 0; idx < 1<<level; idx++ {
+			members := tree.Committee(level, idx)
+			if len(members) != p.CommitteeSize {
+				t.Fatalf("committee (%d,%d) has %d members", level, idx, len(members))
+			}
+			lo, hi := tree.Range(level, idx)
+			seen := map[int]bool{}
+			for _, m := range members {
+				if m < lo || m >= hi {
+					t.Fatalf("member %d outside range [%d,%d)", m, lo, hi)
+				}
+				if seen[m] {
+					t.Fatalf("duplicate member %d in committee (%d,%d)", m, level, idx)
+				}
+				seen[m] = true
+			}
+		}
+	}
+}
+
+func TestMembershipsConsistent(t *testing.T) {
+	tree, err := NewTree(DefaultParams(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every committee's members list the committee among their memberships.
+	for level := 0; level <= tree.Depth(); level++ {
+		for idx := 0; idx < 1<<level; idx++ {
+			for _, m := range tree.Committee(level, idx) {
+				found := false
+				for _, cid := range tree.Memberships(m) {
+					if cid.Level == level && cid.Index == idx {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("node %d does not list committee (%d,%d)", m, level, idx)
+				}
+			}
+		}
+	}
+}
+
+func TestRunNoFaults(t *testing.T) {
+	p := DefaultParams(256)
+	res, err := Run(p, 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GString.IsZero() {
+		t.Fatal("no ground-truth gstring produced")
+	}
+	if res.GString.Len() != p.StringBits {
+		t.Fatalf("gstring has %d bits, want %d", res.GString.Len(), p.StringBits)
+	}
+	if res.KnowFrac != 1.0 {
+		t.Fatalf("KnowFrac = %v without faults, want 1.0", res.KnowFrac)
+	}
+}
+
+func TestRunGStringIsBalanced(t *testing.T) {
+	// The elected segments are uniform, so across several runs the bit
+	// balance must hover around 1/2.
+	ones, total := 0, 0
+	for seed := uint64(1); seed <= 10; seed++ {
+		res, err := Run(DefaultParams(128), seed, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ones += res.GString.Ones()
+		total += res.GString.Len()
+	}
+	frac := float64(ones) / float64(total)
+	if frac < 0.35 || frac > 0.65 {
+		t.Fatalf("gstring bit balance %.3f; generation badly biased", frac)
+	}
+}
+
+func TestRunGStringVariesAcrossSeeds(t *testing.T) {
+	a, err := Run(DefaultParams(128), 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(DefaultParams(128), 2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.GString.Equal(b.GString) {
+		t.Fatal("gstring identical across seeds")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(DefaultParams(128), 7, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(DefaultParams(128), 7, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.GString.Equal(b.GString) || a.KnowFrac != b.KnowFrac {
+		t.Fatal("run not deterministic")
+	}
+}
+
+func corruptMask(n int, frac float64, seed uint64) []bool {
+	src := prng.New(seed)
+	mask := make([]bool, n)
+	for count := 0; count < int(frac*float64(n)); {
+		id := src.Intn(n)
+		if !mask[id] {
+			mask[id] = true
+			count++
+		}
+	}
+	return mask
+}
+
+func TestRunWithSilentByzantine(t *testing.T) {
+	p := DefaultParams(256)
+	res, err := Run(p, 3, corruptMask(256, 0.1, 99), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GString.IsZero() {
+		t.Fatal("silent minority killed the election")
+	}
+	if res.KnowFrac < 0.75 {
+		t.Fatalf("KnowFrac = %v below the 3/4 AER precondition", res.KnowFrac)
+	}
+}
+
+func TestRunWithPoisonByzantine(t *testing.T) {
+	p := DefaultParams(256)
+	mask := corruptMask(256, 0.1, 99)
+	mkByz, err := Poison(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, 3, mask, mkByz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GString.IsZero() {
+		t.Fatal("poison minority killed the election entirely")
+	}
+	// Almost-everywhere: the poisoner may cost some nodes but must leave
+	// well over 3/4 of correct nodes knowledgeable.
+	if res.KnowFrac < 0.75 {
+		t.Fatalf("KnowFrac = %v under poison; below AER precondition", res.KnowFrac)
+	}
+}
+
+func TestRunCommunicationPolylogPerNode(t *testing.T) {
+	// Per-node mean bits must grow far slower than n.
+	r128, err := Run(DefaultParams(128), 5, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r512, err := Run(DefaultParams(512), 5, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := r512.Metrics.MeanSentBits() / r128.Metrics.MeanSentBits()
+	if ratio > 3 {
+		t.Fatalf("mean bits grew %.2fx for 4x nodes", ratio)
+	}
+}
+
+func TestRunRejectsBadMask(t *testing.T) {
+	if _, err := Run(DefaultParams(64), 1, make([]bool, 63), nil); err == nil {
+		t.Fatal("mismatched corrupt mask accepted")
+	}
+}

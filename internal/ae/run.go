@@ -1,0 +1,186 @@
+package ae
+
+import (
+	"fmt"
+
+	"github.com/fastba/fastba/internal/bitstring"
+	"github.com/fastba/fastba/internal/prng"
+	"github.com/fastba/fastba/internal/simnet"
+)
+
+// Result summarizes one almost-everywhere run.
+type Result struct {
+	// GString is the ground-truth global string: the strict-majority
+	// election outcome among correct root-committee members (zero if they
+	// diverged — a failed run).
+	GString bitstring.String
+	// Beliefs holds every node's final belief (zero = unknowing);
+	// Byzantine positions carry whatever the run left there and are
+	// ignored by the statistics.
+	Beliefs []bitstring.String
+	// KnowFrac is the fraction of correct nodes whose belief equals
+	// GString — the "almost everywhere" guarantee (paper: ≥ 3/4 of correct
+	// nodes are needed by AER; KSSV06 gives 1 − O(1/log n)).
+	KnowFrac float64
+	// Metrics is the communication metering of the run.
+	Metrics *simnet.Metrics
+}
+
+// Run executes the committee-tree protocol over the synchronous runner.
+// corrupt marks Byzantine nodes; mkByz builds them (nil = silent). The
+// returned Result feeds core.Scenario via BeliefScenario-style assembly in
+// the public API.
+func Run(p Params, seed uint64, corrupt []bool, mkByz func(id int) simnet.Node) (*Result, error) {
+	tree, err := NewTree(p)
+	if err != nil {
+		return nil, err
+	}
+	if corrupt == nil {
+		corrupt = make([]bool, p.N)
+	}
+	if len(corrupt) != p.N {
+		return nil, fmt.Errorf("ae: corrupt mask has %d entries for n=%d", len(corrupt), p.N)
+	}
+
+	nodes := make([]simnet.Node, p.N)
+	correct := make([]*Node, p.N)
+	for id := 0; id < p.N; id++ {
+		if corrupt[id] {
+			if mkByz != nil {
+				nodes[id] = mkByz(id)
+			} else {
+				nodes[id] = silent{}
+			}
+			continue
+		}
+		n := NewNode(id, p, tree, prng.New(prng.DeriveKey(seed, "ae/node", uint64(id))))
+		nodes[id] = n
+		correct[id] = n
+	}
+
+	metrics := simnet.NewSync(nodes, corrupt).Run(tree.Depth() + 4)
+
+	res := &Result{Beliefs: make([]bitstring.String, p.N), Metrics: metrics}
+
+	// Ground truth: strict majority among correct root members' election
+	// outcomes.
+	counts := make(map[string]bitstring.String)
+	tally := make(map[string]int)
+	rootCorrect := 0
+	for _, id := range tree.Committee(0, 0) {
+		n := correct[id]
+		if n == nil {
+			continue
+		}
+		rootCorrect++
+		if n.rootValue.IsZero() {
+			continue
+		}
+		k := n.rootValue.Key()
+		counts[k] = n.rootValue
+		tally[k]++
+	}
+	for k, c := range tally {
+		if 2*c > rootCorrect {
+			res.GString = counts[k]
+		}
+	}
+
+	knowing, correctCount := 0, 0
+	for id := 0; id < p.N; id++ {
+		n := correct[id]
+		if n == nil {
+			continue
+		}
+		correctCount++
+		res.Beliefs[id] = n.Belief()
+		if !res.GString.IsZero() && n.Belief().Equal(res.GString) {
+			knowing++
+		}
+	}
+	if correctCount > 0 {
+		res.KnowFrac = float64(knowing) / float64(correctCount)
+	}
+	return res, nil
+}
+
+type silent struct{}
+
+func (silent) Init(simnet.Context)                                   {}
+func (silent) Deliver(simnet.Context, simnet.NodeID, simnet.Message) {}
+
+// Poison returns a Byzantine maker for the AE protocol: members equivocate
+// in the election (per-target different bins and segments) and inject
+// per-target garbage values into every committee they sit in, attempting to
+// poison subtrees.
+func Poison(p Params, seed uint64) (func(id int) simnet.Node, error) {
+	tree, err := NewTree(p)
+	if err != nil {
+		return nil, err
+	}
+	return func(id int) simnet.Node {
+		return &poisonNode{
+			id:   id,
+			p:    p,
+			tree: tree,
+			rng:  prng.New(prng.DeriveKey(seed, "ae/poison", uint64(id))),
+		}
+	}, nil
+}
+
+type poisonNode struct {
+	id   int
+	p    Params
+	tree *Tree
+	rng  *prng.Source
+}
+
+var _ simnet.Ticker = (*poisonNode)(nil)
+
+func (n *poisonNode) Init(ctx simnet.Context) {
+	root := CommitteeID{Level: 0, Index: 0}
+	for _, cid := range n.tree.Memberships(n.id) {
+		if cid == root {
+			// Equivocate: a different announcement per peer.
+			for _, peer := range n.tree.Committee(0, 0) {
+				ctx.Send(peer, MsgElect{
+					Bin: uint32(n.rng.Intn(n.p.Bins)),
+					Seg: bitstring.Random(n.rng, n.p.StringBits),
+				})
+			}
+		}
+	}
+}
+
+func (n *poisonNode) Deliver(simnet.Context, simnet.NodeID, simnet.Message) {}
+
+func (n *poisonNode) OnRoundEnd(ctx simnet.Context, round int) {
+	// Wherever the schedule would have us forward, send garbage instead —
+	// per-target different strings to maximize divergence downstream.
+	depth := n.tree.Depth()
+	for _, cid := range n.tree.Memberships(n.id) {
+		if cid.Level+1 != round {
+			continue
+		}
+		if cid.Level == depth {
+			lo, hi := n.tree.Range(cid.Level, cid.Index)
+			for node := lo; node < hi; node++ {
+				ctx.Send(node, MsgValue{
+					Level: int32(depth + 1),
+					Index: int32(cid.Index),
+					S:     bitstring.Random(n.rng, n.p.StringBits),
+				})
+			}
+			continue
+		}
+		for childIdx := 2 * cid.Index; childIdx <= 2*cid.Index+1; childIdx++ {
+			for _, member := range n.tree.Committee(cid.Level+1, childIdx) {
+				ctx.Send(member, MsgValue{
+					Level: int32(cid.Level + 1),
+					Index: int32(childIdx),
+					S:     bitstring.Random(n.rng, n.p.StringBits),
+				})
+			}
+		}
+	}
+}

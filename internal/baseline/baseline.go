@@ -1,0 +1,100 @@
+// Package baseline implements the comparison protocols of Figure 1:
+//
+//   - KLST11: a stylized *load-balanced* almost-everywhere-to-everywhere
+//     protocol in the lineage of KS09/KLST11: every node queries Õ(√n)
+//     uniformly random peers for their candidate and adopts the majority
+//     reply. It preserves the baseline's defining costs — Õ(√n) bits per
+//     node, constant rounds, load-balance (max ≈ mean) — which is what the
+//     Figure 1(a) comparison is about. (The real KLST11 builds quorum
+//     towers to achieve the same bound against worst-case adversaries; see
+//     DESIGN.md for the substitution note.)
+//   - Flood: the trivial everyone-broadcasts-to-everyone protocol —
+//     Θ(n) bits per node, one round; the Θ(n²)-total-bits yardstick.
+//   - Rabin: a Rabin'83/PR10-class randomized agreement with a trusted
+//     common coin and all-to-all voting rounds: expected O(1) rounds,
+//     Θ(n log n) bits per node (Θ(n² log n) total), tolerating t < n/4 —
+//     the quadratic-communication class in Figure 1(b).
+//
+// All baselines run on the same core.Scenario populations as AER so
+// communication and time are directly comparable, with silent Byzantine
+// nodes (the baselines are yardsticks for cost, not attack surfaces).
+package baseline
+
+import (
+	"github.com/fastba/fastba/internal/bitstring"
+	"github.com/fastba/fastba/internal/core"
+	"github.com/fastba/fastba/internal/simnet"
+)
+
+// Outcome mirrors core.Outcome for baseline runs.
+type Outcome struct {
+	Correct       int
+	Decided       int
+	DecidedG      int
+	DecidedOther  int
+	MaxDecisionAt int
+}
+
+// Agreement reports whether every correct node decided on gstring.
+func (o Outcome) Agreement() bool {
+	return o.Decided == o.Correct && o.DecidedG == o.Decided
+}
+
+// Result bundles a baseline run's outcome with its communication metering.
+type Result struct {
+	Outcome Outcome
+	Metrics *simnet.Metrics
+}
+
+// decider is the common read-out interface of baseline nodes.
+type decider interface {
+	Decided() (bitstring.String, bool)
+	DecidedAt() int
+}
+
+func evaluate(nodes []simnet.Node, corrupt []bool, gstring bitstring.String) Outcome {
+	var o Outcome
+	for id, n := range nodes {
+		if corrupt[id] {
+			continue
+		}
+		d, ok := n.(decider)
+		if !ok {
+			continue
+		}
+		o.Correct++
+		v, decided := d.Decided()
+		if !decided {
+			continue
+		}
+		o.Decided++
+		if v.Equal(gstring) {
+			o.DecidedG++
+		} else {
+			o.DecidedOther++
+		}
+		if at := d.DecidedAt(); at > o.MaxDecisionAt {
+			o.MaxDecisionAt = at
+		}
+	}
+	return o
+}
+
+type silent struct{}
+
+func (silent) Init(simnet.Context)                                   {}
+func (silent) Deliver(simnet.Context, simnet.NodeID, simnet.Message) {}
+
+// buildNodes assembles a baseline node vector over the scenario's
+// population, with silent Byzantine slots.
+func buildNodes(sc *core.Scenario, mk func(id int, initial bitstring.String) simnet.Node) []simnet.Node {
+	nodes := make([]simnet.Node, sc.Params.N)
+	for id := 0; id < sc.Params.N; id++ {
+		if sc.Corrupt[id] {
+			nodes[id] = silent{}
+			continue
+		}
+		nodes[id] = mk(id, sc.Initial[id])
+	}
+	return nodes
+}

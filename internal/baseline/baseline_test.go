@@ -1,0 +1,150 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fastba/fastba/internal/core"
+)
+
+func scenario(t *testing.T, n int, seed uint64) *core.Scenario {
+	t.Helper()
+	sc, err := core.NewScenario(core.DefaultParams(n), seed, core.TestingScenarioConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestKLST11Agreement(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		res := RunKLST11(scenario(t, 128, seed))
+		if !res.Outcome.Agreement() {
+			t.Fatalf("seed %d: no agreement: %+v", seed, res.Outcome)
+		}
+		if res.Outcome.MaxDecisionAt > 2 {
+			t.Fatalf("seed %d: decided at round %d, want ≤ 2", seed, res.Outcome.MaxDecisionAt)
+		}
+	}
+}
+
+func TestKLST11FanoutScalesAsRootN(t *testing.T) {
+	// Õ(√n): fanout(4n)/fanout(n) ≈ 2 up to the log factor.
+	f256, f1024 := KLST11Fanout(256), KLST11Fanout(1024)
+	ratio := float64(f1024) / float64(f256)
+	if ratio < 1.8 || ratio > 3.2 {
+		t.Fatalf("fanout ratio %v for 4x nodes; want ≈ 2-2.5", ratio)
+	}
+	if f := KLST11Fanout(4); f > 3 {
+		t.Fatalf("fanout %d exceeds n-1 for n=4", f)
+	}
+}
+
+func TestKLST11IsLoadBalanced(t *testing.T) {
+	// Figure 1(a) "Load-Balanced: Yes": the max/mean sent-bits ratio stays
+	// close to 1.
+	res := RunKLST11(scenario(t, 256, 5))
+	maxBits := float64(res.Metrics.MaxSentBits())
+	meanBits := res.Metrics.MeanSentBits()
+	if maxBits/meanBits > 2.5 {
+		t.Fatalf("load imbalance %v; baseline should be balanced", maxBits/meanBits)
+	}
+}
+
+func TestKLST11BitsScaleAsRootN(t *testing.T) {
+	r64 := RunKLST11(scenario(t, 64, 7))
+	r1024 := RunKLST11(scenario(t, 1024, 7))
+	ratio := r1024.Metrics.MeanSentBits() / r64.Metrics.MeanSentBits()
+	// √(1024/64) = 4, times log factor 10/6 ≈ 1.7 → ≈ 6.7; far below the
+	// 16x a linear protocol would show.
+	if ratio > 12 {
+		t.Fatalf("mean bits grew %.1fx for 16x nodes; not Õ(√n)", ratio)
+	}
+	if ratio < 2 {
+		t.Fatalf("mean bits grew only %.1fx; fanout not scaling", ratio)
+	}
+}
+
+func TestFloodAgreementOneRound(t *testing.T) {
+	res := RunFlood(scenario(t, 128, 3))
+	if !res.Outcome.Agreement() {
+		t.Fatalf("flood failed: %+v", res.Outcome)
+	}
+	if res.Outcome.MaxDecisionAt != 1 {
+		t.Fatalf("flood decided at round %d, want 1", res.Outcome.MaxDecisionAt)
+	}
+}
+
+func TestFloodBitsLinearPerNode(t *testing.T) {
+	r64 := RunFlood(scenario(t, 64, 3))
+	r256 := RunFlood(scenario(t, 256, 3))
+	ratio := r256.Metrics.MeanSentBits() / r64.Metrics.MeanSentBits()
+	if math.Abs(ratio-4) > 1.2 {
+		t.Fatalf("flood mean bits grew %.2fx for 4x nodes; want ≈ 4x", ratio)
+	}
+}
+
+func TestRabinAgreementFast(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		res := RunRabin(scenario(t, 96, seed), 0)
+		if !res.Outcome.Agreement() {
+			t.Fatalf("seed %d: rabin failed: %+v", seed, res.Outcome)
+		}
+		if res.Outcome.MaxDecisionAt > 3 {
+			t.Fatalf("seed %d: rabin took %d rounds with a strong majority", seed, res.Outcome.MaxDecisionAt)
+		}
+	}
+}
+
+func TestRabinBitsQuadraticTotal(t *testing.T) {
+	r64 := RunRabin(scenario(t, 64, 5), 0)
+	r256 := RunRabin(scenario(t, 256, 5), 0)
+	ratio := float64(r256.Metrics.TotalSentBits()) / float64(r64.Metrics.TotalSentBits())
+	// Θ(n²·|s|) with |s| = Θ(log n): 16x from n², ~1.3x from the string.
+	if ratio < 10 || ratio > 40 {
+		t.Fatalf("rabin total bits grew %.1fx for 4x nodes; want ≈ 16-24x", ratio)
+	}
+}
+
+func TestAERGrowsSlowerThanFlood(t *testing.T) {
+	// The reproducible shape of Figure 1 at simulation scale is the growth
+	// *rate*: AER's per-node bits are polylog (≈ log⁴ n with this
+	// implementation's constants — see EXPERIMENTS.md), so quadrupling n
+	// must grow them far less than the ≈ 4x of the Θ(n)-per-node flood.
+	// The absolute crossover sits beyond simulatable n — exactly why the
+	// paper's evaluation is analytic.
+	if testing.Short() {
+		t.Skip("cross-protocol comparison")
+	}
+	aerBits := func(n int) float64 {
+		sc := scenario(t, n, 9)
+		nodes, correct := sc.Build(nil)
+		m := simnetSyncRun(nodes, sc)
+		if o := core.Evaluate(correct, sc.GString); !o.Agreement() {
+			t.Fatalf("AER failed at n=%d: %+v", n, o)
+		}
+		return m.MeanSentBits()
+	}
+	aerRatio := aerBits(384) / aerBits(96)
+	floodRatio := RunFlood(scenario(t, 384, 9)).Metrics.MeanSentBits() /
+		RunFlood(scenario(t, 96, 9)).Metrics.MeanSentBits()
+	if aerRatio >= floodRatio {
+		t.Fatalf("AER per-node bits grew %.2fx for 4x nodes vs flood's %.2fx; polylog shape lost",
+			aerRatio, floodRatio)
+	}
+	if aerRatio > 3.2 {
+		t.Fatalf("AER per-node bits grew %.2fx for 4x nodes; exceeds polylog envelope", aerRatio)
+	}
+}
+
+func TestOutcomeAgreementHelper(t *testing.T) {
+	o := Outcome{Correct: 3, Decided: 3, DecidedG: 3}
+	if !o.Agreement() {
+		t.Fatal("full agreement not recognized")
+	}
+	o.DecidedG = 2
+	o.DecidedOther = 1
+	if o.Agreement() {
+		t.Fatal("divergent decision counted as agreement")
+	}
+}

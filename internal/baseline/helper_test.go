@@ -1,0 +1,12 @@
+package baseline
+
+import (
+	"github.com/fastba/fastba/internal/core"
+	"github.com/fastba/fastba/internal/simnet"
+)
+
+// simnetSyncRun runs an assembled AER node vector synchronously (test
+// helper shared by comparison tests).
+func simnetSyncRun(nodes []simnet.Node, sc *core.Scenario) *simnet.Metrics {
+	return simnet.NewSync(nodes, sc.Corrupt).Run(60)
+}

@@ -1,0 +1,32 @@
+package bitstring
+
+import "testing"
+
+// FuzzFromBytes checks that arbitrary buffers either error or produce a
+// string that round-trips through Bytes/FromBytes with a stable Key.
+func FuzzFromBytes(f *testing.F) {
+	f.Add([]byte{0xff, 0x01}, 9)
+	f.Add([]byte{}, 0)
+	f.Add([]byte{0xaa}, 3)
+	f.Fuzz(func(t *testing.T, data []byte, nbits int) {
+		s, err := FromBytes(data, nbits)
+		if err != nil {
+			return
+		}
+		if s.Len() != nbits {
+			t.Fatalf("Len %d != %d", s.Len(), nbits)
+		}
+		s2, err := FromBytes(s.Bytes(), nbits)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if !s.Equal(s2) || s.Key() != s2.Key() || s.Hash64() != s2.Hash64() {
+			t.Fatal("round trip not stable")
+		}
+		for i := 0; i < s.Len(); i++ {
+			if b := s.Bit(i); b > 1 {
+				t.Fatalf("Bit(%d) = %d", i, b)
+			}
+		}
+	})
+}

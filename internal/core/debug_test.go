@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/fastba/fastba/internal/simnet"
+)
+
+// TestDebugStuckNode diagnoses why a node fails to decide (temporary
+// diagnostic; assertions intentionally loose).
+func TestDebugStuckNode(t *testing.T) {
+	sc, err := NewScenario(DefaultParams(96), 11, DefaultScenarioConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, correct := sc.Build(nil)
+	simnet.NewAsync(nodes, simnet.NewRandom(5)).Run()
+	for id, n := range correct {
+		if n == nil {
+			continue
+		}
+		if _, ok := n.Decided(); ok {
+			continue
+		}
+		gKey := sc.GString.Key()
+		_, hasG := n.candidates[gKey]
+		r, polled := n.pollLabels[gKey]
+		t.Logf("stuck node %d: initialIsG=%v candidates=%d hasGCandidate=%v pulledG=%v r=%d answers(g)=%d needs>%d",
+			id, sc.Initial[id].Equal(sc.GString), len(n.candidates), hasG, polled, r, len(n.answers[gKey]), sc.Params.PollSize/2)
+		if polled {
+			list := sc.Smp.J.List(id, r)
+			good, knowing := 0, 0
+			for _, w := range list {
+				if !sc.Corrupt[w] {
+					good++
+					if sc.Initial[w].Equal(sc.GString) {
+						knowing++
+					}
+				}
+			}
+			t.Logf("  poll list: %d members, %d correct, %d correct+knowledgeable", len(list), good, knowing)
+			// How many poll members got the fw2 majority for our request?
+			maj, answeredUs := 0, 0
+			for _, w := range list {
+				wn := correct[w]
+				if wn == nil {
+					continue
+				}
+				if wn.fw2Majority[xsrKey{x: id, s: gKey, r: r}] {
+					maj++
+				}
+				if wn.answered[xsKey{x: id, s: gKey}] {
+					answeredUs++
+				}
+			}
+			t.Logf("  fw2 majorities at correct poll members: %d; answered us: %d", maj, answeredUs)
+			// And the H(gstring, x) forwarding quorum?
+			hq := distinct(sc.Smp.H.Quorum(sc.GString, id))
+			fwd := 0
+			for _, y := range hq {
+				yn := correct[y]
+				if yn != nil && yn.pullForwarded[xsKey{x: id, s: gKey}] {
+					fwd++
+				}
+			}
+			t.Logf("  H(g,x): %d distinct members, %d forwarded our pull", len(hq), fwd)
+		}
+	}
+}

@@ -1,0 +1,488 @@
+package core
+
+import (
+	"github.com/fastba/fastba/internal/bitstring"
+	"github.com/fastba/fastba/internal/prng"
+	"github.com/fastba/fastba/internal/simnet"
+)
+
+// Node is a correct AER participant. It implements simnet.Node and is
+// runtime-agnostic: the same code executes under the synchronous,
+// asynchronous and goroutine runners (each runner activates a node
+// sequentially, so Node needs no internal locking).
+//
+// The implementation follows Algorithms 1–3 with two documented
+// clarifications (see DESIGN.md "Faithfulness notes"): Fw1 counters are
+// keyed per poll-list member w, and the log² n answer budget is enforced
+// uniformly in tryAnswer for both the Fw2 and the late-Poll answer paths.
+type Node struct {
+	id     int
+	params Params
+	smp    *Samplers
+	rng    *prng.Source
+
+	// sthis is the string this node currently believes to be gstring
+	// (Algorithms 2/3 "the current node believes gstring to be sthis").
+	// It starts as the initial candidate and is overwritten on decision.
+	sthis   bitstring.String
+	initial bitstring.String
+
+	hasDecided bool
+	decided    bitstring.String
+	decidedAt  int // ctx.Now() at decision time (round or causal depth)
+
+	// Push state (§3.1.1): per candidate string, the set of quorum members
+	// that pushed it; candidates is the list L_x.
+	pushRecv   map[string]map[int]bool
+	candidates map[string]bitstring.String
+
+	// Algorithm 1 state: the label r_{x,s} of each poll this node issued
+	// and the distinct answerers per candidate.
+	pollLabels map[string]uint64
+	answers    map[string]map[int]bool
+
+	// Algorithm 2 state: Pull requests already forwarded (once per (x, s)),
+	// and Fw1 vouch counters keyed by (x, s, r, w).
+	pullForwarded map[xsKey]bool
+	fw1Vouches    map[fw1Key]map[int]bool
+	fw1Done       map[xswKey]bool
+
+	// Algorithm 3 state: Fw2 counters keyed by (x, s, r), the Polled set,
+	// sent answers, the answer budget and the deferred answers flushed on
+	// decision ("Wait for has_decided"). beliefDeferred holds requests
+	// whose Fw2 majority and Poll arrived while s differed from s_this;
+	// they are answered if this node later decides s (§3.1.2 reply
+	// condition 2: "one of its pull requests was answered ... and s_w was
+	// changed accordingly").
+	fw2Vouches     map[xsrKey]map[int]bool
+	fw2Majority    map[xsrKey]bool
+	polled         map[xsKey]bool
+	answered       map[xsKey]bool
+	answerCount    int
+	deferred       []deferredAnswer
+	beliefDeferred []deferredAnswer
+	// relayDeferred holds pulls declined by the s = s_y filter, replayed on
+	// decision when Params.DeferredRelay is enabled.
+	relayDeferred []deferredPull
+
+	// Statistics surfaced to the experiment harness.
+	stats Stats
+}
+
+type (
+	xsKey struct {
+		x int
+		s string
+	}
+	xsrKey struct {
+		x int
+		s string
+		r uint64
+	}
+	xswKey struct {
+		x int
+		s string
+		w int
+	}
+	fw1Key struct {
+		x int
+		s string
+		r uint64
+		w int
+	}
+)
+
+type deferredAnswer struct {
+	x int
+	s bitstring.String
+	r uint64
+}
+
+type deferredPull struct {
+	x int
+	s bitstring.String
+	r uint64
+}
+
+// Stats exposes per-node protocol counters for the experiment harness.
+type Stats struct {
+	// CandidateListSize is |L_x| at the end of the run (Lemma 4).
+	CandidateListSize int
+	// PullsStarted counts Algorithm 1 invocations.
+	PullsStarted int
+	// PushesSent counts push-phase messages sent (Lemma 3).
+	PushesSent int
+	// AnswersSent counts Answer messages sent (budget consumption).
+	AnswersSent int
+	// AnswersDeferred counts answers deferred past the budget (Lemma 6
+	// overload events).
+	AnswersDeferred int
+}
+
+// HasCandidate reports whether s ∈ L_x — the Lemma 5 push-phase coverage
+// probe.
+func (n *Node) HasCandidate(s bitstring.String) bool {
+	_, ok := n.candidates[s.Key()]
+	return ok
+}
+
+// NewNode constructs a correct AER node. initial is the node's candidate
+// s_x (possibly the zero String for a node with no candidate); rng is the
+// node's private random source (§2.1).
+func NewNode(id int, initial bitstring.String, params Params, smp *Samplers, rng *prng.Source) *Node {
+	return &Node{
+		id:            id,
+		params:        params,
+		smp:           smp,
+		rng:           rng,
+		sthis:         initial,
+		initial:       initial,
+		pushRecv:      make(map[string]map[int]bool),
+		candidates:    make(map[string]bitstring.String),
+		pollLabels:    make(map[string]uint64),
+		answers:       make(map[string]map[int]bool),
+		pullForwarded: make(map[xsKey]bool),
+		fw1Vouches:    make(map[fw1Key]map[int]bool),
+		fw1Done:       make(map[xswKey]bool),
+		fw2Vouches:    make(map[xsrKey]map[int]bool),
+		fw2Majority:   make(map[xsrKey]bool),
+		polled:        make(map[xsKey]bool),
+		answered:      make(map[xsKey]bool),
+	}
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() int { return n.id }
+
+// Decided returns the decision, if any.
+func (n *Node) Decided() (bitstring.String, bool) { return n.decided, n.hasDecided }
+
+// DecidedAt returns the time (sync round or async causal depth) at which
+// the node decided, or -1.
+func (n *Node) DecidedAt() int {
+	if !n.hasDecided {
+		return -1
+	}
+	return n.decidedAt
+}
+
+// Believes returns the node's current belief s_this.
+func (n *Node) Believes() bitstring.String { return n.sthis }
+
+// Stats returns the protocol counters (valid after the run completes).
+func (n *Node) Stats() Stats {
+	s := n.stats
+	s.CandidateListSize = len(n.candidates)
+	return s
+}
+
+// Init implements simnet.Node: the push phase plus the pull for the node's
+// own initial candidate.
+func (n *Node) Init(ctx simnet.Context) {
+	if n.initial.IsZero() {
+		return
+	}
+	// Push s_x to the nodes x with this ∈ I(s_x, x) — exactly the
+	// O(log n) inverse-quorum members (Lemma 3).
+	for _, target := range distinct(n.smp.I.Inverse(n.initial, n.id)) {
+		ctx.Send(target, MsgPush{S: n.initial})
+		n.stats.PushesSent++
+	}
+	// The candidate list originally contains only s_x (§3.1.1, Figure 2a).
+	n.candidates[n.initial.Key()] = n.initial
+	n.startPull(ctx, n.initial)
+}
+
+// Deliver implements simnet.Node.
+func (n *Node) Deliver(ctx simnet.Context, from simnet.NodeID, m simnet.Message) {
+	switch msg := m.(type) {
+	case MsgPush:
+		n.onPush(ctx, from, msg)
+	case MsgPull:
+		n.onPull(ctx, from, msg)
+	case MsgFw1:
+		n.onFw1(ctx, from, msg)
+	case MsgFw2:
+		n.onFw2(ctx, from, msg)
+	case MsgPoll:
+		n.onPoll(ctx, from, msg)
+	case MsgAnswer:
+		n.onAnswer(ctx, from, msg)
+	}
+}
+
+// onPush adds s to the candidate list once a strict majority of the Push
+// Quorum I(s, this) has pushed it (§3.1.1). Pushes from nodes outside the
+// quorum are ignored — the filter that makes the phase impervious to
+// flooding.
+func (n *Node) onPush(ctx simnet.Context, from int, m MsgPush) {
+	if m.S.IsZero() || m.S.Len() != n.params.StringBits {
+		return // malformed candidate; only the adversary sends these
+	}
+	if !n.smp.I.Contains(m.S, n.id, from) {
+		return
+	}
+	key := m.S.Key()
+	if _, ok := n.candidates[key]; ok {
+		return
+	}
+	set := n.pushRecv[key]
+	if set == nil {
+		set = make(map[int]bool)
+		n.pushRecv[key] = set
+	}
+	set[from] = true
+	quorum := distinct(n.smp.I.Quorum(m.S, n.id))
+	if 2*len(set) > len(quorum) {
+		n.candidates[key] = m.S
+		delete(n.pushRecv, key)
+		n.startPull(ctx, m.S)
+	}
+}
+
+// startPull is Algorithm 1 for a single candidate: draw r_{x,s}, poll
+// J(x, r) and route the request through H(s, x).
+func (n *Node) startPull(ctx simnet.Context, s bitstring.String) {
+	if n.hasDecided {
+		return
+	}
+	key := s.Key()
+	if _, ok := n.pollLabels[key]; ok {
+		return
+	}
+	r := n.rng.Uint64() % n.params.Labels
+	n.pollLabels[key] = r
+	n.stats.PullsStarted++
+	for _, w := range n.smp.J.List(n.id, r) {
+		ctx.Send(w, MsgPoll{S: s, R: r})
+	}
+	for _, y := range distinct(n.smp.H.Quorum(s, n.id)) {
+		ctx.Send(y, MsgPull{S: s, R: r})
+	}
+}
+
+// onPull is the first handler of Algorithm 2: y ∈ H(s, x) forwards x's
+// request towards the Pull Quorums of the poll list J(x, r) iff s is y's
+// own believed string. Each (x, s) is forwarded at most once ("keep track
+// of senders to prevent flooding"), which caps what a Byzantine x can
+// trigger (Lemma 6: "the adversary can send pull requests at most once for
+// each node it controls").
+func (n *Node) onPull(ctx simnet.Context, from int, m MsgPull) {
+	if !n.smp.H.Contains(m.S, from, n.id) {
+		return // this ∉ H(s, x): not our request to proxy
+	}
+	if !m.S.Equal(n.sthis) {
+		if n.params.DeferredRelay && !n.hasDecided && m.S.Len() == n.params.StringBits {
+			n.relayDeferred = append(n.relayDeferred, deferredPull{x: from, s: m.S, r: m.R})
+		}
+		return
+	}
+	n.forwardPull(ctx, from, m.S, m.R)
+}
+
+// forwardPull fans x's authenticated request out to the pull quorums of its
+// poll list, once per (x, s).
+func (n *Node) forwardPull(ctx simnet.Context, x int, s bitstring.String, r uint64) {
+	k := xsKey{x: x, s: s.Key()}
+	if n.pullForwarded[k] {
+		return
+	}
+	n.pullForwarded[k] = true
+	for _, w := range n.smp.J.List(x, r) {
+		fw := MsgFw1{X: x, S: s, R: r, W: w}
+		for _, z := range distinct(n.smp.H.Quorum(s, w)) {
+			ctx.Send(z, fw)
+		}
+	}
+}
+
+// onFw1 is the second handler of Algorithm 2: z ∈ H(s, w) sends Fw2 to w
+// once a strict majority of H(s, x) has vouched for x's request.
+func (n *Node) onFw1(ctx simnet.Context, from int, m MsgFw1) {
+	if !m.S.Equal(n.sthis) {
+		return
+	}
+	if !n.smp.H.Contains(m.S, m.W, n.id) { // this ∈ H(s, w)
+		return
+	}
+	if !n.smp.H.Contains(m.S, m.X, from) { // y ∈ H(s, x)
+		return
+	}
+	if !n.smp.J.Contains(m.X, m.R, m.W) { // w ∈ J(x, r)
+		return
+	}
+	sKey := m.S.Key()
+	doneKey := xswKey{x: m.X, s: sKey, w: m.W}
+	if n.fw1Done[doneKey] {
+		return
+	}
+	vk := fw1Key{x: m.X, s: sKey, r: m.R, w: m.W}
+	set := n.fw1Vouches[vk]
+	if set == nil {
+		set = make(map[int]bool)
+		n.fw1Vouches[vk] = set
+	}
+	set[from] = true
+	quorum := distinct(n.smp.H.Quorum(m.S, m.X))
+	if 2*len(set) > len(quorum) {
+		n.fw1Done[doneKey] = true // forward only once
+		delete(n.fw1Vouches, vk)
+		ctx.Send(m.W, MsgFw2{X: m.X, S: m.S, R: m.R})
+	}
+}
+
+// onFw2 is the first handler of Algorithm 3: once a strict majority of
+// H(s, this) has forwarded x's request and x has polled us, answer —
+// subject to the overload budget and the reply conditions of §3.1.2.
+//
+// Vouches are counted for any string of valid length: the quorum majority
+// in H(s, this) is what authenticates the request. Whether this node may
+// *reply* is decided in maybeAnswer (reply conditions 2/3 of §3.1.2).
+func (n *Node) onFw2(ctx simnet.Context, from int, m MsgFw2) {
+	if m.S.Len() != n.params.StringBits {
+		return
+	}
+	if !n.smp.J.Contains(m.X, m.R, n.id) { // this ∈ J(x, r)
+		return
+	}
+	if !n.smp.H.Contains(m.S, n.id, from) { // z ∈ H(s, this)
+		return
+	}
+	sKey := m.S.Key()
+	k := xsrKey{x: m.X, s: sKey, r: m.R}
+	if n.fw2Majority[k] {
+		return
+	}
+	set := n.fw2Vouches[k]
+	if set == nil {
+		set = make(map[int]bool)
+		n.fw2Vouches[k] = set
+	}
+	set[from] = true
+	quorum := distinct(n.smp.H.Quorum(m.S, n.id))
+	if 2*len(set) <= len(quorum) {
+		return
+	}
+	n.fw2Majority[k] = true
+	delete(n.fw2Vouches, k)
+	if n.polled[xsKey{x: m.X, s: sKey}] {
+		n.maybeAnswer(ctx, m.X, m.S, m.R)
+	}
+}
+
+// onPoll is the second handler of Algorithm 3: record (x, s) in the Polled
+// set; if the Fw2 majority was already reached (the asynchronous case where
+// the Poll overtakes the routed request) answer immediately.
+func (n *Node) onPoll(ctx simnet.Context, from int, m MsgPoll) {
+	if !n.smp.J.Contains(from, m.R, n.id) {
+		return
+	}
+	sKey := m.S.Key()
+	n.polled[xsKey{x: from, s: sKey}] = true
+	if n.fw2Majority[xsrKey{x: from, s: sKey, r: m.R}] {
+		n.maybeAnswer(ctx, from, m.S, m.R)
+	}
+}
+
+// maybeAnswer applies the reply conditions of §3.1.2: a node holding s
+// (knowledgeable, or decided — condition 2) answers subject to the budget
+// (condition 3); a node that does not hold s keeps the authenticated
+// request pending and answers it if a future decision changes s_this to s.
+func (n *Node) maybeAnswer(ctx simnet.Context, x int, s bitstring.String, r uint64) {
+	if s.Equal(n.sthis) {
+		n.tryAnswer(ctx, x, s, r)
+		return
+	}
+	n.beliefDeferred = append(n.beliefDeferred, deferredAnswer{x: x, s: s, r: r})
+}
+
+// tryAnswer sends Answer(s) to x unless the answer budget is exhausted, in
+// which case the answer is deferred until this node decides (Algorithm 3:
+// "Wait for has_decided"). Each (x, s) is answered at most once.
+func (n *Node) tryAnswer(ctx simnet.Context, x int, s bitstring.String, r uint64) {
+	k := xsKey{x: x, s: s.Key()}
+	if n.answered[k] {
+		return
+	}
+	if n.params.AnswerBudget > 0 && n.answerCount >= n.params.AnswerBudget && !n.hasDecided {
+		n.stats.AnswersDeferred++
+		n.deferred = append(n.deferred, deferredAnswer{x: x, s: s, r: r})
+		return
+	}
+	n.answered[k] = true
+	n.answerCount++
+	n.stats.AnswersSent++
+	ctx.Send(x, MsgAnswer{S: s, R: r})
+}
+
+// onAnswer counts answers from distinct poll-list members and decides on s
+// upon a strict majority (end of Algorithm 1).
+func (n *Node) onAnswer(ctx simnet.Context, from int, m MsgAnswer) {
+	if n.hasDecided {
+		return
+	}
+	sKey := m.S.Key()
+	r, ok := n.pollLabels[sKey]
+	if !ok || r != m.R {
+		return // not a poll we issued
+	}
+	if !n.smp.J.Contains(n.id, r, from) {
+		return // answerer is not on the authoritative poll list
+	}
+	set := n.answers[sKey]
+	if set == nil {
+		set = make(map[int]bool)
+		n.answers[sKey] = set
+	}
+	if set[from] {
+		return // "w hasn't sent another Answer(s) message yet"
+	}
+	set[from] = true
+	if 2*len(set) > n.params.PollSize {
+		n.decide(ctx, m.S)
+	}
+}
+
+// decide fixes the output, updates s_this (Algorithm 3 condition 2: "sw
+// was changed accordingly") and flushes both kinds of deferred answers:
+// those held back by the budget and those awaiting this belief change.
+func (n *Node) decide(ctx simnet.Context, s bitstring.String) {
+	n.hasDecided = true
+	n.decided = s
+	n.decidedAt = ctx.Now()
+	n.sthis = s
+	flushBudget := n.deferred
+	n.deferred = nil
+	for _, d := range flushBudget {
+		n.tryAnswer(ctx, d.x, d.s, d.r)
+	}
+	flushBelief := n.beliefDeferred
+	n.beliefDeferred = nil
+	for _, d := range flushBelief {
+		if d.s.Equal(s) {
+			n.tryAnswer(ctx, d.x, d.s, d.r)
+		}
+	}
+	flushRelay := n.relayDeferred
+	n.relayDeferred = nil
+	for _, d := range flushRelay {
+		if d.s.Equal(s) {
+			n.forwardPull(ctx, d.x, d.s, d.r)
+		}
+	}
+}
+
+// distinct returns the distinct elements of ids, preserving first-seen
+// order. Quorums built from unions of permutations may contain the same
+// node under two indices; thresholds and sends use the distinct view.
+func distinct(ids []int) []int {
+	seen := make(map[int]bool, len(ids))
+	out := ids[:0:0]
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package core
+
+import "testing"
+
+func TestLog2Ceil(t *testing.T) {
+	tests := []struct {
+		give, want int
+	}{
+		{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{16, 4}, {17, 5}, {1024, 10}, {1025, 11},
+	}
+	for _, tt := range tests {
+		if got := log2Ceil(tt.give); got != tt.want {
+			t.Errorf("log2Ceil(%d) = %d, want %d", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	for _, n := range []int{16, 64, 100, 256, 1000, 4096} {
+		p := DefaultParams(n)
+		if err := p.Validate(); err != nil {
+			t.Errorf("DefaultParams(%d) invalid: %v", n, err)
+		}
+		if p.QuorumSize > n {
+			t.Errorf("n=%d: quorum larger than system", n)
+		}
+		if p.StringBits < 4 {
+			t.Errorf("n=%d: StringBits %d too small", n, p.StringBits)
+		}
+	}
+}
+
+func TestDefaultParamsScalesLogarithmically(t *testing.T) {
+	small := DefaultParams(64).QuorumSize
+	big := DefaultParams(4096).QuorumSize
+	if big <= small {
+		t.Fatalf("quorum size does not grow with n: %d vs %d", small, big)
+	}
+	// d = Θ(log n): quadrupling the exponent should not even double d+12.
+	if big > 2*small {
+		t.Fatalf("quorum size grows too fast: %d vs %d", small, big)
+	}
+}
+
+func TestParamsValidateErrors(t *testing.T) {
+	base := DefaultParams(64)
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"tiny N", func(p *Params) { p.N = 1 }},
+		{"zero quorum", func(p *Params) { p.QuorumSize = 0 }},
+		{"quorum over N", func(p *Params) { p.QuorumSize = p.N + 1 }},
+		{"zero poll", func(p *Params) { p.PollSize = 0 }},
+		{"poll over N", func(p *Params) { p.PollSize = p.N + 1 }},
+		{"zero labels", func(p *Params) { p.Labels = 0 }},
+		{"zero bits", func(p *Params) { p.StringBits = 0 }},
+		{"negative budget", func(p *Params) { p.AnswerBudget = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := base
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+}
+
+func TestNewSamplersGeometry(t *testing.T) {
+	p := DefaultParams(128)
+	smp := NewSamplers(p)
+	if smp.I.N() != 128 || smp.H.N() != 128 || smp.J.N() != 128 {
+		t.Fatal("sampler domain mismatch")
+	}
+	if smp.I.Size() != p.QuorumSize || smp.J.Size() != p.PollSize {
+		t.Fatal("sampler size mismatch")
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/fastba/fastba/internal/bitstring"
+	"github.com/fastba/fastba/internal/prng"
+	"github.com/fastba/fastba/internal/simnet"
+)
+
+// Scenario captures one AER experiment setup: the shared samplers, the
+// corruption pattern, the true global string and each node's initial
+// candidate. It realizes the preconditions of §3.1: more than half of the
+// nodes must be correct and know gstring, and gstring has a ≥ 2/3+ε
+// fraction of uniformly random bits.
+//
+// Scenarios are built either synthetically (NewScenario, for AER-only
+// experiments) or from the output of the almost-everywhere substrate
+// (internal/ae) for end-to-end BA runs.
+type Scenario struct {
+	Params  Params
+	Smp     *Samplers
+	GString bitstring.String
+	// Corrupt marks Byzantine nodes.
+	Corrupt []bool
+	// Initial holds every node's starting candidate s_x. Byzantine nodes
+	// ignore theirs.
+	Initial []bitstring.String
+	// Seed is the master seed; per-node private RNGs derive from it.
+	Seed uint64
+}
+
+// ScenarioConfig controls synthetic scenario generation.
+type ScenarioConfig struct {
+	// CorruptFrac is t/n (the paper requires < 1/3 − ε).
+	CorruptFrac float64
+	// KnowFrac is the fraction of correct nodes that initially know
+	// gstring (the paper requires > 3/4 when t < (1/3−ε)n, equivalently
+	// correct-and-knowledgeable > n/2).
+	KnowFrac float64
+	// SharedJunk makes all unknowing correct nodes share a single bogus
+	// candidate — the worst case for the push filter — instead of holding
+	// individually random junk.
+	SharedJunk bool
+	// AdvBits is the fraction of gstring bits fixed by the adversary
+	// (the paper allows up to 1/3 − ε; default 1/3).
+	AdvBits float64
+}
+
+// DefaultScenarioConfig matches the defaults documented in DESIGN.md §5.
+func DefaultScenarioConfig() ScenarioConfig {
+	return ScenarioConfig{CorruptFrac: 0.10, KnowFrac: 0.85, SharedJunk: true, AdvBits: 1.0 / 3}
+}
+
+// TestingScenarioConfig is a comfortably-concentrated population used by
+// tests that assert hard (non-statistical) agreement. The paper's
+// guarantees are "with high probability" and asymptotic in n; at the small
+// n and d = Θ(log n) used in unit tests, the default population's strict
+// quorum majorities fail with probability ≈ n·exp(-2d(p-1/2)²) ≈ a few
+// percent per run. This config raises the correct-and-knowledgeable
+// fraction p to ≈ 0.87 so those tails are negligible; experiments E9/E13
+// measure the success-rate curve for the default (tighter) population.
+func TestingScenarioConfig() ScenarioConfig {
+	return ScenarioConfig{CorruptFrac: 0.05, KnowFrac: 0.92, SharedJunk: true, AdvBits: 1.0 / 3}
+}
+
+// NewScenario builds a synthetic scenario: random (non-adaptive) corruption
+// of ⌊CorruptFrac·n⌋ nodes, a partially adversarial gstring and initial
+// beliefs per KnowFrac. It returns an error if the resulting population
+// violates the protocol's precondition (correct ∧ knowledgeable > n/2).
+func NewScenario(p Params, seed uint64, cfg ScenarioConfig) (*Scenario, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CorruptFrac < 0 || cfg.CorruptFrac >= 1 {
+		return nil, fmt.Errorf("core: CorruptFrac %v out of range", cfg.CorruptFrac)
+	}
+	if cfg.KnowFrac < 0 || cfg.KnowFrac > 1 {
+		return nil, fmt.Errorf("core: KnowFrac %v out of range", cfg.KnowFrac)
+	}
+
+	src := prng.New(prng.DeriveKey(seed, "scenario", 0))
+	sc := &Scenario{
+		Params:  p,
+		Smp:     NewSamplers(p),
+		Corrupt: make([]bool, p.N),
+		Initial: make([]bitstring.String, p.N),
+		Seed:    seed,
+	}
+
+	// Non-adaptive corruption: nodes chosen before the execution (§2.1).
+	t := int(cfg.CorruptFrac * float64(p.N))
+	perm := src.Perm(p.N)
+	for _, id := range perm[:t] {
+		sc.Corrupt[id] = true
+	}
+
+	// gstring: adversary fixes AdvBits of the bits, the rest are uniform.
+	sc.GString = bitstring.PartiallyAdversarial(src.Fork(1), p.StringBits, cfg.AdvBits, 0xA5)
+
+	// Beliefs: a KnowFrac fraction of correct nodes know gstring; the rest
+	// hold junk.
+	var correctIDs []int
+	for id := 0; id < p.N; id++ {
+		if !sc.Corrupt[id] {
+			correctIDs = append(correctIDs, id)
+		}
+	}
+	src.Shuffle(len(correctIDs), func(i, j int) {
+		correctIDs[i], correctIDs[j] = correctIDs[j], correctIDs[i]
+	})
+	knowing := int(cfg.KnowFrac * float64(len(correctIDs)))
+	sharedJunk := bitstring.Random(src.Fork(2), p.StringBits)
+	for i, id := range correctIDs {
+		switch {
+		case i < knowing:
+			sc.Initial[id] = sc.GString
+		case cfg.SharedJunk:
+			sc.Initial[id] = sharedJunk
+		default:
+			sc.Initial[id] = bitstring.Random(src, p.StringBits)
+		}
+	}
+
+	if 2*knowing <= p.N {
+		return nil, fmt.Errorf("core: precondition violated: %d knowledgeable correct nodes of %d (need > n/2)", knowing, p.N)
+	}
+	return sc, nil
+}
+
+// ScenarioFromBeliefs builds a scenario from an externally produced belief
+// vector — the composition point with the almost-everywhere substrate: the
+// beliefs are internal/ae's output and gstring its ground truth. The
+// precondition check (> n/2 correct and knowledgeable) is the caller's
+// responsibility; BA reports the measured knowledge fraction instead of
+// failing, since an adversarial AE phase may leave the population short.
+func ScenarioFromBeliefs(p Params, seed uint64, corrupt []bool, gstring bitstring.String, beliefs []bitstring.String) (*Scenario, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(corrupt) != p.N || len(beliefs) != p.N {
+		return nil, fmt.Errorf("core: belief scenario vectors must have length %d", p.N)
+	}
+	if gstring.Len() != p.StringBits {
+		return nil, fmt.Errorf("core: gstring has %d bits, params want %d", gstring.Len(), p.StringBits)
+	}
+	sc := &Scenario{
+		Params:  p,
+		Smp:     NewSamplers(p),
+		GString: gstring,
+		Corrupt: append([]bool(nil), corrupt...),
+		Initial: append([]bitstring.String(nil), beliefs...),
+		Seed:    seed,
+	}
+	return sc, nil
+}
+
+// NodeRNG returns node id's private random source.
+func (sc *Scenario) NodeRNG(id int) *prng.Source {
+	return prng.New(prng.DeriveKey(sc.Seed, "node", uint64(id)))
+}
+
+// Build assembles the simnet node vector: correct nodes run the AER
+// protocol; Byzantine slots are filled by mkByz (nil mkByz yields silent
+// Byzantine nodes that never send — the weakest adversary). It returns the
+// full vector plus the correct nodes for post-run inspection, indexed by
+// node ID (nil entries for Byzantine IDs).
+func (sc *Scenario) Build(mkByz func(id int) simnet.Node) (nodes []simnet.Node, correct []*Node) {
+	nodes = make([]simnet.Node, sc.Params.N)
+	correct = make([]*Node, sc.Params.N)
+	for id := 0; id < sc.Params.N; id++ {
+		if sc.Corrupt[id] {
+			if mkByz != nil {
+				nodes[id] = mkByz(id)
+			} else {
+				nodes[id] = silentNode{}
+			}
+			continue
+		}
+		n := NewNode(id, sc.Initial[id], sc.Params, sc.Smp, sc.NodeRNG(id))
+		nodes[id] = n
+		correct[id] = n
+	}
+	return nodes, correct
+}
+
+// silentNode is the trivial Byzantine behaviour: full crash from the start.
+type silentNode struct{}
+
+func (silentNode) Init(simnet.Context)                                   {}
+func (silentNode) Deliver(simnet.Context, simnet.NodeID, simnet.Message) {}
+
+// Outcome summarizes the decisions of the correct nodes after a run.
+type Outcome struct {
+	Correct       int // number of correct nodes
+	Decided       int // correct nodes that decided
+	DecidedG      int // correct nodes that decided on gstring
+	DecidedOther  int // correct nodes that decided on something else
+	MaxDecisionAt int // latest decision time among deciders
+	SumCandidates int // Σ|L_x| over correct nodes (Lemma 4)
+}
+
+// Agreement reports whether every correct node decided and all decisions
+// equal gstring — the Lemma 9/10 success condition.
+func (o Outcome) Agreement() bool {
+	return o.Decided == o.Correct && o.DecidedG == o.Decided
+}
+
+// Evaluate inspects the correct nodes after a run.
+func Evaluate(correct []*Node, gstring bitstring.String) Outcome {
+	var o Outcome
+	for _, n := range correct {
+		if n == nil {
+			continue
+		}
+		o.Correct++
+		o.SumCandidates += n.Stats().CandidateListSize
+		d, ok := n.Decided()
+		if !ok {
+			continue
+		}
+		o.Decided++
+		if d.Equal(gstring) {
+			o.DecidedG++
+		} else {
+			o.DecidedOther++
+		}
+		if at := n.DecidedAt(); at > o.MaxDecisionAt {
+			o.MaxDecisionAt = at
+		}
+	}
+	return o
+}

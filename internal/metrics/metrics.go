@@ -1,0 +1,180 @@
+// Package metrics provides the small statistics and table-rendering
+// toolkit used by the benchmark harness to print Figure 1-shaped
+// comparison tables and per-lemma experiment reports.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is a fixed-width ASCII table in the style of the paper's Figure 1.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given title and column header.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends a row; cell counts beyond the header are truncated, missing
+// cells are blank.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(t.Header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if l := len([]rune(c)); l > widths[i] {
+				widths[i] = l
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return "| " + strings.Join(parts, " | ") + " |"
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	fmt.Fprintln(w, line(t.Header))
+	fmt.Fprintln(w, line(sep))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, line(row))
+	}
+}
+
+func pad(s string, w int) string {
+	if l := len([]rune(s)); l < w {
+		return s + strings.Repeat(" ", w-l)
+	}
+	return s
+}
+
+// Bits renders a bit count with a binary magnitude suffix.
+func Bits(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.1fGb", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMb", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKb", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fb", v)
+	}
+}
+
+// Count renders an integer with thousands separators.
+func Count(v int64) string {
+	s := fmt.Sprintf("%d", v)
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		out = "-" + out
+	}
+	return out
+}
+
+// PowerFit fits y = a·x^b by least squares on logarithms and returns the
+// exponent b. It is how the harness reports measured growth exponents
+// (e.g. per-node bits vs n). It panics on fewer than two points or
+// non-positive data — harness misuse, not a runtime condition.
+func PowerFit(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic("metrics: PowerFit needs ≥ 2 paired points")
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			panic("metrics: PowerFit needs positive data")
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	n := float64(len(xs))
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}
+
+// PolylogFit fits y = a·log(x)^b and returns the exponent b — the natural
+// model for AER's costs.
+func PolylogFit(xs, ys []float64) float64 {
+	lxs := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 1 {
+			panic("metrics: PolylogFit needs x > 1")
+		}
+		lxs[i] = math.Log(x)
+	}
+	return PowerFit(lxs, ys)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of values using the
+// nearest-rank method. It panics on empty input.
+func Quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		panic("metrics: Quantile of empty slice")
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "proto", "bits")
+	tb.Add("AER", "12")
+	tb.Add("flood", "99999")
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"Demo", "proto", "AER", "99999"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	width := len(lines[1])
+	for i, l := range lines[1:] {
+		if len(l) != width {
+			t.Fatalf("row %d has width %d, want %d:\n%s", i, len(l), width, out)
+		}
+	}
+}
+
+func TestTableAddPadsAndTruncates(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.Add("only")
+	tb.Add("x", "y", "z")
+	if len(tb.Rows[0]) != 2 || tb.Rows[0][1] != "" {
+		t.Fatalf("short row not padded: %v", tb.Rows[0])
+	}
+	if len(tb.Rows[1]) != 2 {
+		t.Fatalf("long row not truncated: %v", tb.Rows[1])
+	}
+}
+
+func TestBits(t *testing.T) {
+	tests := []struct {
+		give float64
+		want string
+	}{
+		{12, "12b"},
+		{2048, "2.0Kb"},
+		{3 << 20, "3.0Mb"},
+		{5 << 30, "5.0Gb"},
+	}
+	for _, tt := range tests {
+		if got := Bits(tt.give); got != tt.want {
+			t.Errorf("Bits(%v) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	tests := []struct {
+		give int64
+		want string
+	}{
+		{0, "0"},
+		{999, "999"},
+		{1000, "1,000"},
+		{1234567, "1,234,567"},
+		{-4200, "-4,200"},
+	}
+	for _, tt := range tests {
+		if got := Count(tt.give); got != tt.want {
+			t.Errorf("Count(%d) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestPowerFitRecoversExponent(t *testing.T) {
+	xs := []float64{64, 128, 256, 512, 1024}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, 1.5)
+	}
+	if b := PowerFit(xs, ys); math.Abs(b-1.5) > 1e-9 {
+		t.Fatalf("PowerFit = %v, want 1.5", b)
+	}
+}
+
+func TestPolylogFitRecoversExponent(t *testing.T) {
+	xs := []float64{64, 128, 256, 512, 1024}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 7 * math.Pow(math.Log(x), 3)
+	}
+	if b := PolylogFit(xs, ys); math.Abs(b-3) > 1e-9 {
+		t.Fatalf("PolylogFit = %v, want 3", b)
+	}
+}
+
+func TestPowerFitPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { PowerFit([]float64{1}, []float64{1}) },
+		func() { PowerFit([]float64{1, -2}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vals := []float64{5, 1, 4, 2, 3}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.2, 1}, {0.5, 3}, {0.9, 5}, {1, 5},
+	}
+	for _, tt := range tests {
+		if got := Quantile(vals, tt.q); got != tt.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	// Input must not be mutated.
+	if vals[0] != 5 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("Mean(nil) = %v", m)
+	}
+}

@@ -1,0 +1,308 @@
+// Package netrun executes the same protocol nodes that the simulation
+// runners drive — AER, the committee substrate, the baselines — over real
+// TCP sockets on localhost, using the internal/wire codecs. It exists to
+// demonstrate that the protocol implementation is transport-agnostic: a
+// node moved from the discrete-event simulator onto the network stack
+// unchanged is strong evidence that no simulator artifact props it up.
+//
+// Topology: every node owns one TCP listener; connections are dialed
+// lazily on first send and cached. Frames are length-prefixed wire
+// envelopes. Delivery order and timing are whatever the kernel provides,
+// so — like the goroutine runner — only outcome properties are
+// deterministic, not traces.
+package netrun
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/fastba/fastba/internal/simnet"
+	"github.com/fastba/fastba/internal/wire"
+)
+
+// maxFrame bounds accepted frame sizes (defense against corrupt length
+// prefixes; generous for any protocol message).
+const maxFrame = 1 << 20
+
+// Cluster runs a set of protocol nodes over localhost TCP.
+type Cluster struct {
+	nodes     []simnet.Node
+	listeners []net.Listener
+	addrs     []string
+
+	mu    sync.Mutex
+	conns map[connKey]net.Conn
+	sent  []int64 // bytes sent per node, guarded by mu
+
+	boxes   []*mailbox
+	wg      sync.WaitGroup
+	closing chan struct{}
+	once    sync.Once
+}
+
+type connKey struct{ from, to int }
+
+// New builds a cluster: one loopback listener per node. The caller must
+// Close the cluster.
+func New(nodes []simnet.Node) (*Cluster, error) {
+	c := &Cluster{
+		nodes:   nodes,
+		conns:   make(map[connKey]net.Conn),
+		sent:    make([]int64, len(nodes)),
+		closing: make(chan struct{}),
+	}
+	for range nodes {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("netrun: listen: %w", err)
+		}
+		c.listeners = append(c.listeners, ln)
+		c.addrs = append(c.addrs, ln.Addr().String())
+		c.boxes = append(c.boxes, newMailbox())
+	}
+	return c, nil
+}
+
+// Addrs returns the per-node listen addresses.
+func (c *Cluster) Addrs() []string { return append([]string(nil), c.addrs...) }
+
+// SentBytes returns per-node sent byte counts.
+func (c *Cluster) SentBytes() []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int64(nil), c.sent...)
+}
+
+// Start launches accept loops, initializes every node, and only then
+// starts the delivery loops — the ordering that preserves the runner
+// contract that Init and Deliver never overlap on one node (inbound frames
+// queue in the mailboxes meanwhile).
+func (c *Cluster) Start() {
+	for id := range c.nodes {
+		id := id
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.acceptLoop(id)
+		}()
+	}
+	for id, n := range c.nodes {
+		n.Init(&netCtx{c: c, self: id})
+	}
+	for id := range c.nodes {
+		id := id
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.deliverLoop(id)
+		}()
+	}
+}
+
+// RunUntil polls pred until it returns true or the timeout elapses. It
+// returns an error on timeout. Network executions have no global
+// quiescence detector (that would itself need agreement), so completion is
+// observed from node state — e.g. "all correct nodes decided".
+func (c *Cluster) RunUntil(pred func() bool, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if pred() {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if pred() {
+		return nil
+	}
+	return errors.New("netrun: timeout waiting for completion predicate")
+}
+
+// Close shuts listeners, connections and delivery loops down and waits for
+// the worker goroutines.
+func (c *Cluster) Close() {
+	c.once.Do(func() {
+		close(c.closing)
+		for _, ln := range c.listeners {
+			_ = ln.Close()
+		}
+		c.mu.Lock()
+		for _, conn := range c.conns {
+			_ = conn.Close()
+		}
+		c.mu.Unlock()
+		for _, b := range c.boxes {
+			b.close()
+		}
+	})
+	c.wg.Wait()
+}
+
+func (c *Cluster) acceptLoop(id int) {
+	for {
+		conn, err := c.listeners[id].Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.readLoop(id, conn)
+		}()
+	}
+}
+
+// readLoop decodes frames from one inbound connection into id's mailbox.
+func (c *Cluster) readLoop(id int, conn net.Conn) {
+	defer conn.Close()
+	header := make([]byte, 4)
+	for {
+		if _, err := io.ReadFull(conn, header); err != nil {
+			return
+		}
+		size := binary.LittleEndian.Uint32(header)
+		if size == 0 || size > maxFrame {
+			return // corrupt peer; drop the connection
+		}
+		frame := make([]byte, size)
+		if _, err := io.ReadFull(conn, frame); err != nil {
+			return
+		}
+		from, to, msg, err := wire.DecodeEnvelope(frame)
+		if err != nil || to != id {
+			continue // malformed or misrouted frame: authenticated drop
+		}
+		c.boxes[id].put(delivery{from: from, msg: msg})
+	}
+}
+
+func (c *Cluster) deliverLoop(id int) {
+	for {
+		d, ok := c.boxes[id].get()
+		if !ok {
+			return
+		}
+		c.nodes[id].Deliver(&netCtx{c: c, self: id}, d.from, d.msg)
+	}
+}
+
+// send frames and writes one message, dialing the peer on first use.
+func (c *Cluster) send(from, to int, m simnet.Message) {
+	frame, err := wire.EncodeEnvelope(from, to, m)
+	if err != nil {
+		return // unknown message type: nothing a remote peer could do either
+	}
+	conn, err := c.conn(from, to)
+	if err != nil {
+		return // peer unreachable; the model's reliability holds on loopback
+	}
+	buf := make([]byte, 0, 4+len(frame))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(frame)))
+	buf = append(buf, frame...)
+	c.mu.Lock()
+	_, werr := conn.Write(buf)
+	if werr == nil {
+		c.sent[from] += int64(len(frame))
+	}
+	c.mu.Unlock()
+}
+
+func (c *Cluster) conn(from, to int) (net.Conn, error) {
+	key := connKey{from: from, to: to}
+	c.mu.Lock()
+	conn, ok := c.conns[key]
+	c.mu.Unlock()
+	if ok {
+		return conn, nil
+	}
+	dialed, err := net.DialTimeout("tcp", c.addrs[to], 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if existing, ok := c.conns[key]; ok {
+		_ = dialed.Close()
+		return existing, nil
+	}
+	select {
+	case <-c.closing:
+		_ = dialed.Close()
+		return nil, errors.New("netrun: cluster closing")
+	default:
+	}
+	c.conns[key] = dialed
+	return dialed, nil
+}
+
+type netCtx struct {
+	c    *Cluster
+	self int
+}
+
+// Now returns 0: wall-clock-free logical time is not defined for network
+// executions; completion is observed from node state (RunUntil).
+func (ctx *netCtx) Now() int { return 0 }
+
+func (ctx *netCtx) Send(to simnet.NodeID, m simnet.Message) {
+	if to < 0 || to >= len(ctx.c.nodes) {
+		return
+	}
+	ctx.c.send(ctx.self, to, m)
+}
+
+type delivery struct {
+	from int
+	msg  simnet.Message
+}
+
+// mailbox is an unbounded MPSC queue (same rationale as the goroutine
+// runner: bounded buffers would deadlock mutually sending nodes).
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []delivery
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(d delivery) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.queue = append(m.queue, d)
+	m.cond.Signal()
+}
+
+func (m *mailbox) get() (delivery, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return delivery{}, false
+	}
+	d := m.queue[0]
+	m.queue = m.queue[1:]
+	return d, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.cond.Broadcast()
+}

@@ -1,0 +1,141 @@
+package netrun
+
+import (
+	"testing"
+	"time"
+
+	"github.com/fastba/fastba/internal/core"
+	"github.com/fastba/fastba/internal/simnet"
+)
+
+func TestAEROverTCP(t *testing.T) {
+	// The flagship check: the same AER nodes that run in the simulator
+	// reach agreement over real loopback TCP.
+	const n = 24
+	sc, err := core.NewScenario(core.DefaultParams(n), 5, core.TestingScenarioConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, correct := sc.Build(nil)
+
+	cluster, err := New(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.Start()
+
+	allDecided := func() bool {
+		for _, node := range correct {
+			if node == nil {
+				continue
+			}
+			if _, ok := node.Decided(); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := cluster.RunUntil(allDecided, 30*time.Second); err != nil {
+		o := core.Evaluate(correct, sc.GString)
+		t.Fatalf("TCP run did not complete: %v (outcome %+v)", err, o)
+	}
+	o := core.Evaluate(correct, sc.GString)
+	if !o.Agreement() {
+		t.Fatalf("no agreement over TCP: %+v", o)
+	}
+}
+
+func TestSentBytesAccounted(t *testing.T) {
+	const n = 16
+	sc, err := core.NewScenario(core.DefaultParams(n), 3, core.TestingScenarioConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, correct := sc.Build(nil)
+	cluster, err := New(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.Start()
+	decided := func() bool {
+		for _, node := range correct {
+			if node == nil {
+				continue
+			}
+			if _, ok := node.Decided(); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := cluster.RunUntil(decided, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for _, b := range cluster.SentBytes() {
+		total += b
+	}
+	if total == 0 {
+		t.Fatal("no bytes accounted on a completed run")
+	}
+}
+
+func TestAddrsExposed(t *testing.T) {
+	nodes := []simnet.Node{noopNode{}, noopNode{}}
+	cluster, err := New(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	addrs := cluster.Addrs()
+	if len(addrs) != 2 || addrs[0] == "" || addrs[0] == addrs[1] {
+		t.Fatalf("bad addrs: %v", addrs)
+	}
+}
+
+func TestRunUntilTimeout(t *testing.T) {
+	cluster, err := New([]simnet.Node{noopNode{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.Start()
+	if err := cluster.RunUntil(func() bool { return false }, 30*time.Millisecond); err == nil {
+		t.Fatal("RunUntil did not time out")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	cluster, err := New([]simnet.Node{noopNode{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	cluster.Close()
+	cluster.Close() // second close must be a no-op, not a panic
+}
+
+func TestSendToInvalidNodeIgnored(t *testing.T) {
+	bad := &wildSender{}
+	cluster, err := New([]simnet.Node{bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.Start() // Init sends out of range; must not panic
+}
+
+type noopNode struct{}
+
+func (noopNode) Init(simnet.Context)                                   {}
+func (noopNode) Deliver(simnet.Context, simnet.NodeID, simnet.Message) {}
+
+type wildSender struct{}
+
+func (w *wildSender) Init(ctx simnet.Context) {
+	ctx.Send(99, core.MsgPush{})
+	ctx.Send(-1, core.MsgPush{})
+}
+func (w *wildSender) Deliver(simnet.Context, simnet.NodeID, simnet.Message) {}

@@ -1,0 +1,226 @@
+package sampler
+
+import (
+	"fmt"
+
+	"github.com/fastba/fastba/internal/bitstring"
+	"github.com/fastba/fastba/internal/prng"
+)
+
+// Pair is an element of [n] × R: a node together with a poll-list label.
+// Sets of Pairs are the "L" of Lemma 2 Property 2 (at most one pair per
+// node).
+type Pair struct {
+	X int
+	R uint64
+}
+
+// QuorumStats summarizes an empirical check of the (θ, δ)-sampler property
+// of Definition 1: for a target set S ⊆ [n], how many sampled inputs have a
+// quorum whose overlap with S exceeds |S|/n + θ.
+type QuorumStats struct {
+	Inputs      int     // number of (s, x) inputs sampled
+	Exceeding   int     // inputs with overlap fraction > |S|/n + θ
+	MaxOverlap  float64 // worst overlap fraction observed
+	MeanOverlap float64 // average overlap fraction
+}
+
+// CheckQuorumSampler empirically tests the sampler property of a quorum map
+// against the target set S (given as a membership mask) using the provided
+// candidate strings and all nodes x ∈ [0, n). It returns the observed
+// statistics; the sampler property requires Exceeding/Inputs ≤ δ.
+func CheckQuorumSampler(q Quorum, strs []bitstring.String, inS []bool, theta float64) QuorumStats {
+	n := q.N()
+	sSize := 0
+	for _, b := range inS {
+		if b {
+			sSize++
+		}
+	}
+	base := float64(sSize) / float64(n)
+	var st QuorumStats
+	var sum float64
+	for _, s := range strs {
+		for x := 0; x < n; x++ {
+			quorum := q.Quorum(s, x)
+			hit := 0
+			for _, y := range quorum {
+				if inS[y] {
+					hit++
+				}
+			}
+			frac := float64(hit) / float64(len(quorum))
+			sum += frac
+			if frac > st.MaxOverlap {
+				st.MaxOverlap = frac
+			}
+			if frac > base+theta {
+				st.Exceeding++
+			}
+			st.Inputs++
+		}
+	}
+	if st.Inputs > 0 {
+		st.MeanOverlap = sum / float64(st.Inputs)
+	}
+	return st
+}
+
+// MaxLoad returns the maximum, over all nodes y, of the number of quorums
+// {Quorum(s, x)}_x that contain y, for the given string s — the overload
+// measure of Definition 1/Lemma 1 ("H⁻¹(i, x) > a·d"). For PermQuorum this
+// is exactly d for every y; for HashQuorum it can be substantially larger.
+func MaxLoad(q Quorum, s bitstring.String) int {
+	n := q.N()
+	load := make([]int, n)
+	for x := 0; x < n; x++ {
+		for _, y := range q.Quorum(s, x) {
+			load[y]++
+		}
+	}
+	max := 0
+	for _, l := range load {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Property1Result reports the empirical check of Lemma 2 Property 1: the
+// fraction of (x, r) pairs whose poll list contains a minority of good
+// nodes must be at most θ.
+type Property1Result struct {
+	Sampled      int
+	BadLists     int
+	BadFraction  float64
+	GoodFraction float64 // fraction of good nodes in [n], for reference
+}
+
+// CheckProperty1 samples `samples` uniformly random (x, r) pairs and counts
+// how many poll lists have ≤ d/2 good members.
+func CheckProperty1(p *Poll, good []bool, samples int, src *prng.Source) Property1Result {
+	if len(good) != p.N() {
+		panic(fmt.Sprintf("sampler: good mask has %d entries for n=%d", len(good), p.N()))
+	}
+	goodCount := 0
+	for _, g := range good {
+		if g {
+			goodCount++
+		}
+	}
+	res := Property1Result{
+		Sampled:      samples,
+		GoodFraction: float64(goodCount) / float64(p.N()),
+	}
+	for i := 0; i < samples; i++ {
+		x := src.Intn(p.N())
+		r := src.Uint64() % p.Labels()
+		hit := 0
+		for _, w := range p.List(x, r) {
+			if good[w] {
+				hit++
+			}
+		}
+		if 2*hit <= p.Size() { // not a strict majority of good nodes
+			res.BadLists++
+		}
+	}
+	res.BadFraction = float64(res.BadLists) / float64(samples)
+	return res
+}
+
+// ExpansionResult reports the border expansion of a pair-set L:
+// Border = Σ_{(x,r)∈L} |J(x,r) \ L*| (the ∂L of Figure 3, counting edge
+// multiplicity — each list element leaving L* is one border edge) and
+// Ratio = Border / (d·|L|). Lemma 2 Property 2 requires Ratio > 2/3 for all
+// valid L with |L| = O(n / log n).
+type ExpansionResult struct {
+	L      int
+	Border int
+	Ratio  float64
+}
+
+// BorderExpansion computes the border expansion of L. L must contain at
+// most one pair per node (the side condition of Property 2); violations
+// panic since they indicate a harness bug rather than a runtime condition.
+func BorderExpansion(p *Poll, L []Pair) ExpansionResult {
+	lstar := make(map[int]bool, len(L))
+	seen := make(map[int]bool, len(L))
+	for _, pr := range L {
+		if seen[pr.X] {
+			panic(fmt.Sprintf("sampler: BorderExpansion: duplicate node %d in L", pr.X))
+		}
+		seen[pr.X] = true
+		lstar[pr.X] = true
+	}
+	border := 0
+	for _, pr := range L {
+		for _, w := range p.List(pr.X, pr.R) {
+			if !lstar[w] {
+				border++
+			}
+		}
+	}
+	res := ExpansionResult{L: len(L), Border: border}
+	if len(L) > 0 {
+		res.Ratio = float64(border) / (float64(p.Size()) * float64(len(L)))
+	}
+	return res
+}
+
+// GreedyCorner plays the adversary of Lemma 6: it tries to construct a
+// low-expansion L of the given size by starting from a random pair and
+// greedily adding, among `width` random candidate pairs per step, the pair
+// whose poll list overlaps the current L* the most. It returns the worst
+// (lowest-ratio) L found across `restarts` attempts.
+//
+// The paper's Property 2 asserts the adversary cannot push the ratio to
+// 2/3 or below; experiment E11 sweeps this attack.
+func GreedyCorner(p *Poll, size, width, restarts int, src *prng.Source) ExpansionResult {
+	if size <= 0 || size > p.N() {
+		panic(fmt.Sprintf("sampler: GreedyCorner size %d out of range", size))
+	}
+	worst := ExpansionResult{Ratio: 2}
+	for attempt := 0; attempt < restarts; attempt++ {
+		inL := make(map[int]bool, size)
+		lstar := make(map[int]bool, size)
+		L := make([]Pair, 0, size)
+		add := func(pr Pair) {
+			inL[pr.X] = true
+			lstar[pr.X] = true
+			L = append(L, pr)
+		}
+		add(Pair{X: src.Intn(p.N()), R: src.Uint64() % p.Labels()})
+		for len(L) < size {
+			best := Pair{X: -1}
+			bestOverlap := -1
+			for c := 0; c < width; c++ {
+				x := src.Intn(p.N())
+				if inL[x] {
+					continue
+				}
+				r := src.Uint64() % p.Labels()
+				overlap := 0
+				for _, w := range p.List(x, r) {
+					if lstar[w] {
+						overlap++
+					}
+				}
+				if overlap > bestOverlap {
+					bestOverlap = overlap
+					best = Pair{X: x, R: r}
+				}
+			}
+			if best.X < 0 {
+				break // candidate pool exhausted (tiny n); partial L still valid
+			}
+			add(best)
+		}
+		res := BorderExpansion(p, L)
+		if res.Ratio < worst.Ratio {
+			worst = res
+		}
+	}
+	return worst
+}

@@ -1,0 +1,66 @@
+package sampler
+
+import (
+	"github.com/fastba/fastba/internal/prng"
+)
+
+// This file implements the random-digraph model of §4.1.1 (Figure 3),
+// which the paper uses to prove Lemma 2: vertices [n] ∪ ([n] × R), each
+// labeled vertex with exactly d uniformly random out-neighbours in [n],
+// and the border ∂L = edges from a pair-set L to [n] \ L*. The proof
+// shows P(u, s) — the probability that some L with |L| = u has border
+// exactly s — is o(2^{-n}) for s < (2/3)·d·u.
+//
+// DigraphBorderStats Monte-Carlo-samples that model directly (fresh
+// uniform edges each trial, unlike the keyed Poll construction) so the
+// experiment harness can compare the abstract model's border distribution
+// against the concrete sampler's: if the keyed construction behaved worse
+// than the uniform model, Lemma 2's argument would not transfer.
+
+// DigraphStats summarizes sampled borders in the §4.1 model.
+type DigraphStats struct {
+	Trials     int
+	U          int     // |L| per trial
+	D          int     // out-degree
+	MinRatio   float64 // min over trials of |∂L| / (d·u)
+	MeanRatio  float64
+	Violations int // trials with ratio ≤ 2/3
+}
+
+// DigraphBorderStats samples `trials` independent draws of the §4.1
+// random digraph restricted to a pair-set L of size u (one label per
+// node — the Property 2 side condition), with each of L's vertices given
+// d uniform out-neighbours in [n], and returns border statistics.
+func DigraphBorderStats(n, d, u, trials int, src *prng.Source) DigraphStats {
+	if n <= 1 || d <= 0 || u <= 0 || u > n || trials <= 0 {
+		panic("sampler: invalid DigraphBorderStats arguments")
+	}
+	st := DigraphStats{Trials: trials, U: u, D: d, MinRatio: 2}
+	var sum float64
+	for trial := 0; trial < trials; trial++ {
+		// Choose L* ⊆ [n] of size u uniformly (labels are irrelevant in
+		// the uniform-edge model: only membership of endpoints matters).
+		inL := make(map[int]bool, u)
+		for len(inL) < u {
+			inL[src.Intn(n)] = true
+		}
+		border := 0
+		for range inL {
+			for j := 0; j < d; j++ {
+				if !inL[src.Intn(n)] {
+					border++
+				}
+			}
+		}
+		ratio := float64(border) / float64(d*u)
+		sum += ratio
+		if ratio < st.MinRatio {
+			st.MinRatio = ratio
+		}
+		if ratio <= 2.0/3 {
+			st.Violations++
+		}
+	}
+	st.MeanRatio = sum / float64(trials)
+	return st
+}

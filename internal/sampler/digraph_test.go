@@ -1,0 +1,88 @@
+package sampler
+
+import (
+	"testing"
+
+	"github.com/fastba/fastba/internal/prng"
+)
+
+func TestDigraphBorderStatsModelHolds(t *testing.T) {
+	// The §4.1 bound's regime: u ≤ n/log n. For n=512, u=56, d=12, the
+	// expected border ratio is 1 − u/n ≈ 0.89, far above 2/3; violations
+	// should be absent across many trials.
+	src := prng.New(7)
+	st := DigraphBorderStats(512, 12, 56, 500, src)
+	if st.Violations != 0 {
+		t.Fatalf("uniform digraph model violated the 2/3 bound %d/%d times", st.Violations, st.Trials)
+	}
+	if st.MinRatio <= 2.0/3 {
+		t.Fatalf("min ratio %.3f at or below 2/3", st.MinRatio)
+	}
+	if st.MeanRatio < 0.8 || st.MeanRatio > 0.95 {
+		t.Fatalf("mean ratio %.3f far from 1-u/n ≈ 0.89", st.MeanRatio)
+	}
+}
+
+func TestDigraphBorderStatsLargeLLowersRatio(t *testing.T) {
+	// Sanity: with u = n/2 the expected ratio drops to ≈ 0.5 — the bound
+	// genuinely depends on |L| staying small, as the lemma requires.
+	src := prng.New(9)
+	st := DigraphBorderStats(256, 12, 128, 200, src)
+	if st.MeanRatio > 0.6 {
+		t.Fatalf("mean ratio %.3f for u=n/2; model broken", st.MeanRatio)
+	}
+	if st.Violations == 0 {
+		t.Fatal("expected violations at u=n/2 (outside the lemma's regime)")
+	}
+}
+
+func TestDigraphBorderStatsMatchesKeyedSampler(t *testing.T) {
+	// The keyed Poll construction must not behave worse than the uniform
+	// model it stands in for: compare minimum ratios at the same (n, d, u).
+	const n, d, u = 256, 12, 32
+	src := prng.New(11)
+	model := DigraphBorderStats(n, d, u, 200, src)
+
+	poll := NewPoll(n, d, uint64(n)*uint64(n), 13)
+	minKeyed := 2.0
+	for trial := 0; trial < 200; trial++ {
+		used := map[int]bool{}
+		var L []Pair
+		for len(L) < u {
+			x := src.Intn(n)
+			if used[x] {
+				continue
+			}
+			used[x] = true
+			L = append(L, Pair{X: x, R: src.Uint64()})
+		}
+		if r := BorderExpansion(poll, L).Ratio; r < minKeyed {
+			minKeyed = r
+		}
+	}
+	// Allow modest slack: both are 200-trial minima of the same
+	// distribution.
+	if minKeyed < model.MinRatio-0.1 {
+		t.Fatalf("keyed sampler min ratio %.3f well below uniform model's %.3f", minKeyed, model.MinRatio)
+	}
+}
+
+func TestDigraphBorderStatsPanicsOnBadArgs(t *testing.T) {
+	src := prng.New(1)
+	for i, fn := range []func(){
+		func() { DigraphBorderStats(1, 4, 1, 10, src) },
+		func() { DigraphBorderStats(64, 0, 1, 10, src) },
+		func() { DigraphBorderStats(64, 4, 0, 10, src) },
+		func() { DigraphBorderStats(64, 4, 65, 10, src) },
+		func() { DigraphBorderStats(64, 4, 8, 0, src) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

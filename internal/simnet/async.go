@@ -1,0 +1,220 @@
+package simnet
+
+import (
+	"container/heap"
+
+	"github.com/fastba/fastba/internal/prng"
+)
+
+// Scheduler decides the delivery order of in-flight messages in an
+// asynchronous execution. The runner guarantees eventual delivery by
+// construction: every queued envelope is eventually popped because
+// executions are finite; adversarial schedulers additionally enforce an age
+// bound so no message is starved behind an unbounded stream.
+type Scheduler interface {
+	// Push enqueues an envelope.
+	Push(e Envelope)
+	// Pop removes and returns the next envelope to deliver. It must only
+	// be called when Len() > 0.
+	Pop() Envelope
+	// Len returns the number of queued envelopes.
+	Len() int
+}
+
+// AsyncRunner executes nodes under asynchrony: the scheduler picks any
+// in-flight message to deliver next. Time is the causal depth described in
+// the package comment; Metrics.Rounds reports the maximum depth, i.e. the
+// longest chain of dependent messages in the execution.
+type AsyncRunner struct {
+	nodes    []Node
+	sched    Scheduler
+	metrics  *Metrics
+	observer Observer
+	seq      uint64
+	// MaxDeliveries guards against runaway executions (0 = no limit).
+	MaxDeliveries int64
+}
+
+// NewAsync returns an asynchronous runner using the given scheduler.
+func NewAsync(nodes []Node, sched Scheduler) *AsyncRunner {
+	return &AsyncRunner{nodes: nodes, sched: sched, metrics: newMetrics(len(nodes))}
+}
+
+// Observe registers an observer invoked on every delivery. It must be
+// called before Run.
+func (r *AsyncRunner) Observe(o Observer) { r.observer = o }
+
+type asyncCtx struct {
+	r    *AsyncRunner
+	self NodeID
+	now  int
+}
+
+func (c *asyncCtx) Now() int { return c.now }
+
+func (c *asyncCtx) Send(to NodeID, m Message) {
+	e := Envelope{From: c.self, To: to, Msg: m, Depth: c.now + 1, seq: c.r.seq}
+	c.r.seq++
+	validateEnvelope(len(c.r.nodes), e)
+	c.r.metrics.recordSend(e)
+	c.r.sched.Push(e)
+}
+
+// Run initializes all nodes and processes messages to quiescence (or until
+// MaxDeliveries). It returns the collected metrics.
+func (r *AsyncRunner) Run() *Metrics {
+	for id, n := range r.nodes {
+		n.Init(&asyncCtx{r: r, self: id, now: 0})
+	}
+	for r.sched.Len() > 0 {
+		if r.MaxDeliveries > 0 && r.metrics.Delivered >= r.MaxDeliveries {
+			break
+		}
+		e := r.sched.Pop()
+		r.metrics.recordDeliver(e)
+		if r.observer != nil {
+			r.observer(e)
+		}
+		r.nodes[e.To].Deliver(&asyncCtx{r: r, self: e.To, now: e.Depth}, e.From, e.Msg)
+	}
+	return r.metrics
+}
+
+// fifoScheduler delivers messages in send order.
+type fifoScheduler struct {
+	q    []Envelope
+	head int
+}
+
+// NewFIFO returns a first-in-first-out scheduler: the most benign
+// asynchronous network, equivalent to a synchronous execution with unit
+// delays.
+func NewFIFO() Scheduler { return &fifoScheduler{} }
+
+func (s *fifoScheduler) Push(e Envelope) { s.q = append(s.q, e) }
+
+func (s *fifoScheduler) Len() int { return len(s.q) - s.head }
+
+func (s *fifoScheduler) Pop() Envelope {
+	e := s.q[s.head]
+	s.q[s.head] = Envelope{}
+	s.head++
+	if s.head > 1024 && s.head*2 > len(s.q) {
+		s.q = append([]Envelope(nil), s.q[s.head:]...)
+		s.head = 0
+	}
+	return e
+}
+
+// randomScheduler delivers a uniformly random queued message, modelling a
+// network with unpredictable but non-malicious delays.
+type randomScheduler struct {
+	q   []Envelope
+	src *prng.Source
+}
+
+// NewRandom returns a seeded random-order scheduler.
+func NewRandom(seed uint64) Scheduler {
+	return &randomScheduler{src: prng.New(seed)}
+}
+
+func (s *randomScheduler) Push(e Envelope) { s.q = append(s.q, e) }
+
+func (s *randomScheduler) Len() int { return len(s.q) }
+
+func (s *randomScheduler) Pop() Envelope {
+	i := s.src.Intn(len(s.q))
+	e := s.q[i]
+	last := len(s.q) - 1
+	s.q[i] = s.q[last]
+	s.q[last] = Envelope{}
+	s.q = s.q[:last]
+	return e
+}
+
+// Priority classifies an envelope for the adversarial scheduler: lower
+// classes are delivered first.
+type Priority func(e Envelope) int
+
+// advItem is a queued envelope with its heap bookkeeping.
+type advItem struct {
+	env   Envelope
+	class int
+}
+
+type advHeap []advItem
+
+func (h advHeap) Len() int { return len(h) }
+func (h advHeap) Less(i, j int) bool {
+	if h[i].class != h[j].class {
+		return h[i].class < h[j].class
+	}
+	return h[i].env.seq < h[j].env.seq
+}
+func (h advHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *advHeap) Push(x any)   { *h = append(*h, x.(advItem)) }
+func (h *advHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// adversarialScheduler delivers low-priority-class messages first but
+// enforces eventual delivery: whenever the oldest queued message has waited
+// for more than maxAge subsequent deliveries, it is delivered regardless of
+// class. This models an asynchronous adversary that reorders freely inside
+// a reliability envelope (§2.1: "a message sent will eventually be
+// delivered"). Both internal heaps use lazy deletion keyed on the pending
+// set.
+type adversarialScheduler struct {
+	byClass   advHeap // ordered by (class, seq)
+	byAge     advHeap // ordered by (0, seq) == send order
+	pri       Priority
+	maxAge    uint64
+	delivered uint64
+	pending   map[uint64]bool
+}
+
+// NewAdversarial returns a scheduler that orders deliveries by the given
+// priority function, subject to an age bound of maxAge deliveries.
+func NewAdversarial(pri Priority, maxAge uint64) Scheduler {
+	if maxAge == 0 {
+		panic("simnet: adversarial scheduler needs a positive age bound")
+	}
+	return &adversarialScheduler{pri: pri, maxAge: maxAge, pending: make(map[uint64]bool)}
+}
+
+func (s *adversarialScheduler) Push(e Envelope) {
+	s.pending[e.seq] = true
+	heap.Push(&s.byClass, advItem{env: e, class: s.pri(e)})
+	heap.Push(&s.byAge, advItem{env: e})
+}
+
+func (s *adversarialScheduler) Len() int { return len(s.pending) }
+
+func (s *adversarialScheduler) Pop() Envelope {
+	s.delivered++
+	s.clean(&s.byAge)
+	s.clean(&s.byClass)
+	// Age rule first: the oldest pending message must go out if starved.
+	if s.byAge.Len() > 0 && s.delivered > s.byAge[0].env.seq+s.maxAge {
+		return s.take(&s.byAge)
+	}
+	return s.take(&s.byClass)
+}
+
+// clean pops entries whose envelopes were already delivered via the other
+// heap.
+func (s *adversarialScheduler) clean(h *advHeap) {
+	for h.Len() > 0 && !s.pending[(*h)[0].env.seq] {
+		heap.Pop(h)
+	}
+}
+
+func (s *adversarialScheduler) take(h *advHeap) Envelope {
+	e := heap.Pop(h).(advItem).env
+	delete(s.pending, e.seq)
+	return e
+}

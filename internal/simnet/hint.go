@@ -1,0 +1,8 @@
+package simnet
+
+import "runtime"
+
+// waitHint yields the processor while the quiescence watcher polls the
+// in-flight counter. Gosched (rather than a sleep) keeps single-CPU test
+// environments responsive.
+func waitHint() { runtime.Gosched() }

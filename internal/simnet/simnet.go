@@ -1,0 +1,180 @@
+// Package simnet is the message-passing substrate underneath every protocol
+// in this repository. It models the paper's network (§2.1): a fully
+// connected system of n nodes with authenticated, reliable channels and no
+// transferable signatures.
+//
+// Three runners execute the same protocol code:
+//
+//   - SyncRunner: lock-step rounds — a message sent during round r is
+//     delivered during round r+1 — with optional *rushing* adversaries that
+//     observe the correct nodes' round-r messages before choosing their own
+//     (§2.1 "Adversary").
+//   - AsyncRunner: an event loop with a pluggable scheduler (FIFO, seeded
+//     random, or adversarial with an eventual-delivery age bound). Time is
+//     measured as *causal depth*: a message sent while handling a
+//     depth-k delivery has depth k+1, so the completion time of a node is
+//     the longest chain of dependent messages leading to its decision —
+//     the standard asynchronous-round measure behind the paper's
+//     O(log n / log log n) bound.
+//   - GoRunner: one goroutine per node connected by unbounded mailboxes;
+//     it demonstrates that protocol nodes are runtime-agnostic actors and
+//     cross-checks the event-loop runners under real concurrency.
+//
+// All runners meter per-node sent/received messages and bytes, broken down
+// by message kind, which is how the experiment harness measures the
+// communication rows of Figure 1.
+package simnet
+
+import "fmt"
+
+// NodeID identifies a node; nodes are numbered 0..n-1 (the paper's [n]).
+type NodeID = int
+
+// Message is a protocol message. Implementations must be immutable after
+// sending, report their wire size for bit metering, and name their kind for
+// per-kind accounting.
+type Message interface {
+	// WireSize returns the payload size in bytes as encoded on the wire.
+	WireSize() int
+	// Kind returns a short stable name ("push", "fw1", ...) for metrics.
+	Kind() string
+}
+
+// envelopeOverhead is the per-message header charged by the meter:
+// sender (4B) + recipient (4B) + kind tag (1B) — the authenticated-channel
+// framing. The paper counts bits exchanged; we charge header + payload.
+const envelopeOverhead = 9
+
+// Envelope is a message in flight.
+type Envelope struct {
+	From, To NodeID
+	Msg      Message
+	// Depth is the causal depth at which the envelope becomes deliverable:
+	// 1 + the depth of the delivery during which it was sent (initial sends
+	// have depth 1). The SyncRunner uses Depth as the delivery round.
+	Depth int
+	// seq is the global send sequence number; schedulers use it for
+	// deterministic tie-breaking and the age bound.
+	seq uint64
+}
+
+// Context is handed to a node for every activation. It is only valid for
+// the duration of the call.
+type Context interface {
+	// Now returns the current time: the delivery round (sync) or the causal
+	// depth of the message being handled (async). During Init, Now is 0.
+	Now() int
+	// Send enqueues a message to the given node.
+	Send(to NodeID, m Message)
+}
+
+// Node is a protocol actor. Implementations must be single-threaded per
+// node: runners guarantee Init and Deliver calls on one node never overlap.
+type Node interface {
+	// Init is called exactly once before any delivery; initial protocol
+	// messages (e.g. the AER push) are sent here.
+	Init(ctx Context)
+	// Deliver handles one message from an authenticated sender.
+	Deliver(ctx Context, from NodeID, m Message)
+}
+
+// Rusher is implemented by Byzantine nodes that exploit a rushing adversary
+// model. After the correct nodes of a synchronous round have produced their
+// messages, the SyncRunner shows them to each Rusher, which may then send
+// additional messages *within the same round*.
+type Rusher interface {
+	Node
+	// Rush observes the envelopes sent by correct nodes during the current
+	// round and may send its own round messages through ctx.
+	Rush(ctx Context, round int, correctSends []Envelope)
+}
+
+// NodeMetrics aggregates one node's traffic.
+type NodeMetrics struct {
+	SentMsgs  int64
+	SentBytes int64
+	RecvMsgs  int64
+	RecvBytes int64
+}
+
+// Observer receives every delivered envelope, in delivery order. Runners
+// call it synchronously from the delivery path (the GoRunner serializes
+// calls under its metrics lock), so implementations must be fast and must
+// not call back into the runner.
+type Observer func(e Envelope)
+
+// Metrics aggregates a run.
+type Metrics struct {
+	PerNode []NodeMetrics
+	ByKind  map[string]int64 // message count per kind
+	// Rounds is the number of synchronous rounds executed (sync runner) or
+	// the maximum causal depth of any delivered message (async runners).
+	Rounds int
+	// Delivered is the total number of delivered messages.
+	Delivered int64
+}
+
+func newMetrics(n int) *Metrics {
+	return &Metrics{PerNode: make([]NodeMetrics, n), ByKind: make(map[string]int64)}
+}
+
+func (m *Metrics) recordSend(e Envelope) {
+	size := int64(e.Msg.WireSize() + envelopeOverhead)
+	pm := &m.PerNode[e.From]
+	pm.SentMsgs++
+	pm.SentBytes += size
+	m.ByKind[e.Msg.Kind()]++
+}
+
+func (m *Metrics) recordDeliver(e Envelope) {
+	size := int64(e.Msg.WireSize() + envelopeOverhead)
+	pm := &m.PerNode[e.To]
+	pm.RecvMsgs++
+	pm.RecvBytes += size
+	m.Delivered++
+	if e.Depth > m.Rounds {
+		m.Rounds = e.Depth
+	}
+}
+
+// TotalSentBits returns the total number of bits sent by all nodes.
+func (m *Metrics) TotalSentBits() int64 {
+	var total int64
+	for i := range m.PerNode {
+		total += m.PerNode[i].SentBytes
+	}
+	return total * 8
+}
+
+// MeanSentBits returns the per-node average of sent bits — the paper's
+// amortized communication complexity metric (§2.1 "Complexity").
+func (m *Metrics) MeanSentBits() float64 {
+	if len(m.PerNode) == 0 {
+		return 0
+	}
+	return float64(m.TotalSentBits()) / float64(len(m.PerNode))
+}
+
+// MaxSentBits returns the worst per-node sent bits — the load-balance
+// metric: for load-balanced protocols Max ≈ Mean, while AER deliberately
+// relaxes this (Figure 1(a) "Load-Balanced" row).
+func (m *Metrics) MaxSentBits() int64 {
+	var max int64
+	for i := range m.PerNode {
+		if b := m.PerNode[i].SentBytes * 8; b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// validateEnvelope panics on malformed addressing; protocols constructing
+// bad destinations is a programming error we want loudly and early.
+func validateEnvelope(n int, e Envelope) {
+	if e.To < 0 || e.To >= n {
+		panic(fmt.Sprintf("simnet: send to invalid node %d (n=%d)", e.To, n))
+	}
+	if e.Msg == nil {
+		panic("simnet: nil message")
+	}
+}

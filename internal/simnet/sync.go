@@ -1,0 +1,158 @@
+package simnet
+
+// SyncRunner executes nodes in lock-step rounds. Messages sent during round
+// r are delivered during round r+1 (§2.1 "Network", synchronous case).
+//
+// Within a round the runner first delivers the previous round's messages to
+// every node (correct nodes first, then Byzantine — delivery order inside a
+// round is unobservable in the model), collecting each node's sends. If any
+// registered node implements Rusher, the runner then reveals the round's
+// correct-node sends to the Rushers, which may inject additional messages
+// into the same round: this is exactly the rushing adversary of §2.1. With
+// no Rusher present the execution is non-rushing.
+type SyncRunner struct {
+	nodes    []Node
+	corrupt  []bool // corrupt[i] reports whether node i is Byzantine
+	metrics  *Metrics
+	observer Observer
+
+	pending []Envelope // messages to deliver next round
+	seq     uint64
+	round   int
+}
+
+// NewSync returns a runner over the given nodes. corrupt marks the
+// Byzantine nodes (used to order intra-round processing for the rushing
+// semantics); it may be nil when no node is Byzantine.
+func NewSync(nodes []Node, corrupt []bool) *SyncRunner {
+	if corrupt == nil {
+		corrupt = make([]bool, len(nodes))
+	}
+	if len(corrupt) != len(nodes) {
+		panic("simnet: corrupt mask length mismatch")
+	}
+	return &SyncRunner{
+		nodes:   nodes,
+		corrupt: corrupt,
+		metrics: newMetrics(len(nodes)),
+	}
+}
+
+// Observe registers an observer invoked on every delivery. It must be
+// called before Run.
+func (r *SyncRunner) Observe(o Observer) { r.observer = o }
+
+// Ticker is implemented by nodes that act on synchronous round boundaries
+// (e.g. committee protocols that tally everything received in a round).
+// The SyncRunner calls OnRoundEnd after all of a round's deliveries, in
+// node-ID order; messages sent there are delivered next round. The
+// asynchronous runners never call it — protocols relying on Ticker are
+// synchronous by construction (like the KSSV06-style substrate).
+type Ticker interface {
+	Node
+	OnRoundEnd(ctx Context, round int)
+}
+
+// syncCtx implements Context for one activation of one node.
+type syncCtx struct {
+	r    *SyncRunner
+	from NodeID
+	now  int
+}
+
+func (c *syncCtx) Now() int { return c.now }
+
+func (c *syncCtx) Send(to NodeID, m Message) {
+	e := Envelope{From: c.from, To: to, Msg: m, Depth: c.now + 1, seq: c.r.seq}
+	c.r.seq++
+	validateEnvelope(len(c.r.nodes), e)
+	c.r.metrics.recordSend(e)
+	c.r.pending = append(c.r.pending, e)
+}
+
+// Run initializes every node and then executes rounds until either no
+// messages remain in flight or maxRounds rounds have elapsed. It returns
+// the collected metrics. Run must be called at most once.
+func (r *SyncRunner) Run(maxRounds int) *Metrics {
+	r.initNodes()
+	for r.round = 1; r.round <= maxRounds && len(r.pending) > 0; r.round++ {
+		r.step()
+	}
+	if rounds := r.round - 1; rounds > r.metrics.Rounds {
+		r.metrics.Rounds = rounds
+	}
+	return r.metrics
+}
+
+// Rounds returns the number of rounds executed so far.
+func (r *SyncRunner) Rounds() int { return r.round - 1 }
+
+func (r *SyncRunner) initNodes() {
+	// Correct nodes first so that rushing Byzantine nodes could in
+	// principle observe initial sends too; Init for Byzantine nodes runs
+	// after, giving them the standard full-information advantage.
+	for id, n := range r.nodes {
+		if !r.corrupt[id] {
+			n.Init(&syncCtx{r: r, from: id, now: 0})
+		}
+	}
+	correctSends := append([]Envelope(nil), r.pending...)
+	for id, n := range r.nodes {
+		if r.corrupt[id] {
+			n.Init(&syncCtx{r: r, from: id, now: 0})
+			if rusher, ok := n.(Rusher); ok {
+				rusher.Rush(&syncCtx{r: r, from: id, now: 0}, 0, correctSends)
+			}
+		}
+	}
+}
+
+// step delivers the pending messages of the previous round and collects the
+// sends of the current one.
+func (r *SyncRunner) step() {
+	toDeliver := r.pending
+	r.pending = nil
+
+	// Deliver to correct nodes first and track what they send this round.
+	for _, e := range toDeliver {
+		if !r.corrupt[e.To] {
+			r.deliver(e)
+		}
+	}
+	correctSends := append([]Envelope(nil), r.pending...)
+
+	// Then Byzantine nodes receive their messages and, if rushing, observe
+	// the correct nodes' round traffic before sending.
+	for _, e := range toDeliver {
+		if r.corrupt[e.To] {
+			r.deliver(e)
+		}
+	}
+	for id, n := range r.nodes {
+		if !r.corrupt[id] {
+			continue
+		}
+		if rusher, ok := n.(Rusher); ok {
+			rusher.Rush(&syncCtx{r: r, from: id, now: r.round}, r.round, correctSends)
+		}
+	}
+
+	// Round boundary: tick the nodes that act on round ends.
+	for id, n := range r.nodes {
+		if ticker, ok := n.(Ticker); ok {
+			ticker.OnRoundEnd(&syncCtx{r: r, from: id, now: r.round}, r.round)
+		}
+	}
+}
+
+func (r *SyncRunner) deliver(e Envelope) {
+	// Depth is re-stamped to the actual delivery round: messages injected
+	// by a Rusher were created with the same round number as regular sends
+	// but all arrive in the next round.
+	e.Depth = r.round
+	r.metrics.recordDeliver(e)
+	if r.observer != nil {
+		r.observer(e)
+	}
+	r.nodes[e.To].Deliver(&syncCtx{r: r, from: e.To, now: r.round}, e.From, e.Msg)
+}

@@ -1,0 +1,141 @@
+// Package trace records and renders protocol executions. A Trace attaches
+// to any simnet runner through the Observer hook and aggregates delivered
+// messages per (time, kind) — "time" being the round for synchronous runs
+// and the causal depth for asynchronous ones — plus optional per-node
+// activity. Its renderings are the debugging views used while developing
+// the protocols: a phase timeline (which message kinds flow when — the
+// temporal version of the paper's Figure 2) and a per-node activity sketch
+// for spotting hot spots under the cornering attack.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/fastba/fastba/internal/simnet"
+)
+
+// Trace aggregates one execution. Attach it before Run and render after.
+// A Trace must only be used with one runner at a time; it is not
+// concurrency-safe (the deterministic runners deliver sequentially, which
+// is where tracing is useful).
+type Trace struct {
+	// byTime[t][kind] counts deliveries of kind at time t.
+	byTime map[int]map[string]int64
+	// byNode[id] counts deliveries to each node.
+	byNode []int64
+	// kinds remembers every kind seen, for stable rendering.
+	kinds map[string]bool
+	// maxTime is the largest time observed.
+	maxTime int
+}
+
+// New returns a Trace for n nodes.
+func New(n int) *Trace {
+	return &Trace{
+		byTime: make(map[int]map[string]int64),
+		byNode: make([]int64, n),
+		kinds:  make(map[string]bool),
+	}
+}
+
+// Observer returns the hook to register with a runner.
+func (t *Trace) Observer() simnet.Observer {
+	return func(e simnet.Envelope) {
+		byKind := t.byTime[e.Depth]
+		if byKind == nil {
+			byKind = make(map[string]int64)
+			t.byTime[e.Depth] = byKind
+		}
+		kind := e.Msg.Kind()
+		byKind[kind]++
+		t.kinds[kind] = true
+		if e.To >= 0 && e.To < len(t.byNode) {
+			t.byNode[e.To]++
+		}
+		if e.Depth > t.maxTime {
+			t.maxTime = e.Depth
+		}
+	}
+}
+
+// Count returns the number of deliveries of kind at time tm.
+func (t *Trace) Count(tm int, kind string) int64 {
+	return t.byTime[tm][kind]
+}
+
+// MaxTime returns the largest delivery time observed.
+func (t *Trace) MaxTime() int { return t.maxTime }
+
+// Kinds returns the message kinds seen, sorted.
+func (t *Trace) Kinds() []string {
+	kinds := make([]string, 0, len(t.kinds))
+	for k := range t.kinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// Timeline renders deliveries per time step and kind:
+//
+//	t=1  push:1756
+//	t=2  poll:2100 pull:1886
+//	...
+//
+// The temporal counterpart of the paper's Figure 2 message flow.
+func (t *Trace) Timeline(w io.Writer) {
+	kinds := t.Kinds()
+	for tm := 1; tm <= t.maxTime; tm++ {
+		byKind := t.byTime[tm]
+		if len(byKind) == 0 {
+			continue
+		}
+		parts := make([]string, 0, len(byKind))
+		for _, k := range kinds {
+			if c := byKind[k]; c > 0 {
+				parts = append(parts, fmt.Sprintf("%s:%d", k, c))
+			}
+		}
+		fmt.Fprintf(w, "t=%-3d %s\n", tm, strings.Join(parts, " "))
+	}
+}
+
+// Hotspots renders the most-loaded nodes (by deliveries received), one per
+// line, up to limit entries — the view that exposes the cornering attack's
+// targets.
+func (t *Trace) Hotspots(w io.Writer, limit int) {
+	type load struct {
+		id    int
+		count int64
+	}
+	loads := make([]load, 0, len(t.byNode))
+	for id, c := range t.byNode {
+		if c > 0 {
+			loads = append(loads, load{id: id, count: c})
+		}
+	}
+	sort.Slice(loads, func(i, j int) bool {
+		if loads[i].count != loads[j].count {
+			return loads[i].count > loads[j].count
+		}
+		return loads[i].id < loads[j].id
+	})
+	if limit > len(loads) {
+		limit = len(loads)
+	}
+	for _, l := range loads[:limit] {
+		fmt.Fprintf(w, "node %-5d %d deliveries\n", l.id, l.count)
+	}
+}
+
+// TotalDeliveries returns the total number of observed deliveries.
+func (t *Trace) TotalDeliveries() int64 {
+	var total int64
+	for _, c := range t.byNode {
+		total += c
+	}
+	return total
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/fastba/fastba/internal/core"
+	"github.com/fastba/fastba/internal/simnet"
+)
+
+// runTraced executes a small AER run with a Trace attached.
+func runTraced(t *testing.T) (*Trace, *simnet.Metrics) {
+	t.Helper()
+	sc, err := core.NewScenario(core.DefaultParams(64), 3, core.TestingScenarioConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, correct := sc.Build(nil)
+	tr := New(64)
+	runner := simnet.NewSync(nodes, sc.Corrupt)
+	runner.Observe(tr.Observer())
+	m := runner.Run(60)
+	if o := core.Evaluate(correct, sc.GString); !o.Agreement() {
+		t.Fatalf("traced run failed: %+v", o)
+	}
+	return tr, m
+}
+
+func TestTraceCountsMatchMetrics(t *testing.T) {
+	tr, m := runTraced(t)
+	if tr.TotalDeliveries() != m.Delivered {
+		t.Fatalf("trace saw %d deliveries, metrics %d", tr.TotalDeliveries(), m.Delivered)
+	}
+	if tr.MaxTime() != m.Rounds {
+		t.Fatalf("trace max time %d, metrics rounds %d", tr.MaxTime(), m.Rounds)
+	}
+}
+
+func TestTracePhaseOrdering(t *testing.T) {
+	tr, _ := runTraced(t)
+	// The protocol's phase structure must be visible: pushes arrive in
+	// round 1; Fw1 traffic cannot precede pulls; answers cannot precede
+	// Fw2s.
+	if tr.Count(1, "push") == 0 {
+		t.Fatal("no pushes in round 1")
+	}
+	firstAt := func(kind string) int {
+		for tm := 1; tm <= tr.MaxTime(); tm++ {
+			if tr.Count(tm, kind) > 0 {
+				return tm
+			}
+		}
+		return -1
+	}
+	pull, fw1, fw2, answer := firstAt("pull"), firstAt("fw1"), firstAt("fw2"), firstAt("answer")
+	if pull < 0 || fw1 < 0 || fw2 < 0 || answer < 0 {
+		t.Fatalf("missing phases: pull=%d fw1=%d fw2=%d answer=%d", pull, fw1, fw2, answer)
+	}
+	if !(pull < fw1 && fw1 < fw2 && fw2 < answer) {
+		t.Fatalf("phase order violated: pull=%d fw1=%d fw2=%d answer=%d", pull, fw1, fw2, answer)
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	tr, _ := runTraced(t)
+	var sb strings.Builder
+	tr.Timeline(&sb)
+	out := sb.String()
+	for _, want := range []string{"t=1", "push:", "fw1:", "answer:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHotspots(t *testing.T) {
+	tr, _ := runTraced(t)
+	var sb strings.Builder
+	tr.Hotspots(&sb, 5)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("hotspots rendered %d lines, want 5", len(lines))
+	}
+	if !strings.Contains(lines[0], "deliveries") {
+		t.Fatalf("unexpected hotspot line %q", lines[0])
+	}
+}
+
+func TestHotspotsLimitAboveNodes(t *testing.T) {
+	tr := New(2)
+	obs := tr.Observer()
+	obs(simnet.Envelope{To: 1, Depth: 1, Msg: core.MsgPush{}})
+	var sb strings.Builder
+	tr.Hotspots(&sb, 10)
+	if got := len(strings.Split(strings.TrimSpace(sb.String()), "\n")); got != 1 {
+		t.Fatalf("hotspots lines = %d, want 1", got)
+	}
+}
+
+func TestKindsSorted(t *testing.T) {
+	tr, _ := runTraced(t)
+	kinds := tr.Kinds()
+	for i := 1; i < len(kinds); i++ {
+		if kinds[i-1] >= kinds[i] {
+			t.Fatalf("kinds not sorted: %v", kinds)
+		}
+	}
+}
+
+func TestAsyncObserverDepths(t *testing.T) {
+	sc, err := core.NewScenario(core.DefaultParams(64), 5, core.TestingScenarioConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, _ := sc.Build(nil)
+	tr := New(64)
+	runner := simnet.NewAsync(nodes, simnet.NewRandom(3))
+	runner.Observe(tr.Observer())
+	m := runner.Run()
+	if tr.TotalDeliveries() != m.Delivered {
+		t.Fatalf("async trace saw %d, metrics %d", tr.TotalDeliveries(), m.Delivered)
+	}
+	if tr.MaxTime() != m.Rounds {
+		t.Fatalf("async trace depth %d, metrics %d", tr.MaxTime(), m.Rounds)
+	}
+}

@@ -1,0 +1,72 @@
+package wire
+
+import (
+	"testing"
+
+	"github.com/fastba/fastba/internal/bitstring"
+	"github.com/fastba/fastba/internal/core"
+	"github.com/fastba/fastba/internal/prng"
+)
+
+// FuzzUnmarshal feeds arbitrary bytes to every decoder path: decoding must
+// never panic, and whatever decodes successfully must re-encode to exactly
+// the bytes it consumed (canonical encoding).
+func FuzzUnmarshal(f *testing.F) {
+	src := prng.New(1)
+	s := bitstring.Random(src, 40)
+	for _, m := range []interface {
+		WireSize() int
+		Kind() string
+	}{
+		core.MsgPush{S: s},
+		core.MsgFw1{X: 1, W: 2, R: 3, S: s},
+		core.MsgAnswer{S: s, R: 9},
+	} {
+		kind, err := KindByte(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		buf, err := Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(kind, buf)
+	}
+	f.Add(byte(0xFF), []byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, kind byte, payload []byte) {
+		m, err := Unmarshal(kind, payload)
+		if err != nil {
+			return // malformed input correctly rejected
+		}
+		again, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v", err)
+		}
+		if string(again) != string(payload) {
+			t.Fatalf("non-canonical encoding: %x -> %x", payload, again)
+		}
+		if len(again) != m.WireSize() {
+			t.Fatalf("WireSize %d != encoded %d", m.WireSize(), len(again))
+		}
+	})
+}
+
+// FuzzDecodeEnvelope ensures frame decoding never panics on junk.
+func FuzzDecodeEnvelope(f *testing.F) {
+	frame, err := EncodeEnvelope(1, 2, core.MsgPush{S: bitstring.Random(prng.New(2), 24)})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(frame)
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		from, to, m, err := DecodeEnvelope(data)
+		if err != nil {
+			return
+		}
+		if _, err := EncodeEnvelope(from, to, m); err != nil {
+			t.Fatalf("decoded envelope failed to re-encode: %v", err)
+		}
+	})
+}

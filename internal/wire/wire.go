@@ -1,0 +1,282 @@
+// Package wire provides the binary encoding of every protocol message in
+// the repository — AER (core), the almost-everywhere substrate (ae) and
+// the baselines — plus envelope framing for transport runners.
+//
+// The simulation runners meter communication through Message.WireSize; this
+// package is what makes those numbers honest: for every message type,
+// len(Marshal(m)) == m.WireSize() (enforced by the round-trip tests), and
+// the 9-byte envelope frame matches the meter's per-message overhead. The
+// TCP runner (internal/netrun) uses these codecs to move the same protocol
+// messages across real sockets.
+//
+// Layout (little-endian):
+//
+//	envelope: from uint32 | to uint32 | kind byte | payload
+//	string:   nbits uint16 | ⌈nbits/8⌉ packed bytes
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/fastba/fastba/internal/ae"
+	"github.com/fastba/fastba/internal/baseline"
+	"github.com/fastba/fastba/internal/bitstring"
+	"github.com/fastba/fastba/internal/core"
+	"github.com/fastba/fastba/internal/simnet"
+)
+
+// Kind bytes identify message types on the wire. They are part of the
+// serialized contract: values must never be reused.
+const (
+	kindPush   byte = 0x01
+	kindPoll   byte = 0x02
+	kindPull   byte = 0x03
+	kindFw1    byte = 0x04
+	kindFw2    byte = 0x05
+	kindAnswer byte = 0x06
+	kindElect  byte = 0x10
+	kindValue  byte = 0x11
+	kindQuery  byte = 0x20
+	kindReply  byte = 0x21
+	kindBcast  byte = 0x22
+	kindVote   byte = 0x23
+)
+
+// ErrUnknownMessage reports a message type without a codec.
+var ErrUnknownMessage = fmt.Errorf("wire: unknown message type")
+
+// KindByte returns the wire tag for a message.
+func KindByte(m simnet.Message) (byte, error) {
+	switch m.(type) {
+	case core.MsgPush:
+		return kindPush, nil
+	case core.MsgPoll:
+		return kindPoll, nil
+	case core.MsgPull:
+		return kindPull, nil
+	case core.MsgFw1:
+		return kindFw1, nil
+	case core.MsgFw2:
+		return kindFw2, nil
+	case core.MsgAnswer:
+		return kindAnswer, nil
+	case ae.MsgElect:
+		return kindElect, nil
+	case ae.MsgValue:
+		return kindValue, nil
+	case baseline.MsgQuery:
+		return kindQuery, nil
+	case baseline.MsgReply:
+		return kindReply, nil
+	case baseline.MsgBcast:
+		return kindBcast, nil
+	case baseline.MsgVote:
+		return kindVote, nil
+	default:
+		return 0, fmt.Errorf("%w: %T", ErrUnknownMessage, m)
+	}
+}
+
+// Marshal encodes a message payload (without the envelope frame). The
+// result's length always equals m.WireSize().
+func Marshal(m simnet.Message) ([]byte, error) {
+	buf := make([]byte, 0, m.WireSize())
+	switch msg := m.(type) {
+	case core.MsgPush:
+		buf = appendString(buf, msg.S)
+	case core.MsgPoll:
+		buf = appendString(buf, msg.S)
+		buf = binary.LittleEndian.AppendUint64(buf, msg.R)
+	case core.MsgPull:
+		buf = appendString(buf, msg.S)
+		buf = binary.LittleEndian.AppendUint64(buf, msg.R)
+	case core.MsgFw1:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(msg.X))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(msg.W))
+		buf = binary.LittleEndian.AppendUint64(buf, msg.R)
+		buf = appendString(buf, msg.S)
+	case core.MsgFw2:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(msg.X))
+		buf = binary.LittleEndian.AppendUint64(buf, msg.R)
+		buf = appendString(buf, msg.S)
+	case core.MsgAnswer:
+		buf = appendString(buf, msg.S)
+		buf = binary.LittleEndian.AppendUint64(buf, msg.R)
+	case ae.MsgElect:
+		buf = binary.LittleEndian.AppendUint32(buf, msg.Bin)
+		buf = appendString(buf, msg.Seg)
+	case ae.MsgValue:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(msg.Level))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(msg.Index))
+		buf = appendString(buf, msg.S)
+	case baseline.MsgQuery:
+		buf = append(buf, 0)
+	case baseline.MsgReply:
+		buf = appendString(buf, msg.S)
+	case baseline.MsgBcast:
+		buf = appendString(buf, msg.S)
+	case baseline.MsgVote:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(msg.Round))
+		buf = appendString(buf, msg.S)
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnknownMessage, m)
+	}
+	if len(buf) != m.WireSize() {
+		return nil, fmt.Errorf("wire: %T encoded to %d bytes, WireSize says %d", m, len(buf), m.WireSize())
+	}
+	return buf, nil
+}
+
+// Unmarshal decodes a payload given its kind byte.
+func Unmarshal(kind byte, payload []byte) (simnet.Message, error) {
+	d := decoder{buf: payload}
+	var m simnet.Message
+	switch kind {
+	case kindPush:
+		m = core.MsgPush{S: d.str()}
+	case kindPoll:
+		s := d.str()
+		m = core.MsgPoll{S: s, R: d.u64()}
+	case kindPull:
+		s := d.str()
+		m = core.MsgPull{S: s, R: d.u64()}
+	case kindFw1:
+		x := int(d.u32())
+		w := int(d.u32())
+		r := d.u64()
+		m = core.MsgFw1{X: x, W: w, R: r, S: d.str()}
+	case kindFw2:
+		x := int(d.u32())
+		r := d.u64()
+		m = core.MsgFw2{X: x, R: r, S: d.str()}
+	case kindAnswer:
+		s := d.str()
+		m = core.MsgAnswer{S: s, R: d.u64()}
+	case kindElect:
+		bin := d.u32()
+		m = ae.MsgElect{Bin: bin, Seg: d.str()}
+	case kindValue:
+		level := int32(d.u32())
+		index := int32(d.u32())
+		m = ae.MsgValue{Level: level, Index: index, S: d.str()}
+	case kindQuery:
+		d.u8()
+		m = baseline.MsgQuery{}
+	case kindReply:
+		m = baseline.MsgReply{S: d.str()}
+	case kindBcast:
+		m = baseline.MsgBcast{S: d.str()}
+	case kindVote:
+		round := int32(d.u32())
+		m = baseline.MsgVote{Round: round, S: d.str()}
+	default:
+		return nil, fmt.Errorf("%w: kind %#x", ErrUnknownMessage, kind)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("wire: decode kind %#x: %w", kind, d.err)
+	}
+	if d.pos != len(payload) {
+		return nil, fmt.Errorf("wire: decode kind %#x: %d trailing bytes", kind, len(payload)-d.pos)
+	}
+	return m, nil
+}
+
+// EnvelopeOverhead is the frame size prepended by EncodeEnvelope; it equals
+// the simnet meter's per-message overhead.
+const EnvelopeOverhead = 9
+
+// EncodeEnvelope frames a message for transport: from, to, kind, payload.
+func EncodeEnvelope(from, to int, m simnet.Message) ([]byte, error) {
+	kind, err := KindByte(m)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, EnvelopeOverhead+len(payload))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(from))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(to))
+	buf = append(buf, kind)
+	return append(buf, payload...), nil
+}
+
+// DecodeEnvelope reverses EncodeEnvelope.
+func DecodeEnvelope(frame []byte) (from, to int, m simnet.Message, err error) {
+	if len(frame) < EnvelopeOverhead {
+		return 0, 0, nil, fmt.Errorf("wire: envelope too short: %d bytes", len(frame))
+	}
+	from = int(binary.LittleEndian.Uint32(frame[0:4]))
+	to = int(binary.LittleEndian.Uint32(frame[4:8]))
+	m, err = Unmarshal(frame[8], frame[9:])
+	return from, to, m, err
+}
+
+// appendString encodes a bit string: uint16 bit length + packed bytes.
+func appendString(buf []byte, s bitstring.String) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(s.Len()))
+	return append(buf, s.Bytes()...)
+}
+
+// decoder is a cursor with sticky errors.
+type decoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.pos+n > len(d.buf) {
+		d.err = fmt.Errorf("truncated at offset %d (need %d of %d)", d.pos, n, len(d.buf))
+		return nil
+	}
+	out := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return out
+}
+
+func (d *decoder) u8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) str() bitstring.String {
+	header := d.take(2)
+	if d.err != nil {
+		return bitstring.String{}
+	}
+	nbits := int(binary.LittleEndian.Uint16(header))
+	packed := d.take((nbits + 7) / 8)
+	if d.err != nil {
+		return bitstring.String{}
+	}
+	s, err := bitstring.FromBytes(packed, nbits)
+	if err != nil {
+		d.err = err
+	}
+	return s
+}

@@ -1,0 +1,316 @@
+package fastba
+
+import (
+	"encoding/hex"
+	"fmt"
+
+	"github.com/fastba/fastba/internal/adversary"
+	"github.com/fastba/fastba/internal/ae"
+	"github.com/fastba/fastba/internal/baseline"
+	"github.com/fastba/fastba/internal/core"
+	"github.com/fastba/fastba/internal/simnet"
+)
+
+// AERResult reports one almost-everywhere-to-everywhere run.
+type AERResult struct {
+	// Agreement is the Lemma 9/10 success condition: every correct node
+	// decided, and all decisions equal gstring.
+	Agreement bool
+	// GString is the hex encoding of the global string.
+	GString string
+	// Correct / Decided / DecidedGString / DecidedOther count correct
+	// nodes and their decisions.
+	Correct        int
+	Decided        int
+	DecidedGString int
+	DecidedOther   int
+	// Time is the number of synchronous rounds, or the maximum causal
+	// depth under asynchrony (the paper's time complexity measure).
+	Time int
+	// LastDecision is the time of the latest decision.
+	LastDecision int
+	// MeanBitsPerNode / MaxBitsPerNode are the communication metrics of
+	// Figure 1(a): amortized and worst-case per-node sent bits.
+	MeanBitsPerNode float64
+	MaxBitsPerNode  int64
+	// TotalMessages counts delivered messages; MessagesByKind breaks the
+	// sent messages down by protocol message type.
+	TotalMessages  int64
+	MessagesByKind map[string]int64
+	// SumCandidates is Σ|L_x| over correct nodes (Lemma 4).
+	SumCandidates int
+	// AnswersDeferred counts budget-deferred answers (Lemma 6 overload).
+	AnswersDeferred int
+	// DecisionTimes holds each correct decider's decision time.
+	DecisionTimes []int
+}
+
+// RunAER executes the core protocol on a synthetic almost-everywhere
+// population (the paper's §3.1 preconditions, controlled by WithKnowFrac
+// and WithCorruptFrac).
+func RunAER(cfg Config) (*AERResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sc, err := core.NewScenario(cfg.params, cfg.seed, core.ScenarioConfig{
+		CorruptFrac: cfg.corruptFrac,
+		KnowFrac:    cfg.knowFrac,
+		SharedJunk:  cfg.sharedJunk,
+		AdvBits:     1.0 / 3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return runAEROnScenario(cfg, sc)
+}
+
+func runAEROnScenario(cfg Config, sc *core.Scenario) (*AERResult, error) {
+	nodes, correct := sc.Build(byzMaker(cfg, sc))
+	m, err := execute(cfg, nodes, sc.Corrupt)
+	if err != nil {
+		return nil, err
+	}
+	return summarize(sc, correct, m), nil
+}
+
+// byzMaker maps the configured adversary to node factories.
+func byzMaker(cfg Config, sc *core.Scenario) func(id int) simnet.Node {
+	env := adversary.FromScenario(sc)
+	var st adversary.Strategy
+	switch cfg.adversary {
+	case AdversaryFlood:
+		st = adversary.Flood{}
+	case AdversaryEquivocate:
+		st = adversary.Equivocate{}
+	case AdversaryCorner:
+		st = adversary.Corner{}
+	case AdversaryCornerRushing:
+		st = adversary.Corner{Rushing: true}
+	default:
+		return nil // silent
+	}
+	return adversary.Maker(st, env)
+}
+
+// execute runs the node vector under the configured model.
+func execute(cfg Config, nodes []simnet.Node, corrupt []bool) (*simnet.Metrics, error) {
+	switch cfg.model {
+	case SyncNonRushing, SyncRushing:
+		// Rushing is a property of the Byzantine nodes (simnet.Rusher);
+		// the runner honours it whenever such nodes are present, which
+		// only the rushing strategies install.
+		return simnet.NewSync(nodes, corrupt).Run(cfg.maxRounds), nil
+	case Async:
+		return simnet.NewAsync(nodes, simnet.NewRandom(cfg.seed^0xA57)).Run(), nil
+	case AsyncAdversarial:
+		pri := func(e simnet.Envelope) int {
+			if corrupt[e.From] {
+				return 0 // adversary traffic jumps the queue
+			}
+			return 1
+		}
+		return simnet.NewAsync(nodes, simnet.NewAdversarial(pri, uint64(len(nodes))*8)).Run(), nil
+	case Goroutines:
+		return simnet.NewGo(nodes).Run(), nil
+	default:
+		return nil, fmt.Errorf("fastba: unknown model %v", cfg.model)
+	}
+}
+
+func summarize(sc *core.Scenario, correct []*core.Node, m *simnet.Metrics) *AERResult {
+	o := core.Evaluate(correct, sc.GString)
+	res := &AERResult{
+		Agreement:       o.Agreement(),
+		GString:         hex.EncodeToString(sc.GString.Bytes()),
+		Correct:         o.Correct,
+		Decided:         o.Decided,
+		DecidedGString:  o.DecidedG,
+		DecidedOther:    o.DecidedOther,
+		Time:            m.Rounds,
+		LastDecision:    o.MaxDecisionAt,
+		MeanBitsPerNode: m.MeanSentBits(),
+		MaxBitsPerNode:  m.MaxSentBits(),
+		TotalMessages:   m.Delivered,
+		MessagesByKind:  m.ByKind,
+		SumCandidates:   o.SumCandidates,
+	}
+	for _, n := range correct {
+		if n == nil {
+			continue
+		}
+		res.AnswersDeferred += n.Stats().AnswersDeferred
+		if at := n.DecidedAt(); at >= 0 {
+			res.DecisionTimes = append(res.DecisionTimes, at)
+		}
+	}
+	return res
+}
+
+// BAResult reports a full Byzantine Agreement run: the almost-everywhere
+// phase (committee tree) followed by AER.
+type BAResult struct {
+	// AE summarizes the almost-everywhere phase.
+	AE AEPhase
+	// AER summarizes the everywhere phase.
+	AER AERResult
+	// GString is the hex encoding of the agreed string.
+	GString string
+	// TotalMeanBitsPerNode sums both phases' amortized communication —
+	// the Figure 1(b) "Bits" entry for BA.
+	TotalMeanBitsPerNode float64
+	// TotalTime sums both phases' time.
+	TotalTime int
+}
+
+// AEPhase summarizes the committee-tree phase.
+type AEPhase struct {
+	// KnowFrac is the fraction of correct nodes that learned gstring —
+	// the almost-everywhere guarantee (AER needs > 3/4 of correct nodes).
+	KnowFrac float64
+	// MeanBitsPerNode is the phase's amortized communication.
+	MeanBitsPerNode float64
+	// Time is the phase's round count.
+	Time int
+}
+
+// RunBA executes the composed protocol: the KSSV06-style committee tree
+// generates and spreads gstring almost everywhere, then AER carries it to
+// everyone. The almost-everywhere phase is synchronous (as in KSSV06); the
+// AER phase runs under the configured model.
+func RunBA(cfg Config) (*BAResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+
+	// Corruption pattern shared by both phases (the adversary is
+	// non-adaptive and corrupts nodes once).
+	seedSc, err := core.NewScenario(cfg.params, cfg.seed, core.ScenarioConfig{
+		CorruptFrac: cfg.corruptFrac,
+		KnowFrac:    1,
+		SharedJunk:  true,
+		AdvBits:     0,
+	})
+	if err != nil {
+		return nil, err
+	}
+	corrupt := seedSc.Corrupt
+
+	aeParams := ae.Params{
+		N:             cfg.n,
+		CommitteeSize: cfg.params.QuorumSize,
+		Bins:          ae.DefaultParams(cfg.n).Bins,
+		StringBits:    cfg.params.StringBits,
+		Seed:          cfg.params.SamplerSeed,
+	}
+	var mkByz func(id int) simnet.Node
+	if cfg.adversary != AdversaryNone && cfg.adversary != AdversarySilent {
+		mkByz, err = ae.Poison(aeParams, cfg.seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	aeRes, err := ae.Run(aeParams, cfg.seed, corrupt, mkByz)
+	if err != nil {
+		return nil, err
+	}
+	if aeRes.GString.IsZero() {
+		return nil, fmt.Errorf("fastba: almost-everywhere phase failed to elect a global string")
+	}
+
+	sc, err := core.ScenarioFromBeliefs(cfg.params, cfg.seed, corrupt, aeRes.GString, aeRes.Beliefs)
+	if err != nil {
+		return nil, err
+	}
+	aerRes, err := runAEROnScenario(cfg, sc)
+	if err != nil {
+		return nil, err
+	}
+
+	return &BAResult{
+		AE: AEPhase{
+			KnowFrac:        aeRes.KnowFrac,
+			MeanBitsPerNode: aeRes.Metrics.MeanSentBits(),
+			Time:            aeRes.Metrics.Rounds,
+		},
+		AER:                  *aerRes,
+		GString:              aerRes.GString,
+		TotalMeanBitsPerNode: aeRes.Metrics.MeanSentBits() + aerRes.MeanBitsPerNode,
+		TotalTime:            aeRes.Metrics.Rounds + aerRes.Time,
+	}, nil
+}
+
+// Baseline selects one of the comparison protocols of Figure 1.
+type Baseline int
+
+// Comparison protocols.
+const (
+	// BaselineKLST11 is the stylized load-balanced Õ(√n) a.e.→e. protocol.
+	BaselineKLST11 Baseline = iota + 1
+	// BaselineFlood is the everyone-broadcasts yardstick.
+	BaselineFlood
+	// BaselineRabin is the Rabin'83/PR10-class quadratic randomized BA.
+	BaselineRabin
+)
+
+// String implements fmt.Stringer.
+func (b Baseline) String() string {
+	switch b {
+	case BaselineKLST11:
+		return "klst11"
+	case BaselineFlood:
+		return "flood"
+	case BaselineRabin:
+		return "rabin"
+	default:
+		return fmt.Sprintf("Baseline(%d)", int(b))
+	}
+}
+
+// BaselineResult reports a baseline run in the same units as AERResult.
+type BaselineResult struct {
+	Agreement       bool
+	Correct         int
+	Decided         int
+	Time            int
+	MeanBitsPerNode float64
+	MaxBitsPerNode  int64
+	TotalMessages   int64
+}
+
+// RunBaseline executes a comparison protocol on the same population a
+// RunAER call with this configuration would use. Baselines are synchronous
+// (their round structure is intrinsic); the model option is ignored.
+func RunBaseline(cfg Config, b Baseline) (*BaselineResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sc, err := core.NewScenario(cfg.params, cfg.seed, core.ScenarioConfig{
+		CorruptFrac: cfg.corruptFrac,
+		KnowFrac:    cfg.knowFrac,
+		SharedJunk:  cfg.sharedJunk,
+		AdvBits:     1.0 / 3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var res *baseline.Result
+	switch b {
+	case BaselineKLST11:
+		res = baseline.RunKLST11(sc)
+	case BaselineFlood:
+		res = baseline.RunFlood(sc)
+	case BaselineRabin:
+		res = baseline.RunRabin(sc, 0)
+	default:
+		return nil, fmt.Errorf("fastba: unknown baseline %v", b)
+	}
+	return &BaselineResult{
+		Agreement:       res.Outcome.Agreement(),
+		Correct:         res.Outcome.Correct,
+		Decided:         res.Outcome.Decided,
+		Time:            res.Outcome.MaxDecisionAt,
+		MeanBitsPerNode: res.Metrics.MeanSentBits(),
+		MaxBitsPerNode:  res.Metrics.MaxSentBits(),
+		TotalMessages:   res.Metrics.Delivered,
+	}, nil
+}
