@@ -1,21 +1,25 @@
-// Command aer-sim runs a single AER (almost-everywhere to everywhere)
-// simulation and prints its outcome and communication metrics.
+// Command aer-sim runs AER (almost-everywhere to everywhere) simulations
+// and prints outcome and communication metrics. A single seed prints the
+// detailed per-run view; multiple seeds run as a parallel experiment suite
+// and print the aggregated per-cell report.
 //
-// Example:
+// Examples:
 //
 //	aer-sim -n 256 -model async -adversary flood -corrupt 0.1 -know 0.85
+//	aer-sim -n 512 -seeds 10 -json        # aggregated sweep, JSON report
+//	aer-sim -n 64 -tcp                    # same nodes over loopback TCP
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
 	"github.com/fastba/fastba"
-	"github.com/fastba/fastba/internal/core"
-	"github.com/fastba/fastba/internal/simnet"
-	"github.com/fastba/fastba/internal/trace"
 )
 
 func main() {
@@ -29,36 +33,35 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("aer-sim", flag.ContinueOnError)
 	var (
 		n         = fs.Int("n", 256, "system size")
-		seed      = fs.Uint64("seed", 1, "master seed")
-		model     = fs.String("model", "sync", "model: sync | sync-rushing | async | async-adversarial | goroutines")
-		adv       = fs.String("adversary", "silent", "adversary: none | silent | flood | equivocate | corner | corner-rushing")
+		seed      = fs.Uint64("seed", 1, "master seed (single-run mode)")
+		seeds     = fs.Int("seeds", 1, "number of seeds: > 1 runs a parallel suite and prints the aggregate report")
+		model     = fs.String("model", "sync-nonrushing", "model: sync-nonrushing | sync-rushing | async | async-adversarial | goroutines")
+		adv       = fs.String("adversary", "silent", "adversary registry name: "+strings.Join(fastba.RegisteredAdversaries(), " | "))
 		corrupt   = fs.Float64("corrupt", 0.10, "fraction of Byzantine nodes (t/n)")
 		know      = fs.Float64("know", 0.85, "fraction of correct nodes that know gstring")
 		budget    = fs.Int("budget", -1, "answer budget override (-1 = log² n default, 0 = unlimited)")
 		deferred  = fs.Bool("deferred-relay", false, "enable the deferred-relay extension")
 		quorum    = fs.Int("quorum", 0, "quorum size override (0 = default)")
 		junkIndep = fs.Bool("independent-junk", false, "unknowing nodes hold individual junk strings")
-		showTrace = fs.Bool("trace", false, "print the message-flow timeline and hotspot nodes (sync model only)")
+		showTrace = fs.Bool("trace", false, "print the message-flow timeline and hotspot nodes of the run")
+		tcp       = fs.Bool("tcp", false, "execute over real loopback TCP sockets instead of the simulator")
+		jsonOut   = fs.Bool("json", false, "print the suite report as JSON (implies suite mode)")
+		workers   = fs.Int("workers", 0, "suite worker-pool size (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	opts := []fastba.Option{
-		fastba.WithSeed(*seed),
-		fastba.WithCorruptFrac(*corrupt),
-		fastba.WithKnowFrac(*know),
-	}
 	m, err := parseModel(*model)
 	if err != nil {
 		return err
 	}
-	opts = append(opts, fastba.WithModel(m))
-	a, err := parseAdversary(*adv)
-	if err != nil {
-		return err
+	opts := []fastba.Option{
+		fastba.WithModel(m),
+		fastba.WithAdversaryName(*adv),
+		fastba.WithCorruptFrac(*corrupt),
+		fastba.WithKnowFrac(*know),
 	}
-	opts = append(opts, fastba.WithAdversary(a))
 	if *budget >= 0 {
 		opts = append(opts, fastba.WithAnswerBudget(*budget))
 	}
@@ -72,17 +75,93 @@ func run(args []string) error {
 		opts = append(opts, fastba.WithIndependentJunk())
 	}
 
-	res, err := fastba.RunAER(fastba.NewConfig(*n, opts...))
+	ctx := context.Background()
+	if *seeds > 1 || *jsonOut {
+		if *showTrace {
+			return fmt.Errorf("-trace captures one run; it cannot be combined with -seeds/-json suite mode")
+		}
+		// -seeds k sweeps seeds 1..k; a plain -json run honours -seed.
+		seedList := fastba.Seeds(*seeds)
+		if *seeds <= 1 {
+			seedList = []uint64{*seed}
+		}
+		return runSuite(ctx, *n, seedList, opts, *tcp, *jsonOut, *workers)
+	}
+	if *tcp {
+		return runTCP(ctx, *n, *seed, opts, *showTrace)
+	}
+	return runSingle(ctx, *n, *seed, m, *adv, opts, *showTrace)
+}
+
+// runSuite is the sweep path: every execution mode of this tool funnels
+// through the library's suite driver — no hand-rolled loops.
+func runSuite(ctx context.Context, n int, seeds []uint64, opts []fastba.Option, tcp, jsonOut bool, workers int) error {
+	suite := fastba.Suite{
+		Name:    "aer-sim",
+		Workers: workers,
+		Sweep: fastba.Sweep{
+			Ns:      []int{n},
+			Seeds:   seeds,
+			Options: opts,
+		},
+	}
+	if tcp {
+		suite.Kind = fastba.KindTCP
+	}
+	rep, err := fastba.RunSuite(ctx, suite)
 	if err != nil {
 		return err
 	}
-	if *showTrace {
-		if err := printTrace(*n, *seed, *corrupt, *know); err != nil {
-			return err
-		}
+	if jsonOut {
+		return rep.WriteJSON(os.Stdout)
+	}
+	rep.Render(os.Stdout)
+	return nil
+}
+
+func runTCP(ctx context.Context, n int, seed uint64, opts []fastba.Option, showTrace bool) error {
+	var tr *fastba.Trace
+	if showTrace {
+		tr = fastba.NewTrace(n)
+		opts = append(opts, fastba.WithObserver(tr.Observer()))
+	}
+	res, err := fastba.RunTCP(ctx, fastba.NewConfig(n, append(opts, fastba.WithSeed(seed))...), 60*time.Second)
+	if err != nil {
+		return err
+	}
+	if tr != nil {
+		// TCP runs have no logical clock, so there is no timeline — the
+		// per-node delivery hotspots are the meaningful view.
+		fmt.Println("hotspots (no timeline over TCP — deliveries carry no logical time):")
+		tr.Hotspots(os.Stdout, 5)
+	}
+	fmt.Printf("AER over TCP n=%d seed=%d\n", n, seed)
+	fmt.Printf("  gstring      %s\n", res.GString)
+	fmt.Printf("  agreement    %v (%d/%d decided, %d on gstring, %d other, timed out %v)\n",
+		res.Agreement, res.Decided, res.Correct, res.DecidedGString, res.DecidedOther, res.TimedOut)
+	fmt.Printf("  wall time    %v\n", res.Wall.Round(time.Millisecond))
+	fmt.Printf("  bits/node    mean %.0f, max %d\n", res.MeanBitsPerNode, res.MaxBitsPerNode)
+	return nil
+}
+
+func runSingle(ctx context.Context, n int, seed uint64, m fastba.Model, adv string, opts []fastba.Option, showTrace bool) error {
+	var tr *fastba.Trace
+	if showTrace {
+		tr = fastba.NewTrace(n)
+		opts = append(opts, fastba.WithObserver(tr.Observer()))
+	}
+	res, err := fastba.RunAERContext(ctx, fastba.NewConfig(n, append(opts, fastba.WithSeed(seed))...))
+	if err != nil {
+		return err
+	}
+	if tr != nil {
+		fmt.Println("message-flow timeline:")
+		tr.Timeline(os.Stdout)
+		fmt.Println("hotspots:")
+		tr.Hotspots(os.Stdout, 5)
 	}
 
-	fmt.Printf("AER n=%d model=%v adversary=%v seed=%d\n", *n, m, a, *seed)
+	fmt.Printf("AER n=%d model=%v adversary=%s seed=%d\n", n, m, adv, seed)
 	fmt.Printf("  gstring          %s\n", res.GString)
 	fmt.Printf("  agreement        %v (%d/%d decided, %d on gstring, %d other)\n",
 		res.Agreement, res.Decided, res.Correct, res.DecidedGString, res.DecidedOther)
@@ -103,62 +182,8 @@ func run(args []string) error {
 }
 
 func parseModel(s string) (fastba.Model, error) {
-	switch s {
-	case "sync", "sync-nonrushing":
+	if s == "sync" { // legacy shorthand
 		return fastba.SyncNonRushing, nil
-	case "sync-rushing":
-		return fastba.SyncRushing, nil
-	case "async":
-		return fastba.Async, nil
-	case "async-adversarial":
-		return fastba.AsyncAdversarial, nil
-	case "goroutines":
-		return fastba.Goroutines, nil
-	default:
-		return 0, fmt.Errorf("unknown model %q", s)
 	}
-}
-
-func parseAdversary(s string) (fastba.Adversary, error) {
-	switch s {
-	case "none":
-		return fastba.AdversaryNone, nil
-	case "silent":
-		return fastba.AdversarySilent, nil
-	case "flood":
-		return fastba.AdversaryFlood, nil
-	case "equivocate":
-		return fastba.AdversaryEquivocate, nil
-	case "corner":
-		return fastba.AdversaryCorner, nil
-	case "corner-rushing":
-		return fastba.AdversaryCornerRushing, nil
-	default:
-		return 0, fmt.Errorf("unknown adversary %q", s)
-	}
-}
-
-// printTrace re-runs the scenario synchronously with a trace attached and
-// renders the message-flow timeline (the temporal Figure 2) plus the five
-// most-loaded nodes.
-func printTrace(n int, seed uint64, corrupt, know float64) error {
-	sc, err := core.NewScenario(core.DefaultParams(n), seed, core.ScenarioConfig{
-		CorruptFrac: corrupt,
-		KnowFrac:    know,
-		SharedJunk:  true,
-		AdvBits:     1.0 / 3,
-	})
-	if err != nil {
-		return err
-	}
-	nodes, _ := sc.Build(nil)
-	tr := trace.New(n)
-	runner := simnet.NewSync(nodes, sc.Corrupt)
-	runner.Observe(tr.Observer())
-	runner.Run(64)
-	fmt.Println("message-flow timeline:")
-	tr.Timeline(os.Stdout)
-	fmt.Println("hotspots:")
-	tr.Hotspots(os.Stdout, 5)
-	return nil
+	return fastba.ParseModel(s)
 }

@@ -1,16 +1,21 @@
 // Command ba-sim runs the full Byzantine Agreement pipeline — the
 // KSSV06-style almost-everywhere committee phase followed by AER — and
-// prints per-phase metrics.
+// prints per-phase metrics. A single seed prints the detailed view;
+// multiple seeds run through the parallel suite driver and print the
+// aggregated report.
 //
-// Example:
+// Examples:
 //
 //	ba-sim -n 512 -corrupt 0.1 -adversary equivocate
+//	ba-sim -n 256 -seeds 10 -json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/fastba/fastba"
 )
@@ -26,56 +31,64 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("ba-sim", flag.ContinueOnError)
 	var (
 		n       = fs.Int("n", 256, "system size")
-		seed    = fs.Uint64("seed", 1, "master seed")
-		model   = fs.String("model", "sync", "AER phase model: sync | async | async-adversarial | goroutines")
-		adv     = fs.String("adversary", "silent", "adversary: none | silent | flood | equivocate | corner | corner-rushing")
+		seed    = fs.Uint64("seed", 1, "master seed (single-run mode)")
+		seeds   = fs.Int("seeds", 1, "number of seeds: > 1 runs a parallel suite and prints the aggregate report")
+		model   = fs.String("model", "sync-nonrushing", "AER phase model: sync-nonrushing | sync-rushing | async | async-adversarial | goroutines")
+		adv     = fs.String("adversary", "silent", "adversary registry name: "+strings.Join(fastba.RegisteredAdversaries(), " | "))
 		corrupt = fs.Float64("corrupt", 0.10, "fraction of Byzantine nodes (t/n)")
+		jsonOut = fs.Bool("json", false, "print the suite report as JSON (implies suite mode)")
+		workers = fs.Int("workers", 0, "suite worker-pool size (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	m := fastba.SyncNonRushing
-	switch *model {
-	case "sync":
-	case "async":
-		m = fastba.Async
-	case "async-adversarial":
-		m = fastba.AsyncAdversarial
-	case "goroutines":
-		m = fastba.Goroutines
-	default:
-		return fmt.Errorf("unknown model %q", *model)
+	if *model == "sync" { // legacy shorthand
+		*model = fastba.SyncNonRushing.String()
 	}
-	var a fastba.Adversary
-	switch *adv {
-	case "none":
-		a = fastba.AdversaryNone
-	case "silent":
-		a = fastba.AdversarySilent
-	case "flood":
-		a = fastba.AdversaryFlood
-	case "equivocate":
-		a = fastba.AdversaryEquivocate
-	case "corner":
-		a = fastba.AdversaryCorner
-	case "corner-rushing":
-		a = fastba.AdversaryCornerRushing
-	default:
-		return fmt.Errorf("unknown adversary %q", *adv)
+	m, err := fastba.ParseModel(*model)
+	if err != nil {
+		return err
+	}
+	opts := []fastba.Option{
+		fastba.WithModel(m),
+		fastba.WithAdversaryName(*adv),
+		fastba.WithCorruptFrac(*corrupt),
+	}
+	ctx := context.Background()
+
+	if *seeds > 1 || *jsonOut {
+		// -seeds k sweeps seeds 1..k; a plain -json run honours -seed.
+		seedList := fastba.Seeds(*seeds)
+		if *seeds <= 1 {
+			seedList = []uint64{*seed}
+		}
+		rep, err := fastba.RunSuite(ctx, fastba.Suite{
+			Name:    "ba-sim",
+			Kind:    fastba.KindBA,
+			Workers: *workers,
+			Sweep: fastba.Sweep{
+				Ns:      []int{*n},
+				Seeds:   seedList,
+				Options: opts,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return rep.WriteJSON(os.Stdout)
+		}
+		rep.Render(os.Stdout)
+		return nil
 	}
 
-	res, err := fastba.RunBA(fastba.NewConfig(*n,
-		fastba.WithSeed(*seed),
-		fastba.WithModel(m),
-		fastba.WithAdversary(a),
-		fastba.WithCorruptFrac(*corrupt),
-	))
+	res, err := fastba.RunBAContext(ctx, fastba.NewConfig(*n, append(opts, fastba.WithSeed(*seed))...))
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("BA n=%d model=%v adversary=%v seed=%d\n", *n, m, a, *seed)
+	fmt.Printf("BA n=%d model=%v adversary=%s seed=%d\n", *n, m, *adv, *seed)
 	fmt.Printf("  gstring            %s\n", res.GString)
 	fmt.Printf("  AE phase           know=%.3f bits/node=%.0f rounds=%d\n",
 		res.AE.KnowFrac, res.AE.MeanBitsPerNode, res.AE.Time)

@@ -10,50 +10,67 @@ import (
 
 // fig1a regenerates Figure 1(a): the almost-everywhere-to-everywhere
 // comparison — [KLST11-style] vs AER under sync-non-rushing and async —
-// over time, bits per node and load balance.
+// over time, bits per node and load balance. Both protocol families run
+// through the suite driver; this function only arranges cells into the
+// paper's row order.
 func fig1a(sw sweep) error {
+	base := []fastba.Option{fastba.WithCorruptFrac(0.05), fastba.WithKnowFrac(0.92)}
+
+	aer, err := mustSuite(fastba.Suite{
+		Name: "fig1a-aer",
+		Sweep: fastba.Sweep{
+			Ns:      sw.ns,
+			Seeds:   []uint64{7},
+			Models:  []fastba.Model{fastba.SyncNonRushing, fastba.Async},
+			Options: base,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	klst, err := mustSuite(fastba.Suite{
+		Name:     "fig1a-klst11",
+		Kind:     fastba.KindBaseline,
+		Baseline: fastba.BaselineKLST11,
+		Sweep:    fastba.Sweep{Ns: sw.ns, Seeds: []uint64{7}, Options: base},
+	})
+	if err != nil {
+		return err
+	}
+
 	tb := metrics.NewTable(
 		"Figure 1(a) — almost-everywhere to everywhere (measured; paper rows: KLST11 O(log²n)/Õ(√n)/LB, AER-SNR O(1)/O(log²n)/unbalanced, AER-async O(logn/loglogn))",
 		"protocol", "model", "n", "time", "bits/node", "max bits/node", "max/mean", "agree")
 
 	type series struct{ xs, bits []float64 }
 	collected := map[string]*series{}
-	record := func(proto string, n int, time int, mean float64, max int64, agree bool) {
-		ratio := float64(max) / mean
-		tb.Add(proto, protoModel(proto), fmt.Sprint(n), fmt.Sprint(time),
-			metrics.Bits(mean), metrics.Bits(float64(max)), fmt.Sprintf("%.1f", ratio), fmt.Sprint(agree))
+	record := func(proto, model string, cr *fastba.CellReport) {
+		rec := cr.Records[0]
+		tb.Add(proto, model, fmt.Sprint(cr.Cell.N), fmt.Sprint(rec.Time),
+			metrics.Bits(rec.MeanBitsPerNode), metrics.Bits(float64(rec.MaxBitsPerNode)),
+			fmt.Sprintf("%.1f", float64(rec.MaxBitsPerNode)/rec.MeanBitsPerNode),
+			fmt.Sprint(rec.Agreement))
 		s := collected[proto]
 		if s == nil {
 			s = &series{}
 			collected[proto] = s
 		}
-		s.xs = append(s.xs, float64(n))
-		s.bits = append(s.bits, mean)
+		s.xs = append(s.xs, float64(cr.Cell.N))
+		s.bits = append(s.bits, rec.MeanBitsPerNode)
 	}
 
 	for _, n := range sw.ns {
-		cfg := func(opts ...fastba.Option) fastba.Config {
-			base := []fastba.Option{fastba.WithSeed(7), fastba.WithCorruptFrac(0.05), fastba.WithKnowFrac(0.92)}
-			return fastba.NewConfig(n, append(base, opts...)...)
+		forN := func(c fastba.Cell) bool { return c.N == n }
+		for _, cr := range aer.Find(forN) {
+			proto, model := "AER", "sync-NR"
+			if cr.Cell.Model == fastba.Async.String() {
+				proto, model = "AER-async", "async"
+			}
+			record(proto, model, cr)
 		}
-
-		sync, err := fastba.RunAER(cfg())
-		if err != nil {
-			return err
+		for _, cr := range klst.Find(forN) {
+			record("KLST11", "sync", cr)
 		}
-		record("AER", n, sync.Time, sync.MeanBitsPerNode, sync.MaxBitsPerNode, sync.Agreement)
-
-		async, err := fastba.RunAER(cfg(fastba.WithModel(fastba.Async)))
-		if err != nil {
-			return err
-		}
-		record("AER-async", n, async.Time, async.MeanBitsPerNode, async.MaxBitsPerNode, async.Agreement)
-
-		klst, err := fastba.RunBaseline(cfg(), fastba.BaselineKLST11)
-		if err != nil {
-			return err
-		}
-		record("KLST11", n, klst.Time, klst.MeanBitsPerNode, klst.MaxBitsPerNode, klst.Agreement)
 	}
 	tb.Render(os.Stdout)
 
@@ -68,52 +85,61 @@ func fig1a(sw sweep) error {
 	return nil
 }
 
-func protoModel(proto string) string {
-	switch proto {
-	case "AER":
-		return "sync-NR"
-	case "AER-async":
-		return "async"
-	default:
-		return "sync"
-	}
-}
-
 // fig1b regenerates Figure 1(b): end-to-end Byzantine Agreement — measured
 // rows for BA (AE + AER), the flood yardstick and the Rabin/PR10-class
 // baseline, plus the paper-reported analytical rows that cannot reasonably
 // be run (BOPV06's n^O(log n) bits; KS13's Õ(n^2.5) expected time).
 func fig1b(sw sweep) error {
+
+	ba, err := mustSuite(fastba.Suite{
+		Name: "fig1b-ba",
+		Kind: fastba.KindBA,
+		Sweep: fastba.Sweep{
+			Ns:      sw.ns,
+			Seeds:   []uint64{7},
+			Options: []fastba.Option{fastba.WithCorruptFrac(0.05)},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	baseSweep := fastba.Sweep{
+		Ns:      sw.ns,
+		Seeds:   []uint64{7},
+		Options: []fastba.Option{fastba.WithCorruptFrac(0.05), fastba.WithKnowFrac(0.92)},
+	}
+	flood, err := mustSuite(fastba.Suite{
+		Name: "fig1b-flood", Kind: fastba.KindBaseline, Baseline: fastba.BaselineFlood, Sweep: baseSweep,
+	})
+	if err != nil {
+		return err
+	}
+	rabin, err := mustSuite(fastba.Suite{
+		Name: "fig1b-rabin", Kind: fastba.KindBaseline, Baseline: fastba.BaselineRabin, Sweep: baseSweep,
+	})
+	if err != nil {
+		return err
+	}
+
 	tb := metrics.NewTable(
 		"Figure 1(b) — Byzantine Agreement",
 		"protocol", "source", "n", "resilience", "time", "total bits", "bits/node", "agree")
 
-	for _, n := range sw.ns {
-		ba, err := fastba.RunBA(fastba.NewConfig(n, fastba.WithSeed(7), fastba.WithCorruptFrac(0.05)))
-		if err != nil {
-			return err
-		}
-		totalBits := ba.TotalMeanBitsPerNode * float64(n)
+	for i, n := range sw.ns {
+		baRec := ba.Cells[i].Records[0]
 		tb.Add("BA (AE+AER)", "measured", fmt.Sprint(n), "3t+1",
-			fmt.Sprint(ba.TotalTime), metrics.Bits(totalBits),
-			metrics.Bits(ba.TotalMeanBitsPerNode), fmt.Sprint(ba.AER.Agreement))
+			fmt.Sprint(baRec.TotalTime), metrics.Bits(baRec.TotalMeanBitsPerNode*float64(n)),
+			metrics.Bits(baRec.TotalMeanBitsPerNode), fmt.Sprint(baRec.Agreement))
 
-		cfg := fastba.NewConfig(n, fastba.WithSeed(7), fastba.WithCorruptFrac(0.05), fastba.WithKnowFrac(0.92))
-		flood, err := fastba.RunBaseline(cfg, fastba.BaselineFlood)
-		if err != nil {
-			return err
-		}
+		floodRec := flood.Cells[i].Records[0]
 		tb.Add("flood", "measured", fmt.Sprint(n), "2t+1",
-			fmt.Sprint(flood.Time), metrics.Bits(flood.MeanBitsPerNode*float64(n)),
-			metrics.Bits(flood.MeanBitsPerNode), fmt.Sprint(flood.Agreement))
+			fmt.Sprint(floodRec.Time), metrics.Bits(floodRec.MeanBitsPerNode*float64(n)),
+			metrics.Bits(floodRec.MeanBitsPerNode), fmt.Sprint(floodRec.Agreement))
 
-		rabin, err := fastba.RunBaseline(cfg, fastba.BaselineRabin)
-		if err != nil {
-			return err
-		}
+		rabinRec := rabin.Cells[i].Records[0]
 		tb.Add("Rabin/PR10-class", "measured", fmt.Sprint(n), "4t+1",
-			fmt.Sprint(rabin.Time), metrics.Bits(rabin.MeanBitsPerNode*float64(n)),
-			metrics.Bits(rabin.MeanBitsPerNode), fmt.Sprint(rabin.Agreement))
+			fmt.Sprint(rabinRec.Time), metrics.Bits(rabinRec.MeanBitsPerNode*float64(n)),
+			metrics.Bits(rabinRec.MeanBitsPerNode), fmt.Sprint(rabinRec.Agreement))
 	}
 
 	// Paper-reported rows for protocols outside simulatable reach.

@@ -3,60 +3,54 @@ package main
 import (
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/fastba/fastba"
-	"github.com/fastba/fastba/internal/adversary"
 	"github.com/fastba/fastba/internal/core"
 	"github.com/fastba/fastba/internal/metrics"
 	"github.com/fastba/fastba/internal/prng"
 	"github.com/fastba/fastba/internal/sampler"
-	"github.com/fastba/fastba/internal/simnet"
 )
 
-// probeConfig is the population used by the lemma probes: the default
-// (tight) fault model under a flooding adversary.
-func probeScenario(n int, seed uint64) (*core.Scenario, error) {
-	return core.NewScenario(core.DefaultParams(n), seed, core.DefaultScenarioConfig())
-}
+// The lemma probes sweep the default (tight) population — 10% corruption,
+// 85% knowledge — which is exactly NewConfig's default, so the suites
+// below only list the dimensions under study. Flooding-intensity variants
+// of the built-in adversary register through the public registry once.
 
-// runProbe executes one synchronous AER run with the given strategy.
-func runProbe(sc *core.Scenario, st adversary.Strategy) ([]*core.Node, *simnet.Metrics) {
-	var mk func(int) simnet.Node
-	if st != nil {
-		mk = adversary.Maker(st, adversary.FromScenario(sc))
+func registerFloodVariants() error {
+	for name, count := range map[string]int{"flood10": 10, "flood6": 6} {
+		if err := fastba.RegisterAdversary(name, fastba.FloodStrategy(count, 0)); err != nil {
+			return err
+		}
 	}
-	nodes, correct := sc.Build(mk)
-	m := simnet.NewSync(nodes, sc.Corrupt).Run(60)
-	return correct, m
+	return nil
 }
 
 // lemma3 measures the push phase: messages and bits sent per correct node
-// must be O(log n) messages of O(log n) bits — flat against flooding.
+// must be O(s·log n) — flat against flooding.
 func lemma3(sw sweep) error {
+	rep, err := mustSuite(fastba.Suite{
+		Name: "lemma3",
+		Sweep: fastba.Sweep{
+			Ns:          sw.ns,
+			Seeds:       []uint64{7},
+			Adversaries: []string{"silent", "flood10"},
+		},
+	})
+	if err != nil {
+		return err
+	}
+
 	tb := metrics.NewTable(
 		"Lemma 3 — push-phase communication per correct node is O(s·log n), adversary-independent",
 		"n", "d=|I|", "push msgs/node (silent)", "push msgs/node (flood)", "push bits/node", "bound d")
 	for _, n := range sw.ns {
+		cells := rep.Find(func(c fastba.Cell) bool { return c.N == n })
+		silent, flood := cells[0].Records[0], cells[1].Records[0]
 		p := core.DefaultParams(n)
-		var perAdv [2]float64
-		for i, st := range []adversary.Strategy{adversary.Silent{}, adversary.Flood{Strings: 10}} {
-			sc, err := probeScenario(n, 7)
-			if err != nil {
-				return err
-			}
-			correct, _ := runProbe(sc, st)
-			var pushes, count float64
-			for _, node := range correct {
-				if node != nil {
-					pushes += float64(node.Stats().PushesSent)
-					count++
-				}
-			}
-			perAdv[i] = pushes / count
-		}
-		pushBits := perAdv[0] * float64(p.StringBits+11*8) // payload + envelope
+		pushBits := silent.PushesPerCorrect * float64(p.StringBits+11*8) // payload + envelope
 		tb.Add(fmt.Sprint(n), fmt.Sprint(p.QuorumSize),
-			fmt.Sprintf("%.1f", perAdv[0]), fmt.Sprintf("%.1f", perAdv[1]),
+			fmt.Sprintf("%.1f", silent.PushesPerCorrect), fmt.Sprintf("%.1f", flood.PushesPerCorrect),
 			metrics.Bits(pushBits), fmt.Sprint(p.QuorumSize))
 	}
 	tb.Render(os.Stdout)
@@ -67,21 +61,26 @@ func lemma3(sw sweep) error {
 // lemma4 measures Σ|L_x|: the sum of candidate-list sizes stays O(n) under
 // the flooding adversary.
 func lemma4(sw sweep) error {
+	rep, err := mustSuite(fastba.Suite{
+		Name: "lemma4",
+		Sweep: fastba.Sweep{
+			Ns:          sw.ns,
+			Seeds:       []uint64{7},
+			Adversaries: []string{"silent", "flood10"},
+		},
+	})
+	if err != nil {
+		return err
+	}
+
 	tb := metrics.NewTable(
 		"Lemma 4 — Σ|L_x| = O(n) under push flooding",
 		"n", "adversary", "Σ|L_x|", "Σ|L_x| / correct", "agree")
-	for _, n := range sw.ns {
-		for _, st := range []adversary.Strategy{adversary.Silent{}, adversary.Flood{Strings: 10}} {
-			sc, err := probeScenario(n, 7)
-			if err != nil {
-				return err
-			}
-			correct, _ := runProbe(sc, st)
-			o := core.Evaluate(correct, sc.GString)
-			tb.Add(fmt.Sprint(n), st.Name(), fmt.Sprint(o.SumCandidates),
-				fmt.Sprintf("%.2f", float64(o.SumCandidates)/float64(o.Correct)),
-				fmt.Sprint(o.Agreement()))
-		}
+	for _, cr := range rep.Cells {
+		rec := cr.Records[0]
+		tb.Add(fmt.Sprint(cr.Cell.N), cr.Cell.Adversary, fmt.Sprint(rec.SumCandidates),
+			fmt.Sprintf("%.2f", float64(rec.SumCandidates)/float64(rec.Correct)),
+			fmt.Sprint(rec.Agreement))
 	}
 	tb.Render(os.Stdout)
 	fmt.Println("candidate lists stay ≈ 1 entry per node regardless of flooding.")
@@ -91,40 +90,49 @@ func lemma4(sw sweep) error {
 // lemma5 measures push-phase coverage: the fraction of runs in which every
 // correct node ends the push phase with gstring in its candidate list.
 func lemma5(sw sweep) error {
+	rep, err := mustSuite(fastba.Suite{
+		Name: "lemma5",
+		Sweep: fastba.Sweep{
+			Ns:          sw.ns,
+			Seeds:       fastba.Seeds(sw.seeds),
+			Adversaries: []string{"flood6"},
+		},
+	})
+	if err != nil {
+		return err
+	}
+
 	tb := metrics.NewTable(
 		"Lemma 5 — w.h.p. every node has gstring in its candidate list after the push",
 		"n", "runs", "full-coverage runs", "worst node coverage")
-	for _, n := range sw.ns {
+	for _, cr := range rep.Cells {
 		fullRuns := 0
 		worst := 1.0
-		for seed := uint64(1); seed <= uint64(sw.seeds); seed++ {
-			sc, err := probeScenario(n, seed)
-			if err != nil {
-				return err
-			}
-			correct, _ := runProbe(sc, adversary.Flood{Strings: 6})
-			have, count := 0, 0
-			for _, node := range correct {
-				if node == nil {
-					continue
-				}
-				count++
-				if node.HasCandidate(sc.GString) {
-					have++
-				}
-			}
-			frac := float64(have) / float64(count)
-			if frac == 1 {
+		for _, rec := range cr.Records {
+			if rec.CandidateCoverage == 1 {
 				fullRuns++
 			}
-			if frac < worst {
-				worst = frac
+			if rec.CandidateCoverage < worst {
+				worst = rec.CandidateCoverage
 			}
 		}
-		tb.Add(fmt.Sprint(n), fmt.Sprint(sw.seeds), fmt.Sprint(fullRuns), fmt.Sprintf("%.4f", worst))
+		tb.Add(fmt.Sprint(cr.Cell.N), fmt.Sprint(cr.Runs), fmt.Sprint(fullRuns), fmt.Sprintf("%.4f", worst))
 	}
 	tb.Render(os.Stdout)
 	return nil
+}
+
+// lemma6Settings are the (model, adversary) pairs probed by the overload
+// experiments: quiet baseline, the rushing cornering attack, and the
+// cornering attack under an adversarial asynchronous schedule.
+var lemma6Settings = []struct {
+	name  string
+	model fastba.Model
+	adv   string
+}{
+	{"silent", fastba.SyncNonRushing, "silent"},
+	{"corner-rushing", fastba.SyncRushing, "corner-rushing"},
+	{"async corner", fastba.AsyncAdversarial, "corner"},
 }
 
 // lemma6 measures decision times under overload: the answer budget is
@@ -134,47 +142,60 @@ func lemma5(sw sweep) error {
 // (Lemmas 6 and 8). Honest per-node demand at n=128 measures ≈ p50 19 /
 // max 32 answers, so budgets are expressed relative to the quorum size d.
 func lemma6(sw sweep) error {
-	tb := metrics.NewTable(
-		"Lemmas 6+8 — decision time vs answer budget (n fixed; rushing corner vs quiet)",
-		"n", "budget", "adversary", "p50", "p95", "max", "deferred", "decided frac")
 	n := sw.ns[len(sw.ns)-1]
 	d := core.DefaultParams(n).QuorumSize
 	budgets := []int{d / 2, 3 * d / 4, d, 21 * d / 13, 0} // deep overload … log²n-like … unlimited
+
+	var variants []fastba.Variant
 	for _, budget := range budgets {
-		for _, s := range []struct {
-			name  string
-			model fastba.Model
-			adv   fastba.Adversary
-		}{
-			{"silent", fastba.SyncNonRushing, fastba.AdversarySilent},
-			{"corner-rushing", fastba.SyncRushing, fastba.AdversaryCornerRushing},
-			{"async corner", fastba.AsyncAdversarial, fastba.AdversaryCorner},
-		} {
-			res, err := fastba.RunAER(fastba.NewConfig(n,
-				fastba.WithSeed(11), fastba.WithModel(s.model), fastba.WithAdversary(s.adv),
-				fastba.WithCorruptFrac(0.10), fastba.WithKnowFrac(0.90),
-				fastba.WithAnswerBudget(budget)))
-			if err != nil {
-				return err
-			}
-			times := make([]float64, len(res.DecisionTimes))
-			for i, v := range res.DecisionTimes {
-				times[i] = float64(v)
-			}
-			if len(times) == 0 {
-				times = []float64{-1}
-			}
-			label := fmt.Sprint(budget)
-			if budget == 0 {
-				label = "unlimited"
-			}
-			tb.Add(fmt.Sprint(n), label, s.name,
-				fmt.Sprintf("%.0f", metrics.Quantile(times, 0.5)),
-				fmt.Sprintf("%.0f", metrics.Quantile(times, 0.95)),
-				fmt.Sprintf("%.0f", metrics.Quantile(times, 1)),
-				fmt.Sprint(res.AnswersDeferred),
-				fmt.Sprintf("%.3f", float64(res.Decided)/float64(res.Correct)))
+		label := fmt.Sprint(budget)
+		if budget == 0 {
+			label = "unlimited"
 		}
+		for _, s := range lemma6Settings {
+			variants = append(variants, fastba.Variant{
+				Name: label + "/" + s.name,
+				Options: []fastba.Option{
+					fastba.WithModel(s.model),
+					fastba.WithAdversaryName(s.adv),
+					fastba.WithAnswerBudget(budget),
+				},
+			})
+		}
+	}
+	rep, err := mustSuite(fastba.Suite{
+		Name: "lemma6",
+		Sweep: fastba.Sweep{
+			Ns:       []int{n},
+			Seeds:    []uint64{11},
+			Variants: variants,
+			Options:  []fastba.Option{fastba.WithCorruptFrac(0.10), fastba.WithKnowFrac(0.90)},
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	tb := metrics.NewTable(
+		"Lemmas 6+8 — decision time vs answer budget (n fixed; rushing corner vs quiet)",
+		"n", "budget", "adversary", "p50", "p95", "max", "deferred", "decided frac")
+	for _, cr := range rep.Cells {
+		rec := cr.Records[0]
+		times := make([]float64, len(rec.DecisionTimes))
+		for j, v := range rec.DecisionTimes {
+			times[j] = float64(v)
+		}
+		if len(times) == 0 {
+			times = []float64{-1}
+		}
+		// The variant name is "budget/setting" — the cell self-describes.
+		label, setting, _ := strings.Cut(cr.Cell.Variant, "/")
+		tb.Add(fmt.Sprint(n), label, setting,
+			fmt.Sprintf("%.0f", metrics.Quantile(times, 0.5)),
+			fmt.Sprintf("%.0f", metrics.Quantile(times, 0.95)),
+			fmt.Sprintf("%.0f", metrics.Quantile(times, 1)),
+			fmt.Sprint(rec.AnswersDeferred),
+			fmt.Sprintf("%.3f", float64(rec.Decided)/float64(rec.Correct)))
 	}
 	tb.Render(os.Stdout)
 	fmt.Println("the paper's log² n budget sits above honest demand by design: decisions")
@@ -187,54 +208,46 @@ func lemma6(sw sweep) error {
 // lemma7 measures the agreement rate (Lemmas 7, 9, 10) across seeds,
 // models and adversaries, on the default (tight) population.
 func lemma7(sw sweep) error {
-	tb := metrics.NewTable(
-		"Lemmas 7/9/10 — agreement w.h.p. across models and adversaries (default population)",
-		"n", "model", "adversary", "runs", "agreement runs", "worst decided frac")
 	type cell struct {
 		model fastba.Model
-		adv   fastba.Adversary
+		adv   string
 		relay bool
 	}
 	cells := []cell{
-		{fastba.SyncNonRushing, fastba.AdversarySilent, false},
-		{fastba.SyncNonRushing, fastba.AdversaryFlood, false},
-		{fastba.SyncNonRushing, fastba.AdversaryEquivocate, false},
-		{fastba.Async, fastba.AdversarySilent, false},
-		{fastba.Async, fastba.AdversaryEquivocate, false},
-		{fastba.SyncNonRushing, fastba.AdversarySilent, true},
-		{fastba.Async, fastba.AdversaryEquivocate, true},
+		{fastba.SyncNonRushing, "silent", false},
+		{fastba.SyncNonRushing, "flood", false},
+		{fastba.SyncNonRushing, "equivocate", false},
+		{fastba.Async, "silent", false},
+		{fastba.Async, "equivocate", false},
+		{fastba.SyncNonRushing, "silent", true},
+		{fastba.Async, "equivocate", true},
 	}
-	n := sw.ns[len(sw.ns)-1]
+	var variants []fastba.Variant
 	for _, c := range cells {
-		agreeRuns := 0
-		worst := 1.0
-		for seed := uint64(1); seed <= uint64(sw.seeds); seed++ {
-			opts := []fastba.Option{
-				fastba.WithSeed(seed), fastba.WithModel(c.model), fastba.WithAdversary(c.adv),
-			}
-			if c.relay {
-				opts = append(opts, fastba.WithDeferredRelay())
-			}
-			res, err := fastba.RunAER(fastba.NewConfig(n, opts...))
-			if err != nil {
-				return err
-			}
-			if res.Agreement {
-				agreeRuns++
-			}
-			if frac := float64(res.DecidedGString) / float64(res.Correct); frac < worst {
-				worst = frac
-			}
-			if res.DecidedOther > 0 {
-				worst = 0 // validity violation would be fatal
-			}
-		}
-		name := c.adv.String()
+		name := c.adv
+		opts := []fastba.Option{fastba.WithModel(c.model), fastba.WithAdversaryName(c.adv)}
 		if c.relay {
 			name += "+relay"
+			opts = append(opts, fastba.WithDeferredRelay())
 		}
-		tb.Add(fmt.Sprint(n), c.model.String(), name,
-			fmt.Sprint(sw.seeds), fmt.Sprint(agreeRuns), fmt.Sprintf("%.4f", worst))
+		variants = append(variants, fastba.Variant{Name: name, Options: opts})
+	}
+
+	n := sw.ns[len(sw.ns)-1]
+	rep, err := mustSuite(fastba.Suite{
+		Name:  "lemma7",
+		Sweep: fastba.Sweep{Ns: []int{n}, Seeds: fastba.Seeds(sw.seeds), Variants: variants},
+	})
+	if err != nil {
+		return err
+	}
+
+	tb := metrics.NewTable(
+		"Lemmas 7/9/10 — agreement w.h.p. across models and adversaries (default population)",
+		"n", "model", "adversary", "runs", "agreement runs", "worst decided frac")
+	for _, cr := range rep.Cells {
+		tb.Add(fmt.Sprint(n), cr.Cell.Model, cr.Cell.Variant,
+			fmt.Sprint(cr.Runs), fmt.Sprint(cr.AgreeRuns), fmt.Sprintf("%.4f", cr.WorstDecidedFrac))
 	}
 	tb.Render(os.Stdout)
 	fmt.Println("w.h.p. at small n and d = 3·log₂n: isolated nodes can miss strict quorum")
@@ -246,24 +259,24 @@ func lemma7(sw sweep) error {
 // nofault verifies the §1 claim: with no Byzantine fault, success is
 // guaranteed, not just probable.
 func nofault(sw sweep) error {
+	rep, err := mustSuite(fastba.Suite{
+		Name: "nofault",
+		Sweep: fastba.Sweep{
+			Ns:          sw.ns,
+			Seeds:       fastba.Seeds(sw.seeds * 4),
+			Adversaries: []string{"none"},
+			Options:     []fastba.Option{fastba.WithKnowFrac(0.9)},
+		},
+	})
+	if err != nil {
+		return err
+	}
+
 	tb := metrics.NewTable(
 		"§1 — success guaranteed without Byzantine faults (t = 0)",
 		"n", "runs", "agreement runs")
-	for _, n := range sw.ns {
-		agree := 0
-		runs := sw.seeds * 4
-		for seed := uint64(1); seed <= uint64(runs); seed++ {
-			res, err := fastba.RunAER(fastba.NewConfig(n,
-				fastba.WithSeed(seed), fastba.WithAdversary(fastba.AdversaryNone),
-				fastba.WithKnowFrac(0.9)))
-			if err != nil {
-				return err
-			}
-			if res.Agreement {
-				agree++
-			}
-		}
-		tb.Add(fmt.Sprint(n), fmt.Sprint(runs), fmt.Sprint(agree))
+	for _, cr := range rep.Cells {
+		tb.Add(fmt.Sprint(cr.Cell.N), fmt.Sprint(cr.Runs), fmt.Sprint(cr.AgreeRuns))
 	}
 	tb.Render(os.Stdout)
 	return nil
@@ -272,7 +285,8 @@ func nofault(sw sweep) error {
 // property2 checks Lemma 2 Property 2 empirically: random and greedy
 // corner-seeking pair sets L must keep border expansion above 2/3·d·|L|,
 // and the keyed construction must track the §4.1 uniform-digraph model the
-// proof actually analyzes.
+// proof actually analyzes. This probe exercises the sampler combinatorics
+// directly — no protocol execution, hence no suite.
 func property2(sw sweep) error {
 	tb := metrics.NewTable(
 		"Lemma 2 Property 2 — border expansion of J (must stay > 2/3)",
@@ -314,49 +328,67 @@ func property2(sw sweep) error {
 // §5), the deferred-relay extension, and the sampler construction.
 func ablation(sw sweep) error {
 	n := sw.ns[len(sw.ns)-1]
-
-	tb := metrics.NewTable(
-		"E12 — answer budget ablation under the rushing corner attack (n="+fmt.Sprint(n)+"): time vs protection trade-off (§5)",
-		"budget", "deferred", "max bits/node", "max/mean", "last decision", "agree")
 	d := core.DefaultParams(n).QuorumSize
-	for _, b := range []int{0, d / 2, 21 * d / 13} {
-		res, err := fastba.RunAER(fastba.NewConfig(n,
-			fastba.WithSeed(11), fastba.WithModel(fastba.SyncRushing),
-			fastba.WithAdversary(fastba.AdversaryCornerRushing),
-			fastba.WithCorruptFrac(0.10), fastba.WithKnowFrac(0.90),
-			fastba.WithAnswerBudget(b)))
-		if err != nil {
-			return err
-		}
+
+	budgets := []int{0, d / 2, 21 * d / 13}
+	var budgetVariants []fastba.Variant
+	for _, b := range budgets {
 		label := fmt.Sprint(b)
 		if b == 0 {
 			label = "unlimited"
 		}
-		tb.Add(label, fmt.Sprint(res.AnswersDeferred), metrics.Bits(float64(res.MaxBitsPerNode)),
-			fmt.Sprintf("%.1f", float64(res.MaxBitsPerNode)/res.MeanBitsPerNode),
-			fmt.Sprint(res.LastDecision), fmt.Sprint(res.Agreement))
+		budgetVariants = append(budgetVariants, fastba.Variant{
+			Name:    label,
+			Options: []fastba.Option{fastba.WithAnswerBudget(b)},
+		})
+	}
+	e12, err := mustSuite(fastba.Suite{
+		Name: "e12",
+		Sweep: fastba.Sweep{
+			Ns:       []int{n},
+			Seeds:    []uint64{11},
+			Variants: budgetVariants,
+			Options: []fastba.Option{
+				fastba.WithModel(fastba.SyncRushing),
+				fastba.WithAdversary(fastba.AdversaryCornerRushing),
+				fastba.WithCorruptFrac(0.10), fastba.WithKnowFrac(0.90),
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	tb := metrics.NewTable(
+		"E12 — answer budget ablation under the rushing corner attack (n="+fmt.Sprint(n)+"): time vs protection trade-off (§5)",
+		"budget", "deferred", "max bits/node", "max/mean", "last decision", "agree")
+	for _, cr := range e12.Cells {
+		rec := cr.Records[0]
+		tb.Add(cr.Cell.Variant, fmt.Sprint(rec.AnswersDeferred), metrics.Bits(float64(rec.MaxBitsPerNode)),
+			fmt.Sprintf("%.1f", float64(rec.MaxBitsPerNode)/rec.MeanBitsPerNode),
+			fmt.Sprint(rec.LastDecision), fmt.Sprint(rec.Agreement))
 	}
 	tb.Render(os.Stdout)
 
+	e13, err := mustSuite(fastba.Suite{
+		Name: "e13",
+		Sweep: fastba.Sweep{
+			Ns:    []int{n},
+			Seeds: fastba.Seeds(sw.seeds * 2),
+			Variants: []fastba.Variant{
+				{Name: "false"},
+				{Name: "true", Options: []fastba.Option{fastba.WithDeferredRelay()}},
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
 	tb2 := metrics.NewTable(
 		"E13 — deferred-relay extension: agreement rate on the tight default population (n="+fmt.Sprint(n)+")",
 		"deferred relay", "runs", "agreement runs")
-	for _, relay := range []bool{false, true} {
-		agree := 0
-		for seed := uint64(1); seed <= uint64(sw.seeds*2); seed++ {
-			opts := []fastba.Option{fastba.WithSeed(seed)}
-			if relay {
-				opts = append(opts, fastba.WithDeferredRelay())
-			}
-			res, err := fastba.RunAER(fastba.NewConfig(n, opts...))
-			if err != nil {
-				return err
-			}
-			if res.Agreement {
-				agree++
-			}
-		}
-		tb2.Add(fmt.Sprint(relay), fmt.Sprint(sw.seeds*2), fmt.Sprint(agree))
+	for _, cr := range e13.Cells {
+		tb2.Add(cr.Cell.Variant, fmt.Sprint(cr.Runs), fmt.Sprint(cr.AgreeRuns))
 	}
 	tb2.Render(os.Stdout)
 

@@ -58,6 +58,9 @@ func run(args []string) error {
 	if *seedsFlag > 0 {
 		sw.seeds = *seedsFlag
 	}
+	if err := registerFloodVariants(); err != nil {
+		return err
+	}
 
 	experiments := []struct {
 		name string

@@ -17,35 +17,37 @@ import (
 func sensitivity(sw sweep) error {
 	n := sw.ns[len(sw.ns)-1]
 	lg := logCeil(n)
-	tb := metrics.NewTable(
-		fmt.Sprintf("Sensitivity — quorum constant c₁ (d = c₁·⌈log₂ n⌉ = c₁·%d) at n=%d, default tight population", lg, n),
-		"c₁", "d", "bits/node", "agreement runs", "worst decided frac")
-	for _, c1 := range []int{2, 3, 4, 5} {
+
+	c1s := []int{2, 3, 4, 5}
+	var variants []fastba.Variant
+	for _, c1 := range c1s {
 		d := c1 * lg
 		if d > n {
 			d = n
 		}
-		agree := 0
-		worst := 1.0
-		var bits float64
-		for seed := uint64(1); seed <= uint64(sw.seeds); seed++ {
-			res, err := fastba.RunAER(fastba.NewConfig(n,
-				fastba.WithSeed(seed),
-				fastba.WithQuorumSize(d),
-				fastba.WithPollSize(d)))
-			if err != nil {
-				return err
-			}
-			if res.Agreement {
-				agree++
-			}
-			if frac := float64(res.DecidedGString) / float64(res.Correct); frac < worst {
-				worst = frac
-			}
-			bits = res.MeanBitsPerNode
+		variants = append(variants, fastba.Variant{
+			Name:    fmt.Sprintf("c1=%d", c1),
+			Options: []fastba.Option{fastba.WithQuorumSize(d), fastba.WithPollSize(d)},
+		})
+	}
+	rep, err := mustSuite(fastba.Suite{
+		Name:  "sensitivity",
+		Sweep: fastba.Sweep{Ns: []int{n}, Seeds: fastba.Seeds(sw.seeds), Variants: variants},
+	})
+	if err != nil {
+		return err
+	}
+
+	tb := metrics.NewTable(
+		fmt.Sprintf("Sensitivity — quorum constant c₁ (d = c₁·⌈log₂ n⌉ = c₁·%d) at n=%d, default tight population", lg, n),
+		"c₁", "d", "bits/node", "agreement runs", "worst decided frac")
+	for i, cr := range rep.Cells {
+		d := c1s[i] * lg
+		if d > n {
+			d = n
 		}
-		tb.Add(fmt.Sprint(c1), fmt.Sprint(d), metrics.Bits(bits),
-			fmt.Sprintf("%d/%d", agree, sw.seeds), fmt.Sprintf("%.4f", worst))
+		tb.Add(fmt.Sprint(c1s[i]), fmt.Sprint(d), metrics.Bits(cr.MeanBits.Mean),
+			fmt.Sprintf("%d/%d", cr.AgreeRuns, cr.Runs), fmt.Sprintf("%.4f", cr.WorstDecidedFrac))
 	}
 	tb.Render(os.Stdout)
 	fmt.Println("d trades message volume (~d³) for concentration: the failure tail of the")

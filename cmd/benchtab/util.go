@@ -1,6 +1,9 @@
 package main
 
 import (
+	"context"
+
+	"github.com/fastba/fastba"
 	"github.com/fastba/fastba/internal/bitstring"
 	"github.com/fastba/fastba/internal/prng"
 )
@@ -8,4 +11,18 @@ import (
 // randomString draws a candidate-domain string for the sampler ablation.
 func randomString(src *prng.Source, bits int) bitstring.String {
 	return bitstring.Random(src, bits)
+}
+
+// mustSuite runs a suite and fails hard on any errored run: benchtab
+// produces paper artifacts, where a silently zero-filled row would be
+// worse than an aborted table.
+func mustSuite(s fastba.Suite) (*fastba.Report, error) {
+	rep, err := fastba.RunSuite(context.Background(), s)
+	if err != nil {
+		return nil, err
+	}
+	if err := rep.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
 }

@@ -10,15 +10,41 @@
 // passing network of n nodes, authenticated reliable channels, a
 // non-adaptive Byzantine adversary controlling t < (1/3−ε)n nodes — under
 // synchronous (rushing or non-rushing), asynchronous and goroutine-backed
-// runtimes, with per-node communication metering.
+// runtimes, with per-node communication metering, and can execute the same
+// protocol nodes over real loopback TCP sockets (RunTCP).
 //
-// Quick start:
+// Quick start — one run:
 //
 //	res, err := fastba.RunBA(fastba.NewConfig(256, fastba.WithSeed(1)))
 //	if err != nil { ... }
 //	fmt.Println(res.AER.Agreement, res.GString)
 //
-// Everything is deterministic given the configuration's seed.
+// Experiment suites — the paper's claims are sweep-shaped (bits and time
+// versus n, seeds, timing models and adversaries), so the package's main
+// surface is the declarative Suite: a Sweep expands a matrix of dimensions
+// into configurations, RunSuite executes them on a worker pool with
+// context cancellation, and the aggregated Report carries per-cell
+// means/percentiles, agreement rates and JSON output:
+//
+//	rep, err := fastba.RunSuite(ctx, fastba.Suite{
+//		Name: "scaling",
+//		Sweep: fastba.Sweep{
+//			Ns:     []int{64, 128, 256},
+//			Seeds:  fastba.Seeds(5),
+//			Models: []fastba.Model{fastba.SyncNonRushing, fastba.Async},
+//		},
+//	})
+//	rep.Render(os.Stdout)
+//
+// Extension points — Byzantine strategies and delivery orders plug in
+// from outside the module: RegisterAdversary adds a named strategy built
+// from public types (ProtocolNode, NodeContext, Message), selectable via
+// WithAdversaryName and sweepable via Sweep.Adversaries; WithScheduler
+// substitutes a custom asynchronous delivery order; WithObserver streams
+// per-delivery, per-round and per-decision events from any runtime.
+//
+// Everything is deterministic given the configuration's seed, except under
+// the Goroutines model and TCP, where scheduling is up to the runtime.
 package fastba
 
 import (
@@ -69,7 +95,20 @@ func (m Model) String() string {
 	}
 }
 
-// Adversary selects the Byzantine strategy.
+// ParseModel maps a model's String name back to its value.
+func ParseModel(s string) (Model, error) {
+	for _, m := range []Model{SyncNonRushing, SyncRushing, Async, AsyncAdversarial, Goroutines} {
+		if s == m.String() {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("fastba: unknown model %q", s)
+}
+
+// Adversary selects a built-in Byzantine strategy. Every value is also
+// registered under its String name, so WithAdversary(AdversaryFlood) and
+// WithAdversaryName("flood") are equivalent; custom strategies join the
+// same namespace through RegisterAdversary.
 type Adversary int
 
 // Byzantine strategies (see internal/adversary for their behaviour).
@@ -115,12 +154,14 @@ type Config struct {
 	n           int
 	seed        uint64
 	model       Model
-	adversary   Adversary
+	advName     string
 	corruptFrac float64
 	knowFrac    float64
 	sharedJunk  bool
 	params      core.Params
 	maxRounds   int
+	schedMaker  SchedulerMaker
+	observer    Observer
 }
 
 // Option customizes a Config (functional options).
@@ -143,10 +184,17 @@ func WithModel(m Model) Option {
 	return optionFunc(func(c *Config) { c.model = m })
 }
 
-// WithAdversary sets the Byzantine strategy (default AdversarySilent when
-// corruptFrac > 0).
+// WithAdversary selects a built-in Byzantine strategy (default
+// AdversarySilent when corruptFrac > 0).
 func WithAdversary(a Adversary) Option {
-	return optionFunc(func(c *Config) { c.adversary = a })
+	return optionFunc(func(c *Config) { c.advName = a.String() })
+}
+
+// WithAdversaryName selects a Byzantine strategy by registry name: a
+// built-in ("none", "silent", "flood", ...) or anything added through
+// RegisterAdversary. Unknown names are rejected by validation at run time.
+func WithAdversaryName(name string) Option {
+	return optionFunc(func(c *Config) { c.advName = name })
 }
 
 // WithCorruptFrac sets t/n (default 0.10; the paper requires < 1/3 − ε).
@@ -194,6 +242,23 @@ func WithMaxRounds(r int) Option {
 	return optionFunc(func(c *Config) { c.maxRounds = r })
 }
 
+// WithScheduler substitutes a custom asynchronous delivery order: the
+// maker builds one fresh Scheduler per run. It requires the Async or
+// AsyncAdversarial model (where it replaces the built-in order).
+func WithScheduler(mk SchedulerMaker) Option {
+	return optionFunc(func(c *Config) { c.schedMaker = mk })
+}
+
+// WithObserver streams execution events (deliveries, round advances,
+// decisions) from the run to o. It covers the protocol under study: AER
+// executions under every model and over TCP. Baseline comparison runs and
+// the BA pipeline's almost-everywhere phase do not stream events (only
+// the BA run's AER phase does). Observers add measurable overhead on hot
+// runs; leave unset when only the aggregate result matters.
+func WithObserver(o Observer) Option {
+	return optionFunc(func(c *Config) { c.observer = o })
+}
+
 // NewConfig returns the default configuration for n nodes, customized by
 // the options: synchronous non-rushing model, 10% silent corruption, 85%
 // knowledgeable correct nodes, DESIGN.md §5 protocol geometry.
@@ -202,7 +267,7 @@ func NewConfig(n int, opts ...Option) Config {
 		n:           n,
 		seed:        1,
 		model:       SyncNonRushing,
-		adversary:   AdversarySilent,
+		advName:     AdversarySilent.String(),
 		corruptFrac: 0.10,
 		knowFrac:    0.85,
 		sharedJunk:  true,
@@ -212,7 +277,7 @@ func NewConfig(n int, opts ...Option) Config {
 	for _, o := range opts {
 		o.apply(&c)
 	}
-	if c.adversary == AdversaryNone {
+	if c.advName == AdversaryNone.String() {
 		c.corruptFrac = 0
 	}
 	return c
@@ -227,6 +292,18 @@ func (c Config) Seed() uint64 { return c.seed }
 // Model returns the timing model.
 func (c Config) Model() Model { return c.model }
 
+// AdversaryName returns the selected Byzantine strategy's registry name.
+func (c Config) AdversaryName() string { return c.advName }
+
+// CorruptFrac returns t/n.
+func (c Config) CorruptFrac() float64 { return c.corruptFrac }
+
+// KnowFrac returns the initially-knowledgeable fraction of correct nodes.
+func (c Config) KnowFrac() float64 { return c.knowFrac }
+
+// MaxRounds returns the synchronous round cap.
+func (c Config) MaxRounds() int { return c.maxRounds }
+
 // validate checks the configuration.
 func (c Config) validate() error {
 	if c.n < 8 {
@@ -235,11 +312,22 @@ func (c Config) validate() error {
 	if c.model < SyncNonRushing || c.model > Goroutines {
 		return fmt.Errorf("fastba: unknown model %d", int(c.model))
 	}
-	if c.adversary < AdversaryNone || c.adversary > AdversaryCornerRushing {
-		return fmt.Errorf("fastba: unknown adversary %d", int(c.adversary))
+	if _, err := lookupAdversary(c.advName); err != nil {
+		return err
 	}
-	if c.corruptFrac < 0 || c.corruptFrac >= 1.0/3 {
+	// The negated comparisons also reject NaN, which would otherwise pass
+	// range checks and then poison Cell map keys (NaN != NaN).
+	if !(c.corruptFrac >= 0 && c.corruptFrac < 1.0/3) {
 		return fmt.Errorf("fastba: corrupt fraction %v outside [0, 1/3)", c.corruptFrac)
+	}
+	if !(c.knowFrac >= 0 && c.knowFrac <= 1) {
+		return fmt.Errorf("fastba: know fraction %v outside [0, 1]", c.knowFrac)
+	}
+	if c.maxRounds <= 0 {
+		return fmt.Errorf("fastba: maxRounds %d must be positive", c.maxRounds)
+	}
+	if c.schedMaker != nil && c.model != Async && c.model != AsyncAdversarial {
+		return fmt.Errorf("fastba: WithScheduler requires the async or async-adversarial model, have %v", c.model)
 	}
 	return c.params.Validate()
 }

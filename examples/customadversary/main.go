@@ -1,0 +1,88 @@
+// Customadversary: a Byzantine strategy implemented entirely outside the
+// library — a "jammer" that sprays garbage messages of a custom type at
+// pseudo-random targets — registered through the public RegisterAdversary
+// extension point and swept against the built-in silent adversary by
+// RunSuite. No internal/ package is imported: the strategy is built from
+// the public ProtocolNode / NodeContext / Message surface alone.
+//
+// The experiment demonstrates the Lemma 3/4 robustness story from the
+// outside: unknown message kinds are ignored by correct nodes, so the
+// jammer burns its own bandwidth without moving agreement, time or the
+// correct nodes' communication.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/fastba/fastba"
+)
+
+// jamMsg is a custom protocol message: correct AER nodes have no handler
+// for its kind and drop it on delivery.
+type jamMsg struct{ bytes int }
+
+func (m jamMsg) WireSize() int { return m.bytes }
+func (m jamMsg) Kind() string  { return "jam" }
+
+// jammer sprays jam messages during Init and echoes one back per received
+// message — sustained garbage pressure on the delivery path.
+type jammer struct {
+	env fastba.AdversaryEnv
+	id  int
+	rng uint64
+}
+
+// next is a tiny xorshift PRNG seeded from the run seed and node ID, so
+// runs stay deterministic per configuration.
+func (j *jammer) next() uint64 {
+	j.rng ^= j.rng << 13
+	j.rng ^= j.rng >> 7
+	j.rng ^= j.rng << 17
+	return j.rng
+}
+
+func (j *jammer) Init(ctx fastba.NodeContext) {
+	for k := 0; k < 4*j.env.QuorumSize; k++ {
+		ctx.Send(int(j.next()%uint64(j.env.N)), jamMsg{bytes: 64})
+	}
+}
+
+func (j *jammer) Deliver(ctx fastba.NodeContext, from fastba.NodeID, m fastba.Message) {
+	ctx.Send(int(j.next()%uint64(j.env.N)), jamMsg{bytes: 16})
+}
+
+func main() {
+	err := fastba.RegisterAdversary("jammer",
+		func(env fastba.AdversaryEnv, id int) fastba.ProtocolNode {
+			return &jammer{env: env, id: id, rng: env.Seed ^ (uint64(id)+1)*0x9E3779B97F4A7C15}
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := fastba.RunSuite(context.Background(), fastba.Suite{
+		Name: "custom jammer vs built-in silent",
+		Sweep: fastba.Sweep{
+			Ns:          []int{128},
+			Seeds:       fastba.Seeds(5),
+			Adversaries: []string{"silent", "jammer"},
+			Options: []fastba.Option{
+				fastba.WithCorruptFrac(0.10),
+				fastba.WithKnowFrac(0.90),
+			},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.Render(os.Stdout)
+
+	fmt.Println()
+	fmt.Println("the jam traffic shows up in the delivered-message mix but cannot raise the")
+	fmt.Println("correct nodes' sending or delay decisions: unknown kinds are dropped on")
+	fmt.Println("arrival, the Lemma 3/4 filter story — now checked against an adversary the")
+	fmt.Println("library has never heard of.")
+}

@@ -1,66 +1,54 @@
 // Netcluster: the same AER nodes that run inside the deterministic
 // simulator, executed over real loopback TCP sockets with the library's
 // binary wire codecs — 32 OS-level endpoints, length-prefixed frames,
-// lazily dialed full mesh. Demonstrates that the protocol implementation
-// is transport-agnostic (no simulator artifact props it up).
-//
-// This example uses the internal packages directly (it lives in the
-// library module); external users drive the simulation runners through the
-// public fastba API.
+// lazily dialed full mesh — through the public RunTCP entry point.
+// Demonstrates that the protocol implementation is transport-agnostic (no
+// simulator artifact props it up), and streams the deliveries through a
+// message-kind counter via WithObserver.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sort"
 	"time"
 
-	"github.com/fastba/fastba/internal/core"
-	"github.com/fastba/fastba/internal/netrun"
+	"github.com/fastba/fastba"
 )
 
 func main() {
 	const n = 32
-	sc, err := core.NewScenario(core.DefaultParams(n), 7, core.TestingScenarioConfig())
+
+	kinds := map[string]int64{}
+	cfg := fastba.NewConfig(n,
+		fastba.WithSeed(7),
+		fastba.WithCorruptFrac(0.05),
+		fastba.WithKnowFrac(0.92),
+		fastba.WithObserver(func(ev fastba.Event) {
+			if ev.Type == fastba.EventDeliver {
+				kinds[ev.Kind]++
+			}
+		}),
+	)
+
+	res, err := fastba.RunTCP(context.Background(), cfg, 60*time.Second)
 	if err != nil {
 		log.Fatal(err)
 	}
-	nodes, correct := sc.Build(nil) // Byzantine nodes stay silent here
 
-	cluster, err := netrun.New(nodes)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer cluster.Close()
-
-	fmt.Printf("listening on %d loopback TCP endpoints (first: %s)\n",
-		n, cluster.Addrs()[0])
-
-	start := time.Now()
-	cluster.Start()
-
-	allDecided := func() bool {
-		for _, node := range correct {
-			if node == nil {
-				continue
-			}
-			if _, ok := node.Decided(); !ok {
-				return false
-			}
-		}
-		return true
-	}
-	if err := cluster.RunUntil(allDecided, 60*time.Second); err != nil {
-		log.Fatal(err)
-	}
-	elapsed := time.Since(start)
-
-	o := core.Evaluate(correct, sc.GString)
-	var totalBytes int64
-	for _, b := range cluster.SentBytes() {
-		totalBytes += b
-	}
 	fmt.Printf("agreement over TCP: %v (%d/%d decided gstring %s)\n",
-		o.Agreement(), o.DecidedG, o.Correct, sc.GString)
-	fmt.Printf("wall time %.0fms, %d KiB on the wire (%d bytes/node mean)\n",
-		float64(elapsed.Milliseconds()), totalBytes/1024, totalBytes/int64(n))
+		res.Agreement, res.DecidedGString, res.Correct, res.GString)
+	fmt.Printf("wall time %.0fms, %.0f bits/node mean, %d bits/node max\n",
+		float64(res.Wall.Milliseconds()), res.MeanBitsPerNode, res.MaxBitsPerNode)
+
+	var names []string
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	fmt.Println("deliveries by protocol message kind:")
+	for _, k := range names {
+		fmt.Printf("  %-8s %d\n", k, kinds[k])
+	}
 }

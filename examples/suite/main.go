@@ -1,0 +1,54 @@
+// Suite: the paper's evaluation style as one declarative experiment — a
+// Sweep matrix of sizes × seeds × timing models expanded and executed in
+// parallel by RunSuite, with per-run results streamed through OnResult and
+// the aggregated per-cell Report (means, percentiles, agreement rates)
+// rendered as a Figure 1-style table and as JSON.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/fastba/fastba"
+)
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	suite := fastba.Suite{
+		Name: "scaling — AER across models",
+		Sweep: fastba.Sweep{
+			Ns:     []int{64, 128, 256},
+			Seeds:  fastba.Seeds(5),
+			Models: []fastba.Model{fastba.SyncNonRushing, fastba.Async},
+			Options: []fastba.Option{
+				fastba.WithCorruptFrac(0.05),
+				fastba.WithKnowFrac(0.92),
+			},
+		},
+		OnResult: func(rec fastba.RunRecord) {
+			fmt.Printf("done %-28s seed=%-2d agree=%-5v time=%d\n",
+				rec.Cell, rec.Seed, rec.Agreement, rec.Time)
+		},
+	}
+
+	rep, err := fastba.RunSuite(ctx, suite)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	rep.Render(os.Stdout)
+
+	fmt.Println()
+	fmt.Println("same report as JSON (first cell only, for brevity):")
+	one := *rep
+	one.Cells = rep.Cells[:1]
+	if err := one.WriteJSON(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

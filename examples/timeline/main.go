@@ -1,12 +1,15 @@
 // Timeline: watch one AER execution unfold — the temporal version of the
-// paper's Figure 2. The trace shows the phase structure directly:
-// round 1 is pure push (§3.1.1); pulls and polls launch in round 2
-// (Algorithm 1); the Fw1 fan-out through the pull quorums dominates
-// round 3 (Algorithm 2); Fw2 aggregation hits the poll lists in round 4;
-// answers land in round 5 and decisions complete (Algorithm 3).
+// paper's Figure 2 — through the public streaming-observer API. The trace
+// shows the phase structure directly: round 1 is pure push (§3.1.1); pulls
+// and polls launch in round 2 (Algorithm 1); the Fw1 fan-out through the
+// pull quorums dominates round 3 (Algorithm 2); Fw2 aggregation hits the
+// poll lists in round 4; answers land in round 5 and decisions complete
+// (Algorithm 3).
 //
 // It also prints the most-loaded nodes: under the cornering adversary the
 // hotspot gap widens — the "not load-balanced" property of Figure 1(a).
+// Everything here uses only the public fastba surface: the same observer
+// stream a custom experiment would consume.
 package main
 
 import (
@@ -14,34 +17,41 @@ import (
 	"log"
 	"os"
 
-	"github.com/fastba/fastba/internal/adversary"
-	"github.com/fastba/fastba/internal/core"
-	"github.com/fastba/fastba/internal/simnet"
-	"github.com/fastba/fastba/internal/trace"
+	"github.com/fastba/fastba"
 )
 
 func main() {
 	const n = 96
 	for _, attack := range []bool{false, true} {
-		sc, err := core.NewScenario(core.DefaultParams(n), 11, core.TestingScenarioConfig())
+		tr := fastba.NewTrace(n)
+		decisions := 0
+		observer := tr.Observer()
+		opts := []fastba.Option{
+			fastba.WithSeed(11),
+			fastba.WithCorruptFrac(0.05),
+			fastba.WithKnowFrac(0.92),
+			fastba.WithObserver(func(ev fastba.Event) {
+				observer(ev)
+				if ev.Type == fastba.EventDecision {
+					decisions++
+				}
+			}),
+		}
+		label := "silent adversary"
+		if attack {
+			label = "rushing corner adversary"
+			opts = append(opts,
+				fastba.WithModel(fastba.SyncRushing),
+				fastba.WithAdversary(fastba.AdversaryCornerRushing))
+		}
+
+		res, err := fastba.RunAER(fastba.NewConfig(n, opts...))
 		if err != nil {
 			log.Fatal(err)
 		}
-		var mk func(int) simnet.Node
-		label := "silent adversary"
-		if attack {
-			mk = adversary.Maker(adversary.Corner{Rushing: true}, adversary.FromScenario(sc))
-			label = "rushing corner adversary"
-		}
-		nodes, correct := sc.Build(mk)
 
-		tr := trace.New(n)
-		runner := simnet.NewSync(nodes, sc.Corrupt)
-		runner.Observe(tr.Observer())
-		runner.Run(60)
-
-		o := core.Evaluate(correct, sc.GString)
-		fmt.Printf("=== %s (agreement %v, %d/%d decided) ===\n", label, o.Agreement(), o.Decided, o.Correct)
+		fmt.Printf("=== %s (agreement %v, %d/%d decided, %d decision events) ===\n",
+			label, res.Agreement, res.Decided, res.Correct, decisions)
 		fmt.Println("message-flow timeline (deliveries per round and kind):")
 		tr.Timeline(os.Stdout)
 		fmt.Println("five most-loaded nodes:")

@@ -1,0 +1,3 @@
+module github.com/fastba/fastba
+
+go 1.21

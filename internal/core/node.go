@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"github.com/fastba/fastba/internal/bitstring"
 	"github.com/fastba/fastba/internal/prng"
 	"github.com/fastba/fastba/internal/simnet"
@@ -30,6 +32,10 @@ type Node struct {
 	hasDecided bool
 	decided    bitstring.String
 	decidedAt  int // ctx.Now() at decision time (round or causal depth)
+	// pub atomically publishes the decision for cross-goroutine readers:
+	// the concurrent runtimes (TCP, goroutines) poll Decided() from other
+	// goroutines while this node's delivery loop is still mutating state.
+	pub atomic.Pointer[decision]
 
 	// Push state (§3.1.1): per candidate string, the set of quorum members
 	// that pushed it; candidates is the list L_x.
@@ -155,15 +161,26 @@ func NewNode(id int, initial bitstring.String, params Params, smp *Samplers, rng
 func (n *Node) ID() int { return n.id }
 
 // Decided returns the decision, if any.
-func (n *Node) Decided() (bitstring.String, bool) { return n.decided, n.hasDecided }
+func (n *Node) Decided() (bitstring.String, bool) {
+	if d := n.pub.Load(); d != nil {
+		return d.s, true
+	}
+	return bitstring.String{}, false
+}
+
+// decision is the immutable published outcome behind Decided/DecidedAt.
+type decision struct {
+	s  bitstring.String
+	at int
+}
 
 // DecidedAt returns the time (sync round or async causal depth) at which
 // the node decided, or -1.
 func (n *Node) DecidedAt() int {
-	if !n.hasDecided {
-		return -1
+	if d := n.pub.Load(); d != nil {
+		return d.at
 	}
-	return n.decidedAt
+	return -1
 }
 
 // Believes returns the node's current belief s_this.
@@ -450,6 +467,7 @@ func (n *Node) decide(ctx simnet.Context, s bitstring.String) {
 	n.hasDecided = true
 	n.decided = s
 	n.decidedAt = ctx.Now()
+	n.pub.Store(&decision{s: s, at: n.decidedAt})
 	n.sthis = s
 	flushBudget := n.deferred
 	n.deferred = nil

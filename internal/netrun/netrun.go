@@ -13,6 +13,7 @@
 package netrun
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -38,6 +39,9 @@ type Cluster struct {
 	mu    sync.Mutex
 	conns map[connKey]net.Conn
 	sent  []int64 // bytes sent per node, guarded by mu
+
+	obsMu    sync.Mutex
+	observer simnet.Observer
 
 	boxes   []*mailbox
 	wg      sync.WaitGroup
@@ -68,6 +72,11 @@ func New(nodes []simnet.Node) (*Cluster, error) {
 	}
 	return c, nil
 }
+
+// Observe registers an observer invoked after every delivery, serialized
+// across the per-node delivery loops. Envelope depth is always 0: network
+// executions have no logical clock. It must be called before Start.
+func (c *Cluster) Observe(o simnet.Observer) { c.observer = o }
 
 // Addrs returns the per-node listen addresses.
 func (c *Cluster) Addrs() []string { return append([]string(nil), c.addrs...) }
@@ -105,17 +114,22 @@ func (c *Cluster) Start() {
 	}
 }
 
-// RunUntil polls pred until it returns true or the timeout elapses. It
-// returns an error on timeout. Network executions have no global
-// quiescence detector (that would itself need agreement), so completion is
-// observed from node state — e.g. "all correct nodes decided".
-func (c *Cluster) RunUntil(pred func() bool, timeout time.Duration) error {
+// RunUntil polls pred until it returns true, the timeout elapses or ctx is
+// done. It returns an error on timeout and ctx.Err() on cancellation.
+// Network executions have no global quiescence detector (that would itself
+// need agreement), so completion is observed from node state — e.g. "all
+// correct nodes decided".
+func (c *Cluster) RunUntil(ctx context.Context, pred func() bool, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
 		if pred() {
 			return nil
 		}
-		time.Sleep(5 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
 	}
 	if pred() {
 		return nil
@@ -188,6 +202,11 @@ func (c *Cluster) deliverLoop(id int) {
 			return
 		}
 		c.nodes[id].Deliver(&netCtx{c: c, self: id}, d.from, d.msg)
+		if c.observer != nil {
+			c.obsMu.Lock()
+			c.observer(simnet.Envelope{From: d.from, To: id, Msg: d.msg})
+			c.obsMu.Unlock()
+		}
 	}
 }
 

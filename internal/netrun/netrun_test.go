@@ -1,6 +1,7 @@
 package netrun
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -36,7 +37,7 @@ func TestAEROverTCP(t *testing.T) {
 		}
 		return true
 	}
-	if err := cluster.RunUntil(allDecided, 30*time.Second); err != nil {
+	if err := cluster.RunUntil(context.Background(), allDecided, 30*time.Second); err != nil {
 		o := core.Evaluate(correct, sc.GString)
 		t.Fatalf("TCP run did not complete: %v (outcome %+v)", err, o)
 	}
@@ -70,7 +71,7 @@ func TestSentBytesAccounted(t *testing.T) {
 		}
 		return true
 	}
-	if err := cluster.RunUntil(decided, 30*time.Second); err != nil {
+	if err := cluster.RunUntil(context.Background(), decided, 30*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	total := int64(0)
@@ -102,7 +103,7 @@ func TestRunUntilTimeout(t *testing.T) {
 	}
 	defer cluster.Close()
 	cluster.Start()
-	if err := cluster.RunUntil(func() bool { return false }, 30*time.Millisecond); err == nil {
+	if err := cluster.RunUntil(context.Background(), func() bool { return false }, 30*time.Millisecond); err == nil {
 		t.Fatal("RunUntil did not time out")
 	}
 }

@@ -30,10 +30,16 @@ type AsyncRunner struct {
 	sched    Scheduler
 	metrics  *Metrics
 	observer Observer
+	stop     func() bool
 	seq      uint64
 	// MaxDeliveries guards against runaway executions (0 = no limit).
 	MaxDeliveries int64
 }
+
+// stopCheckInterval is how many deliveries pass between cancellation
+// probes: frequent enough to abandon large runs promptly, rare enough to
+// keep the probe off the per-delivery hot path.
+const stopCheckInterval = 256
 
 // NewAsync returns an asynchronous runner using the given scheduler.
 func NewAsync(nodes []Node, sched Scheduler) *AsyncRunner {
@@ -43,6 +49,11 @@ func NewAsync(nodes []Node, sched Scheduler) *AsyncRunner {
 // Observe registers an observer invoked on every delivery. It must be
 // called before Run.
 func (r *AsyncRunner) Observe(o Observer) { r.observer = o }
+
+// StopWhen registers a cancellation probe polled every stopCheckInterval
+// deliveries; when it returns true the run abandons the remaining queue
+// and returns the metrics collected so far. It must be called before Run.
+func (r *AsyncRunner) StopWhen(f func() bool) { r.stop = f }
 
 type asyncCtx struct {
 	r    *AsyncRunner
@@ -70,12 +81,15 @@ func (r *AsyncRunner) Run() *Metrics {
 		if r.MaxDeliveries > 0 && r.metrics.Delivered >= r.MaxDeliveries {
 			break
 		}
+		if r.stop != nil && r.metrics.Delivered%stopCheckInterval == 0 && r.stop() {
+			break
+		}
 		e := r.sched.Pop()
 		r.metrics.recordDeliver(e)
+		r.nodes[e.To].Deliver(&asyncCtx{r: r, self: e.To, now: e.Depth}, e.From, e.Msg)
 		if r.observer != nil {
 			r.observer(e)
 		}
-		r.nodes[e.To].Deliver(&asyncCtx{r: r, self: e.To, now: e.Depth}, e.From, e.Msg)
 	}
 	return r.metrics
 }

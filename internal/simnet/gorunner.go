@@ -20,7 +20,8 @@ import (
 type GoRunner struct {
 	nodes    []Node
 	metrics  *Metrics
-	mu       sync.Mutex // guards metrics and Rounds tracking
+	observer Observer
+	mu       sync.Mutex // guards metrics, Rounds tracking and observer calls
 	inflight atomic.Int64
 	boxes    []*mailbox
 }
@@ -34,6 +35,10 @@ func NewGo(nodes []Node) *GoRunner {
 	}
 	return r
 }
+
+// Observe registers an observer invoked on every delivery, serialized
+// under the metrics lock. It must be called before Run.
+func (r *GoRunner) Observe(o Observer) { r.observer = o }
 
 // mailbox is an unbounded MPSC queue. Unboundedness matters: with bounded
 // channels two nodes sending to each other can deadlock, which would be an
@@ -152,6 +157,11 @@ func (r *GoRunner) nodeLoop(id NodeID) {
 		r.metrics.recordDeliver(e)
 		r.mu.Unlock()
 		r.nodes[id].Deliver(&goCtx{r: r, self: id, now: e.Depth}, e.From, e.Msg)
+		if r.observer != nil {
+			r.mu.Lock()
+			r.observer(e)
+			r.mu.Unlock()
+		}
 		// Decrement only after handling so that messages produced during
 		// handling are already counted: the counter can then never dip to
 		// zero while work remains.

@@ -97,10 +97,11 @@ type NodeMetrics struct {
 	RecvBytes int64
 }
 
-// Observer receives every delivered envelope, in delivery order. Runners
-// call it synchronously from the delivery path (the GoRunner serializes
-// calls under its metrics lock), so implementations must be fast and must
-// not call back into the runner.
+// Observer receives every delivered envelope, in delivery order, after the
+// receiving node has handled it (so post-delivery node state is readable).
+// Runners call it synchronously from the delivery path (the GoRunner
+// serializes calls under its metrics lock), so implementations must be
+// fast and must not call back into the runner.
 type Observer func(e Envelope)
 
 // Metrics aggregates a run.

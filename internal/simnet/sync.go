@@ -15,6 +15,7 @@ type SyncRunner struct {
 	corrupt  []bool // corrupt[i] reports whether node i is Byzantine
 	metrics  *Metrics
 	observer Observer
+	stop     func() bool
 
 	pending []Envelope // messages to deliver next round
 	seq     uint64
@@ -41,6 +42,11 @@ func NewSync(nodes []Node, corrupt []bool) *SyncRunner {
 // Observe registers an observer invoked on every delivery. It must be
 // called before Run.
 func (r *SyncRunner) Observe(o Observer) { r.observer = o }
+
+// StopWhen registers a cancellation probe polled at every round boundary;
+// when it returns true the run abandons the remaining rounds and returns
+// the metrics collected so far. It must be called before Run.
+func (r *SyncRunner) StopWhen(f func() bool) { r.stop = f }
 
 // Ticker is implemented by nodes that act on synchronous round boundaries
 // (e.g. committee protocols that tally everything received in a round).
@@ -76,6 +82,9 @@ func (c *syncCtx) Send(to NodeID, m Message) {
 func (r *SyncRunner) Run(maxRounds int) *Metrics {
 	r.initNodes()
 	for r.round = 1; r.round <= maxRounds && len(r.pending) > 0; r.round++ {
+		if r.stop != nil && r.stop() {
+			break
+		}
 		r.step()
 	}
 	if rounds := r.round - 1; rounds > r.metrics.Rounds {
@@ -151,8 +160,8 @@ func (r *SyncRunner) deliver(e Envelope) {
 	// but all arrive in the next round.
 	e.Depth = r.round
 	r.metrics.recordDeliver(e)
+	r.nodes[e.To].Deliver(&syncCtx{r: r, from: e.To, now: r.round}, e.From, e.Msg)
 	if r.observer != nil {
 		r.observer(e)
 	}
-	r.nodes[e.To].Deliver(&syncCtx{r: r, from: e.To, now: r.round}, e.From, e.Msg)
 }

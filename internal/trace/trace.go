@@ -44,20 +44,26 @@ func New(n int) *Trace {
 // Observer returns the hook to register with a runner.
 func (t *Trace) Observer() simnet.Observer {
 	return func(e simnet.Envelope) {
-		byKind := t.byTime[e.Depth]
-		if byKind == nil {
-			byKind = make(map[string]int64)
-			t.byTime[e.Depth] = byKind
-		}
-		kind := e.Msg.Kind()
-		byKind[kind]++
-		t.kinds[kind] = true
-		if e.To >= 0 && e.To < len(t.byNode) {
-			t.byNode[e.To]++
-		}
-		if e.Depth > t.maxTime {
-			t.maxTime = e.Depth
-		}
+		t.Record(e.Depth, e.Msg.Kind(), e.To)
+	}
+}
+
+// Record counts one delivery of kind to node to at time tm. It is the raw
+// entry point behind Observer, exposed so event streams that are not
+// simnet envelopes (the public fastba.Observer) can feed a trace too.
+func (t *Trace) Record(tm int, kind string, to int) {
+	byKind := t.byTime[tm]
+	if byKind == nil {
+		byKind = make(map[string]int64)
+		t.byTime[tm] = byKind
+	}
+	byKind[kind]++
+	t.kinds[kind] = true
+	if to >= 0 && to < len(t.byNode) {
+		t.byNode[to]++
+	}
+	if tm > t.maxTime {
+		t.maxTime = tm
 	}
 }
 

@@ -1,10 +1,10 @@
 package fastba
 
 import (
+	"context"
 	"encoding/hex"
 	"fmt"
 
-	"github.com/fastba/fastba/internal/adversary"
 	"github.com/fastba/fastba/internal/ae"
 	"github.com/fastba/fastba/internal/baseline"
 	"github.com/fastba/fastba/internal/core"
@@ -43,12 +43,25 @@ type AERResult struct {
 	AnswersDeferred int
 	// DecisionTimes holds each correct decider's decision time.
 	DecisionTimes []int
+	// PushesPerCorrect is the mean number of push-phase messages sent per
+	// correct node (the Lemma 3 probe).
+	PushesPerCorrect float64
+	// CandidateCoverage is the fraction of correct nodes whose candidate
+	// list contains gstring at the end of the run (the Lemma 5 probe).
+	CandidateCoverage float64
 }
 
 // RunAER executes the core protocol on a synthetic almost-everywhere
 // population (the paper's §3.1 preconditions, controlled by WithKnowFrac
 // and WithCorruptFrac).
 func RunAER(cfg Config) (*AERResult, error) {
+	return RunAERContext(context.Background(), cfg)
+}
+
+// RunAERContext is RunAER with cancellation: the deterministic runners
+// poll ctx between rounds (sync) and delivery batches (async) and abandon
+// the execution once it is done, returning ctx.Err().
+func RunAERContext(ctx context.Context, cfg Config) (*AERResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -61,59 +74,114 @@ func RunAER(cfg Config) (*AERResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runAEROnScenario(cfg, sc)
+	return runAEROnScenario(ctx, cfg, sc)
 }
 
-func runAEROnScenario(cfg Config, sc *core.Scenario) (*AERResult, error) {
-	nodes, correct := sc.Build(byzMaker(cfg, sc))
-	m, err := execute(cfg, nodes, sc.Corrupt)
+func runAEROnScenario(ctx context.Context, cfg Config, sc *core.Scenario) (*AERResult, error) {
+	mkByz, err := byzMaker(cfg, sc)
+	if err != nil {
+		return nil, err
+	}
+	nodes, correct := sc.Build(mkByz)
+	m, err := execute(ctx, cfg, nodes, sc.Corrupt, correct)
 	if err != nil {
 		return nil, err
 	}
 	return summarize(sc, correct, m), nil
 }
 
-// byzMaker maps the configured adversary to node factories.
-func byzMaker(cfg Config, sc *core.Scenario) func(id int) simnet.Node {
-	env := adversary.FromScenario(sc)
-	var st adversary.Strategy
-	switch cfg.adversary {
-	case AdversaryFlood:
-		st = adversary.Flood{}
-	case AdversaryEquivocate:
-		st = adversary.Equivocate{}
-	case AdversaryCorner:
-		st = adversary.Corner{}
-	case AdversaryCornerRushing:
-		st = adversary.Corner{Rushing: true}
-	default:
-		return nil // silent
+// byzMaker resolves the configured adversary through the registry to a
+// node factory for core.Scenario.Build (nil factory = silent nodes).
+func byzMaker(cfg Config, sc *core.Scenario) (func(id int) simnet.Node, error) {
+	maker, err := lookupAdversary(cfg.advName)
+	if err != nil || maker == nil {
+		return nil, err
 	}
-	return adversary.Maker(st, env)
+	env := newAdversaryEnv(sc)
+	return func(id int) simnet.Node { return maker(env, id) }, nil
 }
 
 // execute runs the node vector under the configured model.
-func execute(cfg Config, nodes []simnet.Node, corrupt []bool) (*simnet.Metrics, error) {
+func execute(ctx context.Context, cfg Config, nodes []simnet.Node, corrupt []bool, correct []*core.Node) (*simnet.Metrics, error) {
+	obs := streamObserver(cfg, correct)
+	stop := func() bool { return ctx.Err() != nil }
+	var m *simnet.Metrics
 	switch cfg.model {
 	case SyncNonRushing, SyncRushing:
 		// Rushing is a property of the Byzantine nodes (simnet.Rusher);
 		// the runner honours it whenever such nodes are present, which
 		// only the rushing strategies install.
-		return simnet.NewSync(nodes, corrupt).Run(cfg.maxRounds), nil
-	case Async:
-		return simnet.NewAsync(nodes, simnet.NewRandom(cfg.seed^0xA57)).Run(), nil
-	case AsyncAdversarial:
+		r := simnet.NewSync(nodes, corrupt)
+		r.Observe(obs)
+		r.StopWhen(stop)
+		m = r.Run(cfg.maxRounds)
+	case Async, AsyncAdversarial:
+		r := simnet.NewAsync(nodes, asyncScheduler(cfg, corrupt))
+		r.Observe(obs)
+		r.StopWhen(stop)
+		m = r.Run()
+	case Goroutines:
+		// The goroutine runner has no safe preemption point; it runs to
+		// quiescence and cancellation is honoured on return.
+		r := simnet.NewGo(nodes)
+		r.Observe(obs)
+		m = r.Run()
+	default:
+		return nil, fmt.Errorf("fastba: unknown model %v", cfg.model)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// asyncScheduler picks the delivery order for the asynchronous models: a
+// custom maker when configured, otherwise the model's built-in order.
+func asyncScheduler(cfg Config, corrupt []bool) simnet.Scheduler {
+	if cfg.schedMaker != nil {
+		return cfg.schedMaker(len(corrupt), cfg.seed)
+	}
+	if cfg.model == AsyncAdversarial {
 		pri := func(e simnet.Envelope) int {
 			if corrupt[e.From] {
 				return 0 // adversary traffic jumps the queue
 			}
 			return 1
 		}
-		return simnet.NewAsync(nodes, simnet.NewAdversarial(pri, uint64(len(nodes))*8)).Run(), nil
-	case Goroutines:
-		return simnet.NewGo(nodes).Run(), nil
-	default:
-		return nil, fmt.Errorf("fastba: unknown model %v", cfg.model)
+		return simnet.NewAdversarial(pri, uint64(len(corrupt))*8)
+	}
+	return simnet.NewRandom(cfg.seed ^ 0xA57)
+}
+
+// streamObserver adapts the configured public Observer to the runners'
+// envelope hook, synthesizing round-advance and decision events. It
+// returns nil when no observer is configured.
+func streamObserver(cfg Config, correct []*core.Node) simnet.Observer {
+	if cfg.observer == nil {
+		return nil
+	}
+	observer := cfg.observer
+	lastTime := 0
+	decided := make([]bool, len(correct))
+	return func(e simnet.Envelope) {
+		if e.Depth > lastTime {
+			lastTime = e.Depth
+			observer(Event{Type: EventRound, Time: e.Depth, From: -1, To: -1})
+		}
+		observer(Event{
+			Type: EventDeliver, Time: e.Depth,
+			From: e.From, To: e.To,
+			Kind: e.Msg.Kind(), Size: e.Msg.WireSize(),
+		})
+		// Decision detection: the delivery just handled by a correct node
+		// may have completed its poll majority. Runners serialize observer
+		// calls with deliveries, and only e.To's state can have changed.
+		if e.To < len(correct) && correct[e.To] != nil && !decided[e.To] {
+			if _, ok := correct[e.To].Decided(); ok {
+				decided[e.To] = true
+				observer(Event{Type: EventDecision, Time: e.Depth, From: -1, To: e.To})
+			}
+		}
 	}
 }
 
@@ -134,14 +202,23 @@ func summarize(sc *core.Scenario, correct []*core.Node, m *simnet.Metrics) *AERR
 		MessagesByKind:  m.ByKind,
 		SumCandidates:   o.SumCandidates,
 	}
+	var pushes, covered float64
 	for _, n := range correct {
 		if n == nil {
 			continue
 		}
 		res.AnswersDeferred += n.Stats().AnswersDeferred
+		pushes += float64(n.Stats().PushesSent)
+		if n.HasCandidate(sc.GString) {
+			covered++
+		}
 		if at := n.DecidedAt(); at >= 0 {
 			res.DecisionTimes = append(res.DecisionTimes, at)
 		}
+	}
+	if o.Correct > 0 {
+		res.PushesPerCorrect = pushes / float64(o.Correct)
+		res.CandidateCoverage = covered / float64(o.Correct)
 	}
 	return res
 }
@@ -178,6 +255,12 @@ type AEPhase struct {
 // everyone. The almost-everywhere phase is synchronous (as in KSSV06); the
 // AER phase runs under the configured model.
 func RunBA(cfg Config) (*BAResult, error) {
+	return RunBAContext(context.Background(), cfg)
+}
+
+// RunBAContext is RunBA with cancellation, checked between phases and
+// inside the AER phase's runner.
+func RunBAContext(ctx context.Context, cfg Config) (*BAResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -203,7 +286,7 @@ func RunBA(cfg Config) (*BAResult, error) {
 		Seed:          cfg.params.SamplerSeed,
 	}
 	var mkByz func(id int) simnet.Node
-	if cfg.adversary != AdversaryNone && cfg.adversary != AdversarySilent {
+	if cfg.advName != AdversaryNone.String() && cfg.advName != AdversarySilent.String() {
 		mkByz, err = ae.Poison(aeParams, cfg.seed)
 		if err != nil {
 			return nil, err
@@ -216,12 +299,15 @@ func RunBA(cfg Config) (*BAResult, error) {
 	if aeRes.GString.IsZero() {
 		return nil, fmt.Errorf("fastba: almost-everywhere phase failed to elect a global string")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	sc, err := core.ScenarioFromBeliefs(cfg.params, cfg.seed, corrupt, aeRes.GString, aeRes.Beliefs)
 	if err != nil {
 		return nil, err
 	}
-	aerRes, err := runAEROnScenario(cfg, sc)
+	aerRes, err := runAEROnScenario(ctx, cfg, sc)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,124 @@
+package fastba
+
+import (
+	"context"
+	"encoding/hex"
+	"time"
+
+	"github.com/fastba/fastba/internal/core"
+	"github.com/fastba/fastba/internal/netrun"
+	"github.com/fastba/fastba/internal/simnet"
+)
+
+// TCPResult reports one AER execution over real loopback TCP sockets.
+// Communication is metered in actually-framed wire bytes; there is no
+// logical clock, so time is wall-clock.
+type TCPResult struct {
+	Agreement      bool
+	GString        string
+	Correct        int
+	Decided        int
+	DecidedGString int
+	DecidedOther   int
+	// MeanBitsPerNode / MaxBitsPerNode count wire-frame bits actually
+	// written, per node.
+	MeanBitsPerNode float64
+	MaxBitsPerNode  int64
+	// Wall is the elapsed wall-clock time until completion (or timeout).
+	Wall time.Duration
+	// TimedOut reports that not every correct node decided within the
+	// timeout; the remaining fields describe the partial outcome.
+	TimedOut bool
+}
+
+// RunTCP executes the same AER nodes a RunAER call with this configuration
+// would simulate, but over real loopback TCP: one OS-level listener per
+// node, length-prefixed binary frames, a lazily dialed full mesh. The
+// configured timing model is ignored (the kernel schedules delivery);
+// Byzantine strategies participate through the same registry, though
+// custom message types without a wire codec are silently dropped, and
+// rushing behaviours degrade to their non-rushing form. A zero timeout
+// defaults to 60s. WithObserver streams deliveries (with Time 0).
+func RunTCP(ctx context.Context, cfg Config, timeout time.Duration) (*TCPResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if timeout <= 0 {
+		timeout = 60 * time.Second
+	}
+	sc, err := core.NewScenario(cfg.params, cfg.seed, core.ScenarioConfig{
+		CorruptFrac: cfg.corruptFrac,
+		KnowFrac:    cfg.knowFrac,
+		SharedJunk:  cfg.sharedJunk,
+		AdvBits:     1.0 / 3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mkByz, err := byzMaker(cfg, sc)
+	if err != nil {
+		return nil, err
+	}
+	nodes, correct := sc.Build(mkByz)
+
+	cluster, err := netrun.New(nodes)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+	if cfg.observer != nil {
+		observer := cfg.observer
+		cluster.Observe(func(e simnet.Envelope) {
+			observer(Event{
+				Type: EventDeliver, Time: 0,
+				From: e.From, To: e.To,
+				Kind: e.Msg.Kind(), Size: e.Msg.WireSize(),
+			})
+		})
+	}
+
+	start := time.Now()
+	cluster.Start()
+	allDecided := func() bool {
+		for _, node := range correct {
+			if node == nil {
+				continue
+			}
+			if _, ok := node.Decided(); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	runErr := cluster.RunUntil(ctx, allDecided, timeout)
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	wall := time.Since(start)
+	// Quiesce delivery before reading node state and byte counters.
+	cluster.Close()
+
+	o := core.Evaluate(correct, sc.GString)
+	res := &TCPResult{
+		Agreement:      o.Agreement(),
+		GString:        hex.EncodeToString(sc.GString.Bytes()),
+		Correct:        o.Correct,
+		Decided:        o.Decided,
+		DecidedGString: o.DecidedG,
+		DecidedOther:   o.DecidedOther,
+		Wall:           wall,
+		TimedOut:       runErr != nil,
+	}
+	var total int64
+	for _, b := range cluster.SentBytes() {
+		bits := b * 8
+		total += bits
+		if bits > res.MaxBitsPerNode {
+			res.MaxBitsPerNode = bits
+		}
+	}
+	if len(nodes) > 0 {
+		res.MeanBitsPerNode = float64(total) / float64(len(nodes))
+	}
+	return res, nil
+}
