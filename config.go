@@ -253,8 +253,12 @@ func WithScheduler(mk SchedulerMaker) Option {
 // decisions) from the run to o. It covers the protocol under study: AER
 // executions under every model and over TCP. Baseline comparison runs and
 // the BA pipeline's almost-everywhere phase do not stream events (only
-// the BA run's AER phase does). Observers add measurable overhead on hot
-// runs; leave unset when only the aggregate result matters.
+// the BA run's AER phase does). The deterministic models invoke o live,
+// per delivery; the concurrent runtimes (Goroutines, TCP) buffer events
+// per node — retaining them for the whole run — and fan them in as one
+// globally ordered pass at quiescence. Observers add measurable overhead
+// and memory on hot runs; leave unset when only the aggregate result
+// matters.
 func WithObserver(o Observer) Option {
 	return optionFunc(func(c *Config) { c.observer = o })
 }

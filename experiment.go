@@ -400,6 +400,7 @@ func (s Suite) runOne(ctx context.Context, run plannedRun) RunRecord {
 		rec.MeanBitsPerNode = res.MeanBitsPerNode
 		rec.MaxBitsPerNode = res.MaxBitsPerNode
 		rec.Time = int(res.Wall.Milliseconds())
+		rec.LastDecision = res.LastDecision
 		if res.TimedOut {
 			rec.Err = "tcp run timed out before all correct nodes decided"
 		}

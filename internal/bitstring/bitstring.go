@@ -104,10 +104,24 @@ func (s String) Bit(i int) byte {
 }
 
 // Key returns a value that uniquely identifies s and is usable as a map
-// key. Two strings have equal keys iff they are equal.
+// key. Two strings have equal keys iff they are equal. Key allocates a
+// fresh string per call; hot paths should use MapKey (or an intern.Table)
+// instead.
 func (s String) Key() string {
 	return string(rune(s.bits)) + s.data
 }
+
+// MapKey is a comparable identifier of a String for use as a map key.
+// Unlike Key, constructing a MapKey performs no allocation: it reuses the
+// String's immutable backing data. Two strings have equal MapKeys iff they
+// are equal.
+type MapKey struct {
+	bits int
+	data string
+}
+
+// MapKey returns the allocation-free map key for s.
+func (s String) MapKey() MapKey { return MapKey{bits: s.bits, data: s.data} }
 
 // Equal reports value equality.
 func (s String) Equal(o String) bool {

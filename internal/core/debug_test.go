@@ -22,11 +22,14 @@ func TestDebugStuckNode(t *testing.T) {
 		if _, ok := n.Decided(); ok {
 			continue
 		}
-		gKey := sc.GString.Key()
-		_, hasG := n.candidates[gKey]
-		r, polled := n.pollLabels[gKey]
+		hasG := n.HasCandidate(sc.GString)
+		r, polled := n.pollLabel(sc.GString)
+		answersG := 0
+		if sid := n.strs.Lookup(sc.GString); sid >= 0 && int(sid) < len(n.states) {
+			answersG = n.states[sid].answers.Len()
+		}
 		t.Logf("stuck node %d: initialIsG=%v candidates=%d hasGCandidate=%v pulledG=%v r=%d answers(g)=%d needs>%d",
-			id, sc.Initial[id].Equal(sc.GString), len(n.candidates), hasG, polled, r, len(n.answers[gKey]), sc.Params.PollSize/2)
+			id, sc.Initial[id].Equal(sc.GString), n.Stats().CandidateListSize, hasG, polled, r, answersG, sc.Params.PollSize/2)
 		if polled {
 			list := sc.Smp.J.List(id, r)
 			good, knowing := 0, 0
@@ -46,10 +49,14 @@ func TestDebugStuckNode(t *testing.T) {
 				if wn == nil {
 					continue
 				}
-				if wn.fw2Majority[xsrKey{x: id, s: gKey, r: r}] {
+				gID := wn.strs.Lookup(sc.GString)
+				if gID < 0 {
+					continue
+				}
+				if wn.fw2Majority[xsrID{x: id, s: gID, r: r}] {
 					maj++
 				}
-				if wn.answered[xsKey{x: id, s: gKey}] {
+				if wn.answered[xsID{x: id, s: gID}] {
 					answeredUs++
 				}
 			}
@@ -59,7 +66,11 @@ func TestDebugStuckNode(t *testing.T) {
 			fwd := 0
 			for _, y := range hq {
 				yn := correct[y]
-				if yn != nil && yn.pullForwarded[xsKey{x: id, s: gKey}] {
+				if yn == nil {
+					continue
+				}
+				gID := yn.strs.Lookup(sc.GString)
+				if gID >= 0 && yn.pullForwarded[xsID{x: id, s: gID}] {
 					fwd++
 				}
 			}

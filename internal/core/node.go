@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"github.com/fastba/fastba/internal/bitstring"
+	"github.com/fastba/fastba/internal/intern"
 	"github.com/fastba/fastba/internal/prng"
 	"github.com/fastba/fastba/internal/simnet"
 )
@@ -17,6 +18,13 @@ import (
 // clarifications (see DESIGN.md "Faithfulness notes"): Fw1 counters are
 // keyed per poll-list member w, and the log² n answer budget is enforced
 // uniformly in tryAnswer for both the Fw2 and the late-Poll answer paths.
+//
+// All per-string state is keyed by dense interned IDs rather than string
+// map keys: each node owns an intern.Table mapping every candidate string
+// it has seen to a small integer, per-string counters live in an ID-indexed
+// slice, and the composite (x, s, r, w) counters key their maps by integer
+// tuples. This keeps the delivery hot path free of per-message key
+// formatting and map-of-map churn (DESIGN.md §4).
 type Node struct {
 	id     int
 	params Params
@@ -26,7 +34,9 @@ type Node struct {
 	// sthis is the string this node currently believes to be gstring
 	// (Algorithms 2/3 "the current node believes gstring to be sthis").
 	// It starts as the initial candidate and is overwritten on decision.
+	// sthisID is its interned ID (interned in NewNode, updated on decide).
 	sthis   bitstring.String
+	sthisID intern.ID
 	initial bitstring.String
 
 	hasDecided bool
@@ -37,21 +47,18 @@ type Node struct {
 	// goroutines while this node's delivery loop is still mutating state.
 	pub atomic.Pointer[decision]
 
-	// Push state (§3.1.1): per candidate string, the set of quorum members
-	// that pushed it; candidates is the list L_x.
-	pushRecv   map[string]map[int]bool
-	candidates map[string]bitstring.String
-
-	// Algorithm 1 state: the label r_{x,s} of each poll this node issued
-	// and the distinct answerers per candidate.
-	pollLabels map[string]uint64
-	answers    map[string]map[int]bool
+	// strs interns every string this node tracks state for; states is the
+	// parallel ID-indexed per-string state and candidates flags the IDs on
+	// the candidate list L_x (§3.1.1).
+	strs       intern.Table
+	states     []strState
+	candidates bitstring.Bitset
 
 	// Algorithm 2 state: Pull requests already forwarded (once per (x, s)),
-	// and Fw1 vouch counters keyed by (x, s, r, w).
-	pullForwarded map[xsKey]bool
-	fw1Vouches    map[fw1Key]map[int]bool
-	fw1Done       map[xswKey]bool
+	// Fw1 vouch counters keyed by (x, s, r, w) and the forward-once flags.
+	pullForwarded map[xsID]bool
+	fw1Vouches    map[fw1ID]*bitstring.Set
+	fw1Done       map[xswID]bool
 
 	// Algorithm 3 state: Fw2 counters keyed by (x, s, r), the Polled set,
 	// sent answers, the answer budget and the deferred answers flushed on
@@ -60,10 +67,10 @@ type Node struct {
 	// they are answered if this node later decides s (§3.1.2 reply
 	// condition 2: "one of its pull requests was answered ... and s_w was
 	// changed accordingly").
-	fw2Vouches     map[xsrKey]map[int]bool
-	fw2Majority    map[xsrKey]bool
-	polled         map[xsKey]bool
-	answered       map[xsKey]bool
+	fw2Vouches     map[xsrID]*bitstring.Set
+	fw2Majority    map[xsrID]bool
+	polled         map[xsID]bool
+	answered       map[xsID]bool
 	answerCount    int
 	deferred       []deferredAnswer
 	beliefDeferred []deferredAnswer
@@ -71,28 +78,47 @@ type Node struct {
 	// decision when Params.DeferredRelay is enabled.
 	relayDeferred []deferredPull
 
+	// hxSizes caches |distinct H(s, x)| per (x, s): quorum thresholds are
+	// consulted on every Fw1/Fw2 delivery but the distinct size of a quorum
+	// never changes within a run.
+	hxSizes map[xsID]int
+
 	// Statistics surfaced to the experiment harness.
 	stats Stats
 }
 
+// strState is the per-interned-string protocol state, indexed by intern ID.
+type strState struct {
+	// Push state (§3.1.1): the quorum members that pushed this string and
+	// the cached |distinct I(s, this)| threshold (0 = not yet computed).
+	pushRecv   bitstring.Set
+	pushQuorum int
+	// Algorithm 1 state: the label r_{x,s} of the poll this node issued for
+	// the string and the distinct answerers.
+	hasLabel bool
+	label    uint64
+	answers  bitstring.Set
+}
+
+// Composite state keys; s is the interned string ID.
 type (
-	xsKey struct {
+	xsID struct {
 		x int
-		s string
+		s intern.ID
 	}
-	xsrKey struct {
+	xsrID struct {
 		x int
-		s string
+		s intern.ID
 		r uint64
 	}
-	xswKey struct {
+	xswID struct {
 		x int
-		s string
+		s intern.ID
 		w int
 	}
-	fw1Key struct {
+	fw1ID struct {
 		x int
-		s string
+		s intern.ID
 		r uint64
 		w int
 	}
@@ -100,7 +126,7 @@ type (
 
 type deferredAnswer struct {
 	x int
-	s bitstring.String
+	s intern.ID
 	r uint64
 }
 
@@ -128,33 +154,54 @@ type Stats struct {
 // HasCandidate reports whether s ∈ L_x — the Lemma 5 push-phase coverage
 // probe.
 func (n *Node) HasCandidate(s bitstring.String) bool {
-	_, ok := n.candidates[s.Key()]
-	return ok
+	sid := n.strs.Lookup(s)
+	return sid != intern.None && n.candidates.Get(int(sid))
 }
 
 // NewNode constructs a correct AER node. initial is the node's candidate
 // s_x (possibly the zero String for a node with no candidate); rng is the
 // node's private random source (§2.1).
 func NewNode(id int, initial bitstring.String, params Params, smp *Samplers, rng *prng.Source) *Node {
-	return &Node{
+	n := &Node{
 		id:            id,
 		params:        params,
 		smp:           smp,
 		rng:           rng,
 		sthis:         initial,
 		initial:       initial,
-		pushRecv:      make(map[string]map[int]bool),
-		candidates:    make(map[string]bitstring.String),
-		pollLabels:    make(map[string]uint64),
-		answers:       make(map[string]map[int]bool),
-		pullForwarded: make(map[xsKey]bool),
-		fw1Vouches:    make(map[fw1Key]map[int]bool),
-		fw1Done:       make(map[xswKey]bool),
-		fw2Vouches:    make(map[xsrKey]map[int]bool),
-		fw2Majority:   make(map[xsrKey]bool),
-		polled:        make(map[xsKey]bool),
-		answered:      make(map[xsKey]bool),
+		pullForwarded: make(map[xsID]bool),
+		fw1Vouches:    make(map[fw1ID]*bitstring.Set),
+		fw1Done:       make(map[xswID]bool),
+		fw2Vouches:    make(map[xsrID]*bitstring.Set),
+		fw2Majority:   make(map[xsrID]bool),
+		polled:        make(map[xsID]bool),
+		answered:      make(map[xsID]bool),
+		hxSizes:       make(map[xsID]int),
 	}
+	// s_this always has a valid interned ID, even for the zero string, so
+	// the Algorithm 2 fast path can key state by it unconditionally.
+	n.sthisID = n.strs.ID(initial)
+	return n
+}
+
+// state returns the per-string state for an interned ID, growing the
+// ID-indexed slice on demand. Growth may reallocate the slice, so callers
+// must not hold the returned pointer across any later state() call.
+func (n *Node) state(sid intern.ID) *strState {
+	for int(sid) >= len(n.states) {
+		n.states = append(n.states, strState{})
+	}
+	return &n.states[sid]
+}
+
+// pollLabel returns the label of the poll this node issued for s, if any
+// (white-box test hook).
+func (n *Node) pollLabel(s bitstring.String) (uint64, bool) {
+	sid := n.strs.Lookup(s)
+	if sid == intern.None || int(sid) >= len(n.states) || !n.states[sid].hasLabel {
+		return 0, false
+	}
+	return n.states[sid].label, true
 }
 
 // ID returns the node identifier.
@@ -189,7 +236,7 @@ func (n *Node) Believes() bitstring.String { return n.sthis }
 // Stats returns the protocol counters (valid after the run completes).
 func (n *Node) Stats() Stats {
 	s := n.stats
-	s.CandidateListSize = len(n.candidates)
+	s.CandidateListSize = n.candidates.Count()
 	return s
 }
 
@@ -206,8 +253,8 @@ func (n *Node) Init(ctx simnet.Context) {
 		n.stats.PushesSent++
 	}
 	// The candidate list originally contains only s_x (§3.1.1, Figure 2a).
-	n.candidates[n.initial.Key()] = n.initial
-	n.startPull(ctx, n.initial)
+	n.candidates.Set(int(n.sthisID))
+	n.startPull(ctx, n.sthisID, n.initial)
 }
 
 // Deliver implements simnet.Node.
@@ -239,36 +286,37 @@ func (n *Node) onPush(ctx simnet.Context, from int, m MsgPush) {
 	if !n.smp.I.Contains(m.S, n.id, from) {
 		return
 	}
-	key := m.S.Key()
-	if _, ok := n.candidates[key]; ok {
+	sid := n.strs.ID(m.S)
+	if n.candidates.Get(int(sid)) {
 		return
 	}
-	set := n.pushRecv[key]
-	if set == nil {
-		set = make(map[int]bool)
-		n.pushRecv[key] = set
+	st := n.state(sid)
+	if !st.pushRecv.Add(from) {
+		return // duplicate pusher: the count did not change
 	}
-	set[from] = true
-	quorum := distinct(n.smp.I.Quorum(m.S, n.id))
-	if 2*len(set) > len(quorum) {
-		n.candidates[key] = m.S
-		delete(n.pushRecv, key)
-		n.startPull(ctx, m.S)
+	if st.pushQuorum == 0 {
+		st.pushQuorum = countDistinct(n.smp.I.Quorum(m.S, n.id))
+	}
+	if 2*st.pushRecv.Len() > st.pushQuorum {
+		n.candidates.Set(int(sid))
+		st.pushRecv = bitstring.Set{} // accepted: release the pusher set
+		n.startPull(ctx, sid, m.S)
 	}
 }
 
 // startPull is Algorithm 1 for a single candidate: draw r_{x,s}, poll
 // J(x, r) and route the request through H(s, x).
-func (n *Node) startPull(ctx simnet.Context, s bitstring.String) {
+func (n *Node) startPull(ctx simnet.Context, sid intern.ID, s bitstring.String) {
 	if n.hasDecided {
 		return
 	}
-	key := s.Key()
-	if _, ok := n.pollLabels[key]; ok {
+	st := n.state(sid)
+	if st.hasLabel {
 		return
 	}
 	r := n.rng.Uint64() % n.params.Labels
-	n.pollLabels[key] = r
+	st.hasLabel = true
+	st.label = r
 	n.stats.PullsStarted++
 	for _, w := range n.smp.J.List(n.id, r) {
 		ctx.Send(w, MsgPoll{S: s, R: r})
@@ -294,13 +342,13 @@ func (n *Node) onPull(ctx simnet.Context, from int, m MsgPull) {
 		}
 		return
 	}
-	n.forwardPull(ctx, from, m.S, m.R)
+	n.forwardPull(ctx, from, n.sthisID, m.S, m.R)
 }
 
 // forwardPull fans x's authenticated request out to the pull quorums of its
 // poll list, once per (x, s).
-func (n *Node) forwardPull(ctx simnet.Context, x int, s bitstring.String, r uint64) {
-	k := xsKey{x: x, s: s.Key()}
+func (n *Node) forwardPull(ctx simnet.Context, x int, sid intern.ID, s bitstring.String, r uint64) {
+	k := xsID{x: x, s: sid}
 	if n.pullForwarded[k] {
 		return
 	}
@@ -328,20 +376,21 @@ func (n *Node) onFw1(ctx simnet.Context, from int, m MsgFw1) {
 	if !n.smp.J.Contains(m.X, m.R, m.W) { // w ∈ J(x, r)
 		return
 	}
-	sKey := m.S.Key()
-	doneKey := xswKey{x: m.X, s: sKey, w: m.W}
+	sid := n.sthisID
+	doneKey := xswID{x: m.X, s: sid, w: m.W}
 	if n.fw1Done[doneKey] {
 		return
 	}
-	vk := fw1Key{x: m.X, s: sKey, r: m.R, w: m.W}
+	vk := fw1ID{x: m.X, s: sid, r: m.R, w: m.W}
 	set := n.fw1Vouches[vk]
 	if set == nil {
-		set = make(map[int]bool)
+		set = new(bitstring.Set)
 		n.fw1Vouches[vk] = set
 	}
-	set[from] = true
-	quorum := distinct(n.smp.H.Quorum(m.S, m.X))
-	if 2*len(set) > len(quorum) {
+	if !set.Add(from) {
+		return // duplicate voucher: the count did not change
+	}
+	if 2*set.Len() > n.hQuorumSize(sid, m.S, m.X) {
 		n.fw1Done[doneKey] = true // forward only once
 		delete(n.fw1Vouches, vk)
 		ctx.Send(m.W, MsgFw2{X: m.X, S: m.S, R: m.R})
@@ -365,25 +414,26 @@ func (n *Node) onFw2(ctx simnet.Context, from int, m MsgFw2) {
 	if !n.smp.H.Contains(m.S, n.id, from) { // z ∈ H(s, this)
 		return
 	}
-	sKey := m.S.Key()
-	k := xsrKey{x: m.X, s: sKey, r: m.R}
+	sid := n.strs.ID(m.S)
+	k := xsrID{x: m.X, s: sid, r: m.R}
 	if n.fw2Majority[k] {
 		return
 	}
 	set := n.fw2Vouches[k]
 	if set == nil {
-		set = make(map[int]bool)
+		set = new(bitstring.Set)
 		n.fw2Vouches[k] = set
 	}
-	set[from] = true
-	quorum := distinct(n.smp.H.Quorum(m.S, n.id))
-	if 2*len(set) <= len(quorum) {
+	if !set.Add(from) {
+		return // duplicate voucher: the count did not change
+	}
+	if 2*set.Len() <= n.hQuorumSize(sid, m.S, n.id) {
 		return
 	}
 	n.fw2Majority[k] = true
 	delete(n.fw2Vouches, k)
-	if n.polled[xsKey{x: m.X, s: sKey}] {
-		n.maybeAnswer(ctx, m.X, m.S, m.R)
+	if n.polled[xsID{x: m.X, s: sid}] {
+		n.maybeAnswer(ctx, m.X, sid, m.R)
 	}
 }
 
@@ -394,10 +444,10 @@ func (n *Node) onPoll(ctx simnet.Context, from int, m MsgPoll) {
 	if !n.smp.J.Contains(from, m.R, n.id) {
 		return
 	}
-	sKey := m.S.Key()
-	n.polled[xsKey{x: from, s: sKey}] = true
-	if n.fw2Majority[xsrKey{x: from, s: sKey, r: m.R}] {
-		n.maybeAnswer(ctx, from, m.S, m.R)
+	sid := n.strs.ID(m.S)
+	n.polled[xsID{x: from, s: sid}] = true
+	if n.fw2Majority[xsrID{x: from, s: sid, r: m.R}] {
+		n.maybeAnswer(ctx, from, sid, m.R)
 	}
 }
 
@@ -405,31 +455,31 @@ func (n *Node) onPoll(ctx simnet.Context, from int, m MsgPoll) {
 // (knowledgeable, or decided — condition 2) answers subject to the budget
 // (condition 3); a node that does not hold s keeps the authenticated
 // request pending and answers it if a future decision changes s_this to s.
-func (n *Node) maybeAnswer(ctx simnet.Context, x int, s bitstring.String, r uint64) {
-	if s.Equal(n.sthis) {
-		n.tryAnswer(ctx, x, s, r)
+func (n *Node) maybeAnswer(ctx simnet.Context, x int, sid intern.ID, r uint64) {
+	if sid == n.sthisID {
+		n.tryAnswer(ctx, x, sid, r)
 		return
 	}
-	n.beliefDeferred = append(n.beliefDeferred, deferredAnswer{x: x, s: s, r: r})
+	n.beliefDeferred = append(n.beliefDeferred, deferredAnswer{x: x, s: sid, r: r})
 }
 
 // tryAnswer sends Answer(s) to x unless the answer budget is exhausted, in
 // which case the answer is deferred until this node decides (Algorithm 3:
 // "Wait for has_decided"). Each (x, s) is answered at most once.
-func (n *Node) tryAnswer(ctx simnet.Context, x int, s bitstring.String, r uint64) {
-	k := xsKey{x: x, s: s.Key()}
+func (n *Node) tryAnswer(ctx simnet.Context, x int, sid intern.ID, r uint64) {
+	k := xsID{x: x, s: sid}
 	if n.answered[k] {
 		return
 	}
 	if n.params.AnswerBudget > 0 && n.answerCount >= n.params.AnswerBudget && !n.hasDecided {
 		n.stats.AnswersDeferred++
-		n.deferred = append(n.deferred, deferredAnswer{x: x, s: s, r: r})
+		n.deferred = append(n.deferred, deferredAnswer{x: x, s: sid, r: r})
 		return
 	}
 	n.answered[k] = true
 	n.answerCount++
 	n.stats.AnswersSent++
-	ctx.Send(x, MsgAnswer{S: s, R: r})
+	ctx.Send(x, MsgAnswer{S: n.strs.String(sid), R: r})
 }
 
 // onAnswer counts answers from distinct poll-list members and decides on s
@@ -438,37 +488,35 @@ func (n *Node) onAnswer(ctx simnet.Context, from int, m MsgAnswer) {
 	if n.hasDecided {
 		return
 	}
-	sKey := m.S.Key()
-	r, ok := n.pollLabels[sKey]
-	if !ok || r != m.R {
+	sid := n.strs.Lookup(m.S)
+	if sid == intern.None {
 		return // not a poll we issued
 	}
-	if !n.smp.J.Contains(n.id, r, from) {
+	st := n.state(sid)
+	if !st.hasLabel || st.label != m.R {
+		return // not a poll we issued
+	}
+	if !n.smp.J.Contains(n.id, st.label, from) {
 		return // answerer is not on the authoritative poll list
 	}
-	set := n.answers[sKey]
-	if set == nil {
-		set = make(map[int]bool)
-		n.answers[sKey] = set
-	}
-	if set[from] {
+	if !st.answers.Add(from) {
 		return // "w hasn't sent another Answer(s) message yet"
 	}
-	set[from] = true
-	if 2*len(set) > n.params.PollSize {
-		n.decide(ctx, m.S)
+	if 2*st.answers.Len() > n.params.PollSize {
+		n.decide(ctx, sid, m.S)
 	}
 }
 
 // decide fixes the output, updates s_this (Algorithm 3 condition 2: "sw
 // was changed accordingly") and flushes both kinds of deferred answers:
 // those held back by the budget and those awaiting this belief change.
-func (n *Node) decide(ctx simnet.Context, s bitstring.String) {
+func (n *Node) decide(ctx simnet.Context, sid intern.ID, s bitstring.String) {
 	n.hasDecided = true
 	n.decided = s
 	n.decidedAt = ctx.Now()
 	n.pub.Store(&decision{s: s, at: n.decidedAt})
 	n.sthis = s
+	n.sthisID = sid
 	flushBudget := n.deferred
 	n.deferred = nil
 	for _, d := range flushBudget {
@@ -477,7 +525,7 @@ func (n *Node) decide(ctx simnet.Context, s bitstring.String) {
 	flushBelief := n.beliefDeferred
 	n.beliefDeferred = nil
 	for _, d := range flushBelief {
-		if d.s.Equal(s) {
+		if d.s == sid {
 			n.tryAnswer(ctx, d.x, d.s, d.r)
 		}
 	}
@@ -485,22 +533,61 @@ func (n *Node) decide(ctx simnet.Context, s bitstring.String) {
 	n.relayDeferred = nil
 	for _, d := range flushRelay {
 		if d.s.Equal(s) {
-			n.forwardPull(ctx, d.x, d.s, d.r)
+			n.forwardPull(ctx, d.x, sid, s, d.r)
 		}
 	}
+}
+
+// hQuorumSize returns |distinct H(s, x)|, cached per (x, s): the threshold
+// denominators of Algorithms 2/3 are consulted on every Fw1/Fw2 delivery
+// and never change within a run.
+func (n *Node) hQuorumSize(sid intern.ID, s bitstring.String, x int) int {
+	k := xsID{x: x, s: sid}
+	if v, ok := n.hxSizes[k]; ok {
+		return v
+	}
+	v := countDistinct(n.smp.H.Quorum(s, x))
+	n.hxSizes[k] = v
+	return v
 }
 
 // distinct returns the distinct elements of ids, preserving first-seen
 // order. Quorums built from unions of permutations may contain the same
 // node under two indices; thresholds and sends use the distinct view.
+// The input slice is reused (deduplicated in place): callers pass freshly
+// sampled quorums. Quorum sizes are O(log n), so the quadratic scan beats
+// a map both on allocation and on time.
 func distinct(ids []int) []int {
-	seen := make(map[int]bool, len(ids))
-	out := ids[:0:0]
+	out := ids[:0]
 	for _, id := range ids {
-		if !seen[id] {
-			seen[id] = true
+		dup := false
+		for _, seen := range out {
+			if seen == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, id)
 		}
 	}
 	return out
+}
+
+// countDistinct returns len(distinct(ids)) without modifying ids.
+func countDistinct(ids []int) int {
+	count := 0
+	for i, id := range ids {
+		dup := false
+		for _, prev := range ids[:i] {
+			if prev == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			count++
+		}
+	}
+	return count
 }

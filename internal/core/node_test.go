@@ -59,8 +59,8 @@ func TestInitPushesToInverseQuorum(t *testing.T) {
 		}
 	}
 	// Own candidate registered and pulled immediately.
-	if len(n.candidates) != 1 {
-		t.Fatalf("candidate list size %d, want 1", len(n.candidates))
+	if got := n.Stats().CandidateListSize; got != 1 {
+		t.Fatalf("candidate list size %d, want 1", got)
 	}
 	if len(ctx.byKind("poll")) != p.PollSize {
 		t.Fatalf("sent %d polls, want %d", len(ctx.byKind("poll")), p.PollSize)
@@ -95,7 +95,7 @@ func TestPushMajorityFilter(t *testing.T) {
 	for i := 0; i < need+3; i++ {
 		n.Deliver(ctx, outsider, MsgPush{S: s})
 	}
-	if _, ok := n.candidates[s.Key()]; ok {
+	if n.HasCandidate(s) {
 		t.Fatal("candidate accepted from non-quorum pushes")
 	}
 
@@ -103,21 +103,21 @@ func TestPushMajorityFilter(t *testing.T) {
 	for _, y := range quorum[:need-1] {
 		n.Deliver(ctx, y, MsgPush{S: s})
 	}
-	if _, ok := n.candidates[s.Key()]; ok {
+	if n.HasCandidate(s) {
 		t.Fatal("candidate accepted below majority")
 	}
 	// Duplicate pushes from the same member must not inflate the count.
 	for i := 0; i < 5; i++ {
 		n.Deliver(ctx, quorum[0], MsgPush{S: s})
 	}
-	if _, ok := n.candidates[s.Key()]; ok {
+	if n.HasCandidate(s) {
 		t.Fatal("duplicate pushes crossed the majority filter")
 	}
 
 	// The majority-crossing push triggers the pull for the new candidate.
 	before := len(ctx.byKind("poll"))
 	n.Deliver(ctx, quorum[need-1], MsgPush{S: s})
-	if _, ok := n.candidates[s.Key()]; !ok {
+	if !n.HasCandidate(s) {
 		t.Fatal("candidate not accepted at majority")
 	}
 	if got := len(ctx.byKind("poll")) - before; got != p.PollSize {
@@ -134,7 +134,7 @@ func TestPushRejectsMalformedStrings(t *testing.T) {
 		n.Deliver(ctx, from, MsgPush{S: short})
 		n.Deliver(ctx, from, MsgPush{S: bitstring.String{}})
 	}
-	if len(n.candidates) != 0 {
+	if n.Stats().CandidateListSize != 0 {
 		t.Fatal("malformed strings entered the candidate list")
 	}
 }
@@ -288,7 +288,7 @@ func TestBeliefDeferredAnsweredAfterDecision(t *testing.T) {
 	for _, y := range quorum[:len(quorum)/2+1] {
 		w.Deliver(ctx, y, MsgPush{S: gstring})
 	}
-	rOwn := w.pollLabels[gstring.Key()]
+	rOwn, _ := w.pollLabel(gstring)
 	list := smp.J.List(wID, rOwn)
 	for _, member := range list[:p.PollSize/2+1] {
 		w.Deliver(ctx, member, MsgAnswer{S: gstring, R: rOwn})
@@ -332,7 +332,7 @@ func TestAnswerBudgetDefersAndFlushesOnDecision(t *testing.T) {
 	}
 
 	// Drive w to decide its own candidate: majority answers on its poll.
-	rOwn := w.pollLabels[s.Key()]
+	rOwn, _ := w.pollLabel(s)
 	ctx3 := &fakeCtx{now: 7}
 	list := smp.J.List(wID, rOwn)
 	for _, member := range list[:len(list)/2+1] {
@@ -358,7 +358,7 @@ func TestDecisionRequiresPollListMajority(t *testing.T) {
 	const me = 9
 	n := newTestNode(me, s, p, smp)
 	n.Init(&fakeCtx{})
-	r := n.pollLabels[s.Key()]
+	r, _ := n.pollLabel(s)
 	list := smp.J.List(me, r)
 	ctx := &fakeCtx{}
 
@@ -458,7 +458,7 @@ func TestDecidedNodeStopsNewPulls(t *testing.T) {
 	const me = 9
 	n := newTestNode(me, s, p, smp)
 	n.Init(&fakeCtx{})
-	r := n.pollLabels[s.Key()]
+	r, _ := n.pollLabel(s)
 	list := smp.J.List(me, r)
 	ctx := &fakeCtx{}
 	for _, member := range list[:p.PollSize/2+1] {
@@ -517,7 +517,7 @@ func TestAnswersIgnoredAfterDecision(t *testing.T) {
 	const me = 9
 	n := newTestNode(me, s, p, smp)
 	n.Init(&fakeCtx{})
-	r := n.pollLabels[s.Key()]
+	r, _ := n.pollLabel(s)
 	list := smp.J.List(me, r)
 	ctx := &fakeCtx{now: 3}
 	for _, member := range list[:p.PollSize/2+1] {

@@ -1,0 +1,110 @@
+package intern
+
+import (
+	"testing"
+
+	"github.com/fastba/fastba/internal/bitstring"
+	"github.com/fastba/fastba/internal/prng"
+)
+
+func TestTableInternsDense(t *testing.T) {
+	var tab Table
+	src := prng.New(1)
+	strs := make([]bitstring.String, 16)
+	for i := range strs {
+		strs[i] = bitstring.Random(src, 24)
+	}
+	for i, s := range strs {
+		if id := tab.ID(s); id != ID(i) {
+			t.Fatalf("ID(%v) = %d, want %d", s, id, i)
+		}
+	}
+	for i, s := range strs {
+		if id := tab.ID(s); id != ID(i) {
+			t.Fatalf("re-ID(%v) = %d, want %d", s, id, i)
+		}
+		if id := tab.Lookup(s); id != ID(i) {
+			t.Fatalf("Lookup(%v) = %d, want %d", s, id, i)
+		}
+		if got := tab.String(ID(i)); !got.Equal(s) {
+			t.Fatalf("String(%d) = %v, want %v", i, got, s)
+		}
+	}
+	if tab.Len() != len(strs) {
+		t.Fatalf("Len = %d, want %d", tab.Len(), len(strs))
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	var tab Table
+	s := bitstring.Random(prng.New(2), 24)
+	if id := tab.Lookup(s); id != None {
+		t.Fatalf("Lookup on empty table = %d, want None", id)
+	}
+	tab.ID(s)
+	other := bitstring.Random(prng.New(3), 24)
+	if id := tab.Lookup(other); id != None {
+		t.Fatalf("Lookup of foreign string = %d, want None", id)
+	}
+}
+
+func TestZeroStringInternable(t *testing.T) {
+	var tab Table
+	if id := tab.ID(bitstring.String{}); id != 0 {
+		t.Fatalf("zero string ID = %d", id)
+	}
+	if id := tab.Lookup(bitstring.String{}); id != 0 {
+		t.Fatalf("zero string Lookup = %d", id)
+	}
+}
+
+func TestLengthDisambiguates(t *testing.T) {
+	// Two strings with identical backing bytes but different bit lengths
+	// must intern separately (the MapKey carries the length).
+	a := bitstring.New([]byte{1, 0, 0, 0, 0, 0, 0, 0})
+	b := bitstring.New([]byte{1, 0, 0, 0, 0, 0, 0})
+	var tab Table
+	if tab.ID(a) == tab.ID(b) {
+		t.Fatal("strings of different length share an ID")
+	}
+}
+
+// BenchmarkInternLookup measures the hot-path cost of resolving a string to
+// its dense ID — the operation that replaced per-delivery Key() string
+// construction in every protocol handler. It must be allocation-free.
+func BenchmarkInternLookup(b *testing.B) {
+	var tab Table
+	src := prng.New(7)
+	strs := make([]bitstring.String, 32)
+	for i := range strs {
+		strs[i] = bitstring.Random(src, 32)
+		tab.ID(strs[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tab.ID(strs[i%len(strs)]) < 0 {
+			b.Fatal("lost an interned string")
+		}
+	}
+}
+
+// BenchmarkStringKeyLookup is the displaced alternative — a map keyed by
+// String.Key() — kept as the before/after comparison for the delivery-path
+// refactor: Key() allocates on every lookup.
+func BenchmarkStringKeyLookup(b *testing.B) {
+	m := make(map[string]int32)
+	src := prng.New(7)
+	strs := make([]bitstring.String, 32)
+	for i := range strs {
+		strs[i] = bitstring.Random(src, 32)
+		m[strs[i].Key()] = int32(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m[strs[i%len(strs)].Key()] < 0 {
+			b.Fatal("lost a key")
+		}
+	}
+}

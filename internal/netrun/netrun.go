@@ -5,11 +5,19 @@
 // node moved from the discrete-event simulator onto the network stack
 // unchanged is strong evidence that no simulator artifact props it up.
 //
-// Topology: every node owns one TCP listener; connections are dialed
-// lazily on first send and cached. Frames are length-prefixed wire
-// envelopes. Delivery order and timing are whatever the kernel provides,
-// so — like the goroutine runner — only outcome properties are
-// deterministic, not traces.
+// The cluster is a simnet.Transport implementation plugged into the shared
+// simnet.Fabric: mailboxes, per-node metrics shards, observer fan-in and
+// quiescence accounting are the Fabric's (the same code the goroutine
+// runner uses); this package only moves frames. Topology: every node owns
+// one TCP listener; connections are dialed lazily on first send and
+// cached. Frames are length-prefixed wire envelopes. Delivery order and
+// timing are whatever the kernel provides, so — like the goroutine runner
+// — only outcome properties are deterministic, not traces.
+//
+// Time: the Fabric runs a per-node delivery counter (simnet.CounterClock),
+// so Context.Now during a delivery is the number of messages the node has
+// handled — which makes decision times on network runs meaningful (the
+// count of deliveries it took the node to decide) instead of 0.
 package netrun
 
 import (
@@ -30,20 +38,24 @@ import (
 // prefixes; generous for any protocol message).
 const maxFrame = 1 << 20
 
+// bufPool recycles per-send frame buffers.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // Cluster runs a set of protocol nodes over localhost TCP.
 type Cluster struct {
-	nodes     []simnet.Node
+	fab       *simnet.Fabric
 	listeners []net.Listener
 	addrs     []string
 
+	// mu guards the connection cache and closing handshake only. Writes on
+	// a cached connection take no lock: the connection for (from, to) is
+	// written exclusively by node from's goroutine (sends happen on the
+	// sender's delivery loop, or during sequential Init), and sent[from]
+	// is single-writer for the same reason.
 	mu    sync.Mutex
 	conns map[connKey]net.Conn
-	sent  []int64 // bytes sent per node, guarded by mu
+	sent  []int64 // wire-frame bytes sent per node; read only after Close
 
-	obsMu    sync.Mutex
-	observer simnet.Observer
-
-	boxes   []*mailbox
 	wg      sync.WaitGroup
 	closing chan struct{}
 	once    sync.Once
@@ -55,11 +67,13 @@ type connKey struct{ from, to int }
 // Close the cluster.
 func New(nodes []simnet.Node) (*Cluster, error) {
 	c := &Cluster{
-		nodes:   nodes,
 		conns:   make(map[connKey]net.Conn),
 		sent:    make([]int64, len(nodes)),
 		closing: make(chan struct{}),
 	}
+	c.fab = simnet.NewFabric(nodes, simnet.CounterClock, true)
+	c.fab.SetTransport(c)
+	c.fab.SetLenientSends(true)
 	for range nodes {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -68,32 +82,37 @@ func New(nodes []simnet.Node) (*Cluster, error) {
 		}
 		c.listeners = append(c.listeners, ln)
 		c.addrs = append(c.addrs, ln.Addr().String())
-		c.boxes = append(c.boxes, newMailbox())
 	}
 	return c, nil
 }
 
-// Observe registers an observer invoked after every delivery, serialized
-// across the per-node delivery loops. Envelope depth is always 0: network
-// executions have no logical clock. It must be called before Start.
-func (c *Cluster) Observe(o simnet.Observer) { c.observer = o }
+// Observe registers an observer: deliveries are buffered in the Fabric's
+// shards and fanned in — one globally ordered pass — when the cluster
+// closes. Envelope depth carries the receiving node's delivery count (the
+// per-node logical clock). It must be called before Start.
+func (c *Cluster) Observe(o simnet.Observer) { c.fab.Observe(o) }
 
 // Addrs returns the per-node listen addresses.
 func (c *Cluster) Addrs() []string { return append([]string(nil), c.addrs...) }
 
-// SentBytes returns per-node sent byte counts.
+// SentBytes returns per-node sent byte counts (wire frames actually
+// written, excluding the length prefix). Call it only after Close (or
+// quiescence): the counters are written lock-free by the sender loops.
 func (c *Cluster) SentBytes() []int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return append([]int64(nil), c.sent...)
 }
 
-// Start launches accept loops, initializes every node, and only then
-// starts the delivery loops — the ordering that preserves the runner
-// contract that Init and Deliver never overlap on one node (inbound frames
-// queue in the mailboxes meanwhile).
+// Metrics returns the Fabric's merged per-node metrics (message counts by
+// kind, per-node sent/received). Call it only after the cluster is closed
+// or quiescent; merging during delivery is racy.
+func (c *Cluster) Metrics() *simnet.Metrics { return c.fab.Metrics() }
+
+// Start launches accept loops, then starts the Fabric: nodes initialize
+// sequentially before any delivery loop runs — the ordering that preserves
+// the runner contract that Init and Deliver never overlap on one node
+// (inbound frames queue in the mailboxes meanwhile).
 func (c *Cluster) Start() {
-	for id := range c.nodes {
+	for id := range c.listeners {
 		id := id
 		c.wg.Add(1)
 		go func() {
@@ -101,24 +120,14 @@ func (c *Cluster) Start() {
 			c.acceptLoop(id)
 		}()
 	}
-	for id, n := range c.nodes {
-		n.Init(&netCtx{c: c, self: id})
-	}
-	for id := range c.nodes {
-		id := id
-		c.wg.Add(1)
-		go func() {
-			defer c.wg.Done()
-			c.deliverLoop(id)
-		}()
-	}
+	c.fab.Start()
 }
 
 // RunUntil polls pred until it returns true, the timeout elapses or ctx is
 // done. It returns an error on timeout and ctx.Err() on cancellation.
-// Network executions have no global quiescence detector (that would itself
-// need agreement), so completion is observed from node state — e.g. "all
-// correct nodes decided".
+// Completion of a *protocol* is observed from node state — e.g. "all
+// correct nodes decided"; AwaitQuiescence then drains the tail of the
+// execution.
 func (c *Cluster) RunUntil(ctx context.Context, pred func() bool, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
@@ -137,8 +146,19 @@ func (c *Cluster) RunUntil(ctx context.Context, pred func() bool, timeout time.D
 	return errors.New("netrun: timeout waiting for completion predicate")
 }
 
-// Close shuts listeners, connections and delivery loops down and waits for
-// the worker goroutines.
+// AwaitQuiescence blocks until no sent message remains unhandled, or the
+// timeout elapses (0 = forever), reporting whether quiescence was reached.
+// The count is kept in-process (both endpoints of every loopback connection
+// live in this cluster), so unlike a real distributed system the cluster
+// can detect global quiescence without running an agreement protocol for
+// it. A broken connection can leak in-flight counts, so callers should
+// pass a timeout.
+func (c *Cluster) AwaitQuiescence(timeout time.Duration) bool {
+	return c.fab.AwaitQuiescence(timeout)
+}
+
+// Close shuts listeners, connections and delivery loops down, waits for
+// the worker goroutines and flushes buffered observer events.
 func (c *Cluster) Close() {
 	c.once.Do(func() {
 		close(c.closing)
@@ -150,11 +170,9 @@ func (c *Cluster) Close() {
 			_ = conn.Close()
 		}
 		c.mu.Unlock()
-		for _, b := range c.boxes {
-			b.close()
-		}
 	})
 	c.wg.Wait()
+	c.fab.Stop()
 }
 
 func (c *Cluster) acceptLoop(id int) {
@@ -172,9 +190,12 @@ func (c *Cluster) acceptLoop(id int) {
 }
 
 // readLoop decodes frames from one inbound connection into id's mailbox.
+// The frame buffer is reused across messages: the wire decoders copy what
+// they keep.
 func (c *Cluster) readLoop(id int, conn net.Conn) {
 	defer conn.Close()
 	header := make([]byte, 4)
+	var frame []byte
 	for {
 		if _, err := io.ReadFull(conn, header); err != nil {
 			return
@@ -183,7 +204,10 @@ func (c *Cluster) readLoop(id int, conn net.Conn) {
 		if size == 0 || size > maxFrame {
 			return // corrupt peer; drop the connection
 		}
-		frame := make([]byte, size)
+		if cap(frame) < int(size) {
+			frame = make([]byte, size)
+		}
+		frame = frame[:size]
 		if _, err := io.ReadFull(conn, frame); err != nil {
 			return
 		}
@@ -191,44 +215,35 @@ func (c *Cluster) readLoop(id int, conn net.Conn) {
 		if err != nil || to != id {
 			continue // malformed or misrouted frame: authenticated drop
 		}
-		c.boxes[id].put(delivery{from: from, msg: msg})
+		c.fab.Inject(simnet.Envelope{From: from, To: to, Msg: msg})
 	}
 }
 
-func (c *Cluster) deliverLoop(id int) {
-	for {
-		d, ok := c.boxes[id].get()
-		if !ok {
-			return
-		}
-		c.nodes[id].Deliver(&netCtx{c: c, self: id}, d.from, d.msg)
-		if c.observer != nil {
-			c.obsMu.Lock()
-			c.observer(simnet.Envelope{From: d.from, To: id, Msg: d.msg})
-			c.obsMu.Unlock()
-		}
-	}
-}
-
-// send frames and writes one message, dialing the peer on first use.
-func (c *Cluster) send(from, to int, m simnet.Message) {
-	frame, err := wire.EncodeEnvelope(from, to, m)
+// Send implements simnet.Transport: it frames and writes one message,
+// dialing the peer on first use. Write buffers come from a pool. It
+// reports whether the frame was written (unknown message types and
+// unreachable peers are dropped; the Fabric then uncounts them).
+func (c *Cluster) Send(e simnet.Envelope) bool {
+	bp := bufPool.Get().(*[]byte)
+	buf, err := wire.AppendFrame((*bp)[:0], e.From, e.To, e.Msg)
 	if err != nil {
-		return // unknown message type: nothing a remote peer could do either
+		bufPool.Put(bp)
+		return false // unknown message type: nothing a remote peer could do either
 	}
-	conn, err := c.conn(from, to)
+	conn, err := c.conn(e.From, e.To)
 	if err != nil {
-		return // peer unreachable; the model's reliability holds on loopback
+		*bp = buf
+		bufPool.Put(bp)
+		return false // peer unreachable; the model's reliability holds on loopback
 	}
-	buf := make([]byte, 0, 4+len(frame))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(frame)))
-	buf = append(buf, frame...)
-	c.mu.Lock()
+	// No lock: this connection is written only by e.From's goroutine.
 	_, werr := conn.Write(buf)
 	if werr == nil {
-		c.sent[from] += int64(len(frame))
+		c.sent[e.From] += int64(len(buf) - 4) // excluding the length prefix
 	}
-	c.mu.Unlock()
+	*bp = buf
+	bufPool.Put(bp)
+	return werr == nil
 }
 
 func (c *Cluster) conn(from, to int) (net.Conn, error) {
@@ -257,71 +272,4 @@ func (c *Cluster) conn(from, to int) (net.Conn, error) {
 	}
 	c.conns[key] = dialed
 	return dialed, nil
-}
-
-type netCtx struct {
-	c    *Cluster
-	self int
-}
-
-// Now returns 0: wall-clock-free logical time is not defined for network
-// executions; completion is observed from node state (RunUntil).
-func (ctx *netCtx) Now() int { return 0 }
-
-func (ctx *netCtx) Send(to simnet.NodeID, m simnet.Message) {
-	if to < 0 || to >= len(ctx.c.nodes) {
-		return
-	}
-	ctx.c.send(ctx.self, to, m)
-}
-
-type delivery struct {
-	from int
-	msg  simnet.Message
-}
-
-// mailbox is an unbounded MPSC queue (same rationale as the goroutine
-// runner: bounded buffers would deadlock mutually sending nodes).
-type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []delivery
-	closed bool
-}
-
-func newMailbox() *mailbox {
-	m := &mailbox{}
-	m.cond = sync.NewCond(&m.mu)
-	return m
-}
-
-func (m *mailbox) put(d delivery) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
-		return
-	}
-	m.queue = append(m.queue, d)
-	m.cond.Signal()
-}
-
-func (m *mailbox) get() (delivery, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for len(m.queue) == 0 && !m.closed {
-		m.cond.Wait()
-	}
-	if len(m.queue) == 0 {
-		return delivery{}, false
-	}
-	d := m.queue[0]
-	m.queue = m.queue[1:]
-	return d, true
-}
-
-func (m *mailbox) close() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.closed = true
-	m.cond.Broadcast()
 }

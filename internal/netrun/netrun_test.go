@@ -38,12 +38,20 @@ func TestAEROverTCP(t *testing.T) {
 		return true
 	}
 	if err := cluster.RunUntil(context.Background(), allDecided, 30*time.Second); err != nil {
-		o := core.Evaluate(correct, sc.GString)
-		t.Fatalf("TCP run did not complete: %v (outcome %+v)", err, o)
+		t.Fatalf("TCP run did not complete: %v", err)
+	}
+	// Quiesce before reading node state: deliveries may still be in flight
+	// when the last decision lands.
+	if !cluster.AwaitQuiescence(30 * time.Second) {
+		t.Fatal("cluster did not quiesce after all decisions")
 	}
 	o := core.Evaluate(correct, sc.GString)
 	if !o.Agreement() {
 		t.Fatalf("no agreement over TCP: %+v", o)
+	}
+	m := cluster.Metrics()
+	if m.Delivered == 0 || m.ByKind["push"] == 0 || m.ByKind["answer"] == 0 {
+		t.Fatalf("fabric metrics not populated over TCP: %+v", m.ByKind)
 	}
 }
 
@@ -73,6 +81,9 @@ func TestSentBytesAccounted(t *testing.T) {
 	}
 	if err := cluster.RunUntil(context.Background(), decided, 30*time.Second); err != nil {
 		t.Fatal(err)
+	}
+	if !cluster.AwaitQuiescence(30 * time.Second) {
+		t.Fatal("cluster did not quiesce")
 	}
 	total := int64(0)
 	for _, b := range cluster.SentBytes() {

@@ -29,6 +29,9 @@ import (
 
 // Quorum is the interface shared by the string-indexed samplers I and H.
 // Implementations must be deterministic and safe for concurrent use.
+// Quorum and Inverse must return freshly allocated slices on every call:
+// callers own the result and may mutate it (the protocol core deduplicates
+// quorums in place on its delivery hot path).
 type Quorum interface {
 	// Quorum returns the quorum assigned to node x for string s.
 	// The result may contain duplicates only if the implementation is

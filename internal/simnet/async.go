@@ -74,8 +74,13 @@ func (c *asyncCtx) Send(to NodeID, m Message) {
 // Run initializes all nodes and processes messages to quiescence (or until
 // MaxDeliveries). It returns the collected metrics.
 func (r *AsyncRunner) Run() *Metrics {
+	// One context is reused across activations (contexts are only valid for
+	// the duration of the call), keeping the loop free of per-delivery
+	// allocations.
+	ctx := &asyncCtx{r: r}
 	for id, n := range r.nodes {
-		n.Init(&asyncCtx{r: r, self: id, now: 0})
+		ctx.self, ctx.now = id, 0
+		n.Init(ctx)
 	}
 	for r.sched.Len() > 0 {
 		if r.MaxDeliveries > 0 && r.metrics.Delivered >= r.MaxDeliveries {
@@ -86,7 +91,8 @@ func (r *AsyncRunner) Run() *Metrics {
 		}
 		e := r.sched.Pop()
 		r.metrics.recordDeliver(e)
-		r.nodes[e.To].Deliver(&asyncCtx{r: r, self: e.To, now: e.Depth}, e.From, e.Msg)
+		ctx.self, ctx.now = e.To, e.Depth
+		r.nodes[e.To].Deliver(ctx, e.From, e.Msg)
 		if r.observer != nil {
 			r.observer(e)
 		}

@@ -1,10 +1,5 @@
 package simnet
 
-import (
-	"sync"
-	"sync/atomic"
-)
-
 // GoRunner executes the same protocol nodes as the event-loop runners but
 // with one goroutine per node connected by unbounded mailboxes — the
 // natural Go rendering of an asynchronous message-passing system. It exists
@@ -13,158 +8,33 @@ import (
 // up to the Go runtime, so only outcome properties — agreement, validity —
 // are comparable, not exact traces).
 //
+// GoRunner is a thin shell over the shared Fabric with the in-process
+// loopback transport: per-node sharded metrics, batched mailbox draining
+// and quiescence detection all live in the Fabric (see transport.go).
 // Termination uses quiescence detection: a global in-flight counter is
 // incremented on send and decremented after the receiving node finishes
 // handling the message; when it drops to zero no further message can ever
 // be created, so all mailboxes are closed.
 type GoRunner struct {
-	nodes    []Node
-	metrics  *Metrics
-	observer Observer
-	mu       sync.Mutex // guards metrics, Rounds tracking and observer calls
-	inflight atomic.Int64
-	boxes    []*mailbox
+	f *Fabric
 }
 
 // NewGo returns a goroutine-per-node runner.
 func NewGo(nodes []Node) *GoRunner {
-	r := &GoRunner{nodes: nodes, metrics: newMetrics(len(nodes))}
-	r.boxes = make([]*mailbox, len(nodes))
-	for i := range r.boxes {
-		r.boxes[i] = newMailbox()
-	}
-	return r
+	return &GoRunner{f: NewFabric(nodes, CausalClock, true)}
 }
 
-// Observe registers an observer invoked on every delivery, serialized
-// under the metrics lock. It must be called before Run.
-func (r *GoRunner) Observe(o Observer) { r.observer = o }
-
-// mailbox is an unbounded MPSC queue. Unboundedness matters: with bounded
-// channels two nodes sending to each other can deadlock, which would be an
-// artifact of the runtime rather than of the protocol.
-type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []Envelope
-	closed bool
-}
-
-func newMailbox() *mailbox {
-	m := &mailbox{}
-	m.cond = sync.NewCond(&m.mu)
-	return m
-}
-
-func (m *mailbox) put(e Envelope) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
-		return
-	}
-	m.queue = append(m.queue, e)
-	m.cond.Signal()
-}
-
-func (m *mailbox) get() (Envelope, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for len(m.queue) == 0 && !m.closed {
-		m.cond.Wait()
-	}
-	if len(m.queue) == 0 {
-		return Envelope{}, false
-	}
-	e := m.queue[0]
-	m.queue = m.queue[1:]
-	return e, true
-}
-
-func (m *mailbox) close() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.closed = true
-	m.cond.Broadcast()
-}
-
-type goCtx struct {
-	r    *GoRunner
-	self NodeID
-	now  int
-}
-
-func (c *goCtx) Now() int { return c.now }
-
-func (c *goCtx) Send(to NodeID, m Message) {
-	e := Envelope{From: c.self, To: to, Msg: m, Depth: c.now + 1}
-	validateEnvelope(len(c.r.nodes), e)
-	c.r.mu.Lock()
-	c.r.metrics.recordSend(e)
-	c.r.mu.Unlock()
-	c.r.inflight.Add(1)
-	c.r.boxes[to].put(e)
-}
+// Observe registers an observer. Deliveries are buffered per node and
+// fanned into the observer in one globally ordered pass at quiescence —
+// the delivery path itself takes no lock for observation. It must be
+// called before Run.
+func (r *GoRunner) Observe(o Observer) { r.f.Observe(o) }
 
 // Run initializes every node, processes messages until global quiescence,
 // and returns the metrics. Run must be called at most once.
 func (r *GoRunner) Run() *Metrics {
-	var wg sync.WaitGroup
-	for id := range r.nodes {
-		wg.Add(1)
-		go func(id NodeID) {
-			defer wg.Done()
-			r.nodeLoop(id)
-		}(id)
-	}
-
-	// Initialize sequentially (Init may send; the in-flight counter covers
-	// those messages before the quiescence watcher starts).
-	for id, n := range r.nodes {
-		n.Init(&goCtx{r: r, self: id, now: 0})
-	}
-
-	// Quiescence watcher: when in-flight reaches zero, close all boxes.
-	// A plain spin with a channel handoff keeps this free of runtime
-	// dependencies; executions are short-lived.
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		for {
-			if r.inflight.Load() == 0 {
-				for _, b := range r.boxes {
-					b.close()
-				}
-				return
-			}
-			// Yield to the node goroutines.
-			waitHint()
-		}
-	}()
-
-	wg.Wait()
-	<-done
-	return r.metrics
-}
-
-func (r *GoRunner) nodeLoop(id NodeID) {
-	box := r.boxes[id]
-	for {
-		e, ok := box.get()
-		if !ok {
-			return
-		}
-		r.mu.Lock()
-		r.metrics.recordDeliver(e)
-		r.mu.Unlock()
-		r.nodes[id].Deliver(&goCtx{r: r, self: id, now: e.Depth}, e.From, e.Msg)
-		if r.observer != nil {
-			r.mu.Lock()
-			r.observer(e)
-			r.mu.Unlock()
-		}
-		// Decrement only after handling so that messages produced during
-		// handling are already counted: the counter can then never dip to
-		// zero while work remains.
-		r.inflight.Add(-1)
-	}
+	r.f.Start()
+	r.f.AwaitQuiescence(0)
+	r.f.Stop()
+	return r.f.Metrics()
 }

@@ -20,6 +20,7 @@ type SyncRunner struct {
 	pending []Envelope // messages to deliver next round
 	seq     uint64
 	round   int
+	ctx     *syncCtx // reused across deliveries (contexts are call-scoped)
 }
 
 // NewSync returns a runner over the given nodes. corrupt marks the
@@ -160,7 +161,11 @@ func (r *SyncRunner) deliver(e Envelope) {
 	// but all arrive in the next round.
 	e.Depth = r.round
 	r.metrics.recordDeliver(e)
-	r.nodes[e.To].Deliver(&syncCtx{r: r, from: e.To, now: r.round}, e.From, e.Msg)
+	if r.ctx == nil {
+		r.ctx = &syncCtx{r: r}
+	}
+	r.ctx.from, r.ctx.now = e.To, r.round
+	r.nodes[e.To].Deliver(r.ctx, e.From, e.Msg)
 	if r.observer != nil {
 		r.observer(e)
 	}

@@ -1,0 +1,376 @@
+package simnet
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the shared runtime core of the concurrent runners: the
+// goroutine runner (GoRunner) and the TCP cluster (internal/netrun, and
+// through it the public RunTCP) both execute nodes on a Fabric and differ
+// only in their Transport. Metering, observer fan-in, mailbox plumbing and
+// quiescence detection therefore live here, in one place.
+
+// Transport moves envelopes from a sending node towards the destination
+// node's mailbox. Implementations report whether the envelope was accepted;
+// rejected envelopes (no wire codec for the message type, unreachable peer)
+// are dropped and excluded from quiescence tracking. Send is called
+// concurrently from every node's goroutine and must be safe for concurrent
+// use.
+type Transport interface {
+	Send(e Envelope) bool
+}
+
+// loopback is the in-process Transport: envelopes go straight into the
+// destination mailbox.
+type loopback struct{ f *Fabric }
+
+func (l loopback) Send(e Envelope) bool {
+	l.f.boxes[e.To].Put(e)
+	return true
+}
+
+// Clock selects how a Fabric stamps delivery time (Context.Now).
+type Clock int
+
+const (
+	// CausalClock stamps each delivery with the envelope's causal depth:
+	// 1 + the depth of the delivery during which it was sent. This is the
+	// asynchronous time measure of the paper (the goroutine runner).
+	CausalClock Clock = iota
+	// CounterClock stamps each delivery with the receiving node's delivery
+	// count — a per-node logical clock for transports that do not carry
+	// depth on the wire (TCP). A node's decision time is then the number of
+	// messages it had handled when it decided.
+	CounterClock
+)
+
+// batchPool recycles mailbox batch buffers across Drain/Recycle cycles so
+// steady-state delivery does not grow fresh queues.
+var batchPool = sync.Pool{New: func() any { return new([]Envelope) }}
+
+// Mailbox is an unbounded MPSC envelope queue with batched draining.
+// Unboundedness matters: with bounded channels two nodes sending to each
+// other can deadlock, which would be an artifact of the runtime rather
+// than of the protocol. Batching matters too: the consumer takes the whole
+// pending queue under one lock acquisition instead of one per message.
+type Mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Envelope
+	closed bool
+}
+
+// NewMailbox returns an empty open mailbox.
+func NewMailbox() *Mailbox {
+	m := &Mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Put enqueues an envelope. Envelopes put after Close are dropped.
+func (m *Mailbox) Put(e Envelope) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	if m.queue == nil {
+		m.queue = (*batchPool.Get().(*[]Envelope))[:0]
+	}
+	m.queue = append(m.queue, e)
+	m.cond.Signal()
+}
+
+// Drain blocks until at least one envelope is pending (or the mailbox is
+// closed), then returns the entire pending queue. It returns ok = false
+// only when the mailbox is closed and empty. The caller owns the returned
+// batch and should pass it to RecycleBatch when done.
+func (m *Mailbox) Drain() (batch []Envelope, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return nil, false
+	}
+	batch = m.queue
+	m.queue = nil
+	return batch, true
+}
+
+// Close wakes blocked Drain calls; pending envelopes remain drainable.
+func (m *Mailbox) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.cond.Broadcast()
+}
+
+// RecycleBatch returns a drained batch buffer to the pool.
+func RecycleBatch(batch []Envelope) {
+	if cap(batch) == 0 {
+		return
+	}
+	batch = batch[:0]
+	batchPool.Put(&batch)
+}
+
+// obsEvent is a buffered observation: delivered envelopes are recorded in
+// per-shard buffers with a global sequence stamp and fanned into the
+// observer in one merged, seq-ordered pass at quiescence.
+type obsEvent struct {
+	seq uint64
+	env Envelope
+}
+
+// shard is the per-node slice of the Fabric's state. Each shard is written
+// only by its node's goroutine (sends by the sender's shard, deliveries by
+// the receiver's), so the delivery path takes no locks beyond the mailbox.
+type shard struct {
+	nm        NodeMetrics
+	byKind    map[string]int64
+	maxDepth  int
+	delivered int64
+	obs       []obsEvent
+	_         [64]byte // keep shards off each other's cache lines
+}
+
+// Fabric executes protocol nodes over a Transport: one goroutine per node
+// draining its mailbox in batches, with sharded per-node metrics merged at
+// the end and an optional global in-flight counter for quiescence
+// detection. It is the runtime core shared by GoRunner and the TCP cluster.
+type Fabric struct {
+	nodes     []Node
+	transport Transport
+	clock     Clock
+	// track enables quiescence accounting: sends increment, handled
+	// deliveries decrement. It requires every accepted Send to eventually
+	// reach a mailbox in this process (true for loopback transports).
+	track    bool
+	observer Observer
+	// lenient drops malformed sends (invalid destination, nil message)
+	// instead of panicking. Network transports use it: a misaddressed frame
+	// from a Byzantine strategy is protocol traffic to tolerate, not a
+	// simulator programming error.
+	lenient bool
+
+	inflight atomic.Int64
+	obsSeq   atomic.Uint64
+	shards   []shard
+	boxes    []*Mailbox
+	wg       sync.WaitGroup
+
+	stopOnce  sync.Once
+	flushOnce sync.Once
+}
+
+// NewFabric builds a fabric over the given nodes. A nil transport defaults
+// to in-process loopback delivery.
+func NewFabric(nodes []Node, clock Clock, track bool) *Fabric {
+	f := &Fabric{
+		nodes:  nodes,
+		clock:  clock,
+		track:  track,
+		shards: make([]shard, len(nodes)),
+		boxes:  make([]*Mailbox, len(nodes)),
+	}
+	for i := range f.boxes {
+		f.boxes[i] = NewMailbox()
+	}
+	for i := range f.shards {
+		f.shards[i].byKind = make(map[string]int64)
+	}
+	return f
+}
+
+// SetTransport installs the transport. It must be called before Start;
+// fabrics without a transport deliver over in-process loopback.
+func (f *Fabric) SetTransport(t Transport) { f.transport = t }
+
+// SetLenientSends makes malformed sends (invalid destination, nil message)
+// silently dropped instead of a panic. It must be called before Start.
+func (f *Fabric) SetLenientSends(on bool) { f.lenient = on }
+
+// Observe registers an observer. Delivered envelopes are buffered per
+// shard and fanned into the observer — in a single globally ordered pass —
+// when the fabric stops: the delivery path stays lock-free, at the cost of
+// retaining every delivered envelope until quiescence and of the observer
+// seeing nothing mid-run. Leave unset on hot runs where only the aggregate
+// metrics matter; use the deterministic runners when live event streaming
+// is needed. It must be called before Start.
+func (f *Fabric) Observe(o Observer) { f.observer = o }
+
+// Inject feeds an inbound envelope (e.g. decoded from a network frame)
+// into the destination mailbox. The in-flight accounting for injected
+// envelopes is the sending fabricCtx's: transports hand envelopes back to
+// the process that counted them on Send.
+func (f *Fabric) Inject(e Envelope) {
+	validateEnvelope(len(f.nodes), e)
+	f.boxes[e.To].Put(e)
+}
+
+// Start initializes every node sequentially — preserving the runner
+// contract that Init and Deliver never overlap on one node — and then
+// launches the per-node delivery loops.
+func (f *Fabric) Start() {
+	if f.transport == nil {
+		f.transport = loopback{f: f}
+	}
+	for id, n := range f.nodes {
+		n.Init(&fabricCtx{f: f, self: id, now: 0})
+	}
+	for id := range f.nodes {
+		f.wg.Add(1)
+		go f.nodeLoop(id)
+	}
+}
+
+// AwaitQuiescence blocks until no tracked messages are in flight, or until
+// the timeout elapses (timeout 0 = wait forever). It reports whether
+// quiescence was reached. Once the counter hits zero no further message
+// can ever be created, so the fabric can be stopped without losing work.
+func (f *Fabric) AwaitQuiescence(timeout time.Duration) bool {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for spins := 0; ; spins++ {
+		if f.inflight.Load() == 0 {
+			return true
+		}
+		if timeout > 0 && spins%1024 == 0 && time.Now().After(deadline) {
+			return false
+		}
+		waitHint()
+	}
+}
+
+// Stop closes all mailboxes, waits for the delivery loops to drain and
+// exit, and flushes buffered observer events. It is idempotent.
+func (f *Fabric) Stop() {
+	f.stopOnce.Do(func() {
+		for _, b := range f.boxes {
+			b.Close()
+		}
+	})
+	f.wg.Wait()
+	f.flushOnce.Do(f.flushObserver)
+}
+
+// flushObserver merges the per-shard observation buffers by global
+// sequence number and replays them into the observer.
+func (f *Fabric) flushObserver() {
+	if f.observer == nil {
+		return
+	}
+	total := 0
+	for i := range f.shards {
+		total += len(f.shards[i].obs)
+	}
+	if total == 0 {
+		return
+	}
+	all := make([]obsEvent, 0, total)
+	for i := range f.shards {
+		all = append(all, f.shards[i].obs...)
+		f.shards[i].obs = nil
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	for _, ev := range all {
+		f.observer(ev.env)
+	}
+}
+
+// Metrics merges the shards into one Metrics. Call after Stop (or after
+// AwaitQuiescence on a tracked fabric); merging while delivery loops run
+// is racy.
+func (f *Fabric) Metrics() *Metrics {
+	m := newMetrics(len(f.nodes))
+	for i := range f.shards {
+		sh := &f.shards[i]
+		m.PerNode[i] = sh.nm
+		for k, v := range sh.byKind {
+			m.ByKind[k] += v
+		}
+		if sh.maxDepth > m.Rounds {
+			m.Rounds = sh.maxDepth
+		}
+		m.Delivered += sh.delivered
+	}
+	return m
+}
+
+// nodeLoop drains one node's mailbox in batches until the mailbox closes.
+func (f *Fabric) nodeLoop(id NodeID) {
+	defer f.wg.Done()
+	sh := &f.shards[id]
+	box := f.boxes[id]
+	ctx := &fabricCtx{f: f, self: id}
+	for {
+		batch, ok := box.Drain()
+		if !ok {
+			return
+		}
+		for _, e := range batch {
+			sh.delivered++
+			now := e.Depth
+			if f.clock == CounterClock {
+				now = int(sh.delivered)
+				e.Depth = now // stamp observers with the per-node clock
+			}
+			if now > sh.maxDepth {
+				sh.maxDepth = now
+			}
+			sh.nm.RecvMsgs++
+			sh.nm.RecvBytes += int64(e.Msg.WireSize() + envelopeOverhead)
+			ctx.now = now
+			f.nodes[id].Deliver(ctx, e.From, e.Msg)
+			if f.observer != nil {
+				sh.obs = append(sh.obs, obsEvent{seq: f.obsSeq.Add(1), env: e})
+			}
+		}
+		// Decrement only after handling the whole batch: messages produced
+		// during handling are already counted, so the in-flight counter can
+		// never dip to zero while work remains.
+		if f.track {
+			f.inflight.Add(-int64(len(batch)))
+		}
+		RecycleBatch(batch)
+	}
+}
+
+// fabricCtx is the Context for one node's activations. One instance per
+// node is reused across deliveries (runners activate a node sequentially),
+// keeping the hot path free of per-delivery allocations.
+type fabricCtx struct {
+	f    *Fabric
+	self NodeID
+	now  int
+}
+
+func (c *fabricCtx) Now() int { return c.now }
+
+func (c *fabricCtx) Send(to NodeID, m Message) {
+	e := Envelope{From: c.self, To: to, Msg: m, Depth: c.now + 1}
+	if c.f.lenient {
+		if to < 0 || to >= len(c.f.nodes) || m == nil {
+			return
+		}
+	} else {
+		validateEnvelope(len(c.f.nodes), e)
+	}
+	sh := &c.f.shards[c.self]
+	sh.nm.SentMsgs++
+	sh.nm.SentBytes += int64(m.WireSize() + envelopeOverhead)
+	sh.byKind[m.Kind()]++
+	if c.f.track {
+		c.f.inflight.Add(1)
+	}
+	if !c.f.transport.Send(e) && c.f.track {
+		c.f.inflight.Add(-1)
+	}
+}

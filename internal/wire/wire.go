@@ -81,7 +81,13 @@ func KindByte(m simnet.Message) (byte, error) {
 // Marshal encodes a message payload (without the envelope frame). The
 // result's length always equals m.WireSize().
 func Marshal(m simnet.Message) ([]byte, error) {
-	buf := make([]byte, 0, m.WireSize())
+	return appendMessage(make([]byte, 0, m.WireSize()), m)
+}
+
+// appendMessage appends m's payload encoding to buf, enabling buffer reuse
+// on transport hot paths.
+func appendMessage(buf []byte, m simnet.Message) ([]byte, error) {
+	start := len(buf)
 	switch msg := m.(type) {
 	case core.MsgPush:
 		buf = appendString(buf, msg.S)
@@ -122,8 +128,8 @@ func Marshal(m simnet.Message) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnknownMessage, m)
 	}
-	if len(buf) != m.WireSize() {
-		return nil, fmt.Errorf("wire: %T encoded to %d bytes, WireSize says %d", m, len(buf), m.WireSize())
+	if got := len(buf) - start; got != m.WireSize() {
+		return nil, fmt.Errorf("wire: %T encoded to %d bytes, WireSize says %d", m, got, m.WireSize())
 	}
 	return buf, nil
 }
@@ -201,6 +207,22 @@ func EncodeEnvelope(from, to int, m simnet.Message) ([]byte, error) {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(to))
 	buf = append(buf, kind)
 	return append(buf, payload...), nil
+}
+
+// AppendFrame appends the length-prefixed transport frame for one message
+// — uint32 frame length, then the EncodeEnvelope layout — to buf and
+// returns the extended slice. It lets transports recycle their write
+// buffers (sync.Pool) instead of allocating per send.
+func AppendFrame(buf []byte, from, to int, m simnet.Message) ([]byte, error) {
+	kind, err := KindByte(m)
+	if err != nil {
+		return buf, err
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(EnvelopeOverhead+m.WireSize()))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(from))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(to))
+	buf = append(buf, kind)
+	return appendMessage(buf, m)
 }
 
 // DecodeEnvelope reverses EncodeEnvelope.

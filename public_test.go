@@ -7,6 +7,7 @@ package fastba_test
 import (
 	"bytes"
 	"context"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -194,14 +195,18 @@ func TestObserverEventStream(t *testing.T) {
 
 func TestObserverUnderGoroutinesModel(t *testing.T) {
 	var delivers int64
+	var decisionTimes []int
 	res, err := fastba.RunAER(fastba.NewConfig(64,
 		fastba.WithSeed(2),
 		fastba.WithModel(fastba.Goroutines),
 		fastba.WithCorruptFrac(0.05),
 		fastba.WithKnowFrac(0.92),
 		fastba.WithObserver(func(ev fastba.Event) {
-			if ev.Type == fastba.EventDeliver {
+			switch ev.Type {
+			case fastba.EventDeliver:
 				delivers++
+			case fastba.EventDecision:
+				decisionTimes = append(decisionTimes, ev.Time)
 			}
 		}),
 	))
@@ -210,6 +215,21 @@ func TestObserverUnderGoroutinesModel(t *testing.T) {
 	}
 	if delivers != res.TotalMessages {
 		t.Fatalf("observed %d deliveries, metrics say %d", delivers, res.TotalMessages)
+	}
+	// The goroutine runtime buffers observations and fans them in at
+	// quiescence; decision events must still carry each node's actual
+	// decision time, not the replay position.
+	want := append([]int(nil), res.DecisionTimes...)
+	got := append([]int(nil), decisionTimes...)
+	sort.Ints(want)
+	sort.Ints(got)
+	if len(got) != len(want) {
+		t.Fatalf("observed %d decision events, result has %d decision times", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("decision times diverge: observed %v, result %v", got, want)
+		}
 	}
 }
 

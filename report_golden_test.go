@@ -1,0 +1,57 @@
+package fastba
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files instead of comparing")
+
+// TestReportGolden locks the byte-level determinism of seeded sweeps: the
+// same Suite must produce a byte-identical JSON Report across runs, Go
+// versions and — most importantly — runtime refactors. The golden file was
+// captured before the allocation-lean runtime-core refactor (interned
+// candidate state, sharded Fabric) and doubles as the acceptance proof
+// that the refactor is behavior-preserving.
+//
+// Regenerate (only after an intentional semantic change) with:
+//
+//	go test -run TestReportGolden -update-golden .
+func TestReportGolden(t *testing.T) {
+	rep, err := RunSuite(context.Background(), Suite{
+		Name: "golden",
+		Sweep: Sweep{
+			Ns:          []int{32, 64},
+			Seeds:       Seeds(3),
+			Models:      []Model{SyncNonRushing, Async},
+			Adversaries: []string{"silent", "flood"},
+		},
+		Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := rep.WriteJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden_suite.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("seeded sweep Report diverged from %s (run with -update-golden after an intentional change);\n got %d bytes, want %d", path, got.Len(), len(want))
+	}
+}

@@ -174,12 +174,17 @@ func streamObserver(cfg Config, correct []*core.Node) simnet.Observer {
 			Kind: e.Msg.Kind(), Size: e.Msg.WireSize(),
 		})
 		// Decision detection: the delivery just handled by a correct node
-		// may have completed its poll majority. Runners serialize observer
-		// calls with deliveries, and only e.To's state can have changed.
+		// may have completed its poll majority. The event time is the
+		// node's recorded decision time rather than the current delivery's
+		// depth: deterministic runners invoke observers live (the two
+		// coincide at the majority-completing delivery), while the
+		// concurrent runtimes replay buffered deliveries at quiescence —
+		// when every node has long decided — so the depth guard plus
+		// DecidedAt keep the emitted decision times exact there too.
 		if e.To < len(correct) && correct[e.To] != nil && !decided[e.To] {
-			if _, ok := correct[e.To].Decided(); ok {
+			if at := correct[e.To].DecidedAt(); at >= 0 && e.Depth >= at {
 				decided[e.To] = true
-				observer(Event{Type: EventDecision, Time: e.Depth, From: -1, To: e.To})
+				observer(Event{Type: EventDecision, Time: at, From: -1, To: e.To})
 			}
 		}
 	}

@@ -11,8 +11,9 @@ import (
 )
 
 // TCPResult reports one AER execution over real loopback TCP sockets.
-// Communication is metered in actually-framed wire bytes; there is no
-// logical clock, so time is wall-clock.
+// Communication is metered in actually-framed wire bytes. Time is
+// wall-clock, plus a per-node logical clock: each node counts the messages
+// it has handled, so decision "times" are delivery counts.
 type TCPResult struct {
 	Agreement      bool
 	GString        string
@@ -24,6 +25,10 @@ type TCPResult struct {
 	// written, per node.
 	MeanBitsPerNode float64
 	MaxBitsPerNode  int64
+	// LastDecision is the largest per-node decision time: the number of
+	// messages the latest-deciding node had handled when it decided (the
+	// network analogue of the simulators' round / causal-depth measure).
+	LastDecision int
 	// Wall is the elapsed wall-clock time until completion (or timeout).
 	Wall time.Duration
 	// TimedOut reports that not every correct node decided within the
@@ -38,7 +43,9 @@ type TCPResult struct {
 // Byzantine strategies participate through the same registry, though
 // custom message types without a wire codec are silently dropped, and
 // rushing behaviours degrade to their non-rushing form. A zero timeout
-// defaults to 60s. WithObserver streams deliveries (with Time 0).
+// defaults to 60s. WithObserver receives deliveries after the run drains
+// (concurrent runtimes buffer observations per node and fan them in at
+// quiescence); Event.Time is the receiving node's delivery count.
 func RunTCP(ctx context.Context, cfg Config, timeout time.Duration) (*TCPResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -70,7 +77,7 @@ func RunTCP(ctx context.Context, cfg Config, timeout time.Duration) (*TCPResult,
 		observer := cfg.observer
 		cluster.Observe(func(e simnet.Envelope) {
 			observer(Event{
-				Type: EventDeliver, Time: 0,
+				Type: EventDeliver, Time: e.Depth,
 				From: e.From, To: e.To,
 				Kind: e.Msg.Kind(), Size: e.Msg.WireSize(),
 			})
@@ -94,8 +101,11 @@ func RunTCP(ctx context.Context, cfg Config, timeout time.Duration) (*TCPResult,
 	if ctx.Err() != nil {
 		return nil, ctx.Err()
 	}
-	wall := time.Since(start)
-	// Quiesce delivery before reading node state and byte counters.
+	wall := time.Since(start) // completion time, excluding the drain below
+	// Drain the tail of the execution: deliveries (and the sends they
+	// trigger) may still be in flight when the last node decides, and the
+	// byte counters should cover them. Bounded in case a connection broke.
+	cluster.AwaitQuiescence(2 * time.Second)
 	cluster.Close()
 
 	o := core.Evaluate(correct, sc.GString)
@@ -106,6 +116,7 @@ func RunTCP(ctx context.Context, cfg Config, timeout time.Duration) (*TCPResult,
 		Decided:        o.Decided,
 		DecidedGString: o.DecidedG,
 		DecidedOther:   o.DecidedOther,
+		LastDecision:   o.MaxDecisionAt,
 		Wall:           wall,
 		TimedOut:       runErr != nil,
 	}

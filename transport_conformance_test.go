@@ -1,0 +1,187 @@
+package fastba
+
+// Transport conformance suite: every runtime that executes protocol nodes —
+// the deterministic event-loop runners, the goroutine Fabric, the TCP
+// cluster (internal/netrun) and the public RunTCP — must produce identical
+// decisions and identical per-kind message counts on a seeded fault-free
+// scenario.
+//
+// The scenario is chosen to make the message pattern order-independent so
+// the counts are comparable across schedulers and real concurrency: with
+// no Byzantine nodes and every correct node knowing gstring, each
+// handler's sends are gated by monotone per-(x, s) state (forward-once,
+// answer-once, one poll per candidate), so delivery order cannot change
+// what is eventually sent — only when.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/fastba/fastba/internal/core"
+	"github.com/fastba/fastba/internal/netrun"
+	"github.com/fastba/fastba/internal/simnet"
+)
+
+// conformanceScenario builds the order-independent population: everyone
+// correct, everyone knowledgeable.
+func conformanceScenario(t *testing.T, n int, seed uint64) *core.Scenario {
+	t.Helper()
+	sc, err := core.NewScenario(core.DefaultParams(n), seed, core.ScenarioConfig{
+		CorruptFrac: 0,
+		KnowFrac:    1,
+		SharedJunk:  true,
+		AdvBits:     1.0 / 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// runOutcome is the cross-runtime comparable signature of one execution.
+type runOutcome struct {
+	decidedG  int
+	decided   int
+	correct   int
+	delivered int64
+	byKind    map[string]int64
+	sentMsgs  []int64
+}
+
+func outcomeOf(sc *core.Scenario, correct []*core.Node, m *simnet.Metrics) runOutcome {
+	o := core.Evaluate(correct, sc.GString)
+	out := runOutcome{
+		decidedG:  o.DecidedG,
+		decided:   o.Decided,
+		correct:   o.Correct,
+		delivered: m.Delivered,
+		byKind:    m.ByKind,
+	}
+	for i := range m.PerNode {
+		out.sentMsgs = append(out.sentMsgs, m.PerNode[i].SentMsgs)
+	}
+	return out
+}
+
+func (a runOutcome) diff(b runOutcome) string {
+	if a.correct != b.correct || a.decided != b.decided || a.decidedG != b.decidedG {
+		return fmt.Sprintf("decisions differ: %d/%d/%d vs %d/%d/%d",
+			a.decidedG, a.decided, a.correct, b.decidedG, b.decided, b.correct)
+	}
+	if a.delivered != b.delivered {
+		return fmt.Sprintf("delivered differ: %d vs %d", a.delivered, b.delivered)
+	}
+	if len(a.byKind) != len(b.byKind) {
+		return fmt.Sprintf("kind sets differ: %v vs %v", a.byKind, b.byKind)
+	}
+	for k, v := range a.byKind {
+		if b.byKind[k] != v {
+			return fmt.Sprintf("kind %q differs: %d vs %d (%v vs %v)", k, v, b.byKind[k], a.byKind, b.byKind)
+		}
+	}
+	for i := range a.sentMsgs {
+		if a.sentMsgs[i] != b.sentMsgs[i] {
+			return fmt.Sprintf("node %d sent %d vs %d messages", i, a.sentMsgs[i], b.sentMsgs[i])
+		}
+	}
+	return ""
+}
+
+func TestTransportConformance(t *testing.T) {
+	const n, seed = 24, 11
+
+	type runtimeCase struct {
+		name string
+		run  func(t *testing.T, sc *core.Scenario) runOutcome
+	}
+	cases := []runtimeCase{
+		{"sync", func(t *testing.T, sc *core.Scenario) runOutcome {
+			nodes, correct := sc.Build(nil)
+			m := simnet.NewSync(nodes, sc.Corrupt).Run(200)
+			return outcomeOf(sc, correct, m)
+		}},
+		{"async-fifo", func(t *testing.T, sc *core.Scenario) runOutcome {
+			nodes, correct := sc.Build(nil)
+			m := simnet.NewAsync(nodes, simnet.NewFIFO()).Run()
+			return outcomeOf(sc, correct, m)
+		}},
+		{"async-random", func(t *testing.T, sc *core.Scenario) runOutcome {
+			nodes, correct := sc.Build(nil)
+			m := simnet.NewAsync(nodes, simnet.NewRandom(99)).Run()
+			return outcomeOf(sc, correct, m)
+		}},
+		{"goroutines", func(t *testing.T, sc *core.Scenario) runOutcome {
+			nodes, correct := sc.Build(nil)
+			m := simnet.NewGo(nodes).Run()
+			return outcomeOf(sc, correct, m)
+		}},
+		{"tcp-cluster", func(t *testing.T, sc *core.Scenario) runOutcome {
+			nodes, correct := sc.Build(nil)
+			cluster, err := netrun.New(nodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cluster.Close()
+			cluster.Start()
+			allDecided := func() bool {
+				for _, node := range correct {
+					if node == nil {
+						continue
+					}
+					if _, ok := node.Decided(); !ok {
+						return false
+					}
+				}
+				return true
+			}
+			if err := cluster.RunUntil(context.Background(), allDecided, 60*time.Second); err != nil {
+				t.Fatal(err)
+			}
+			if !cluster.AwaitQuiescence(60 * time.Second) {
+				t.Fatal("TCP cluster did not quiesce")
+			}
+			cluster.Close()
+			return outcomeOf(sc, correct, cluster.Metrics())
+		}},
+	}
+
+	reference := cases[0].run(t, conformanceScenario(t, n, seed))
+	if reference.decidedG != reference.correct || reference.correct != n {
+		t.Fatalf("reference execution did not fully decide gstring: %+v", reference)
+	}
+	for _, tc := range cases[1:] {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.run(t, conformanceScenario(t, n, seed))
+			if d := reference.diff(got); d != "" {
+				t.Fatalf("%s diverges from sync reference: %s", tc.name, d)
+			}
+		})
+	}
+}
+
+// TestTransportConformanceRunTCP closes the loop at the public API: RunTCP
+// executes the same configuration RunAER simulates, over real sockets, and
+// must reach the same decisions with a meaningful decision time.
+func TestTransportConformanceRunTCP(t *testing.T) {
+	cfg := NewConfig(16, WithSeed(11), WithAdversary(AdversaryNone), WithKnowFrac(1))
+	sim, err := RunAER(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunTCP(context.Background(), cfg, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut || !res.Agreement {
+		t.Fatalf("TCP run failed: %+v", res)
+	}
+	if res.Decided != sim.Decided || res.DecidedGString != sim.DecidedGString || res.GString != sim.GString {
+		t.Fatalf("TCP decisions diverge from simulation: %+v vs %+v", res, sim)
+	}
+	if res.LastDecision <= 0 {
+		t.Fatalf("TCP decision time not plumbed: LastDecision = %d", res.LastDecision)
+	}
+}
