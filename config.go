@@ -162,6 +162,7 @@ type Config struct {
 	maxRounds   int
 	schedMaker  SchedulerMaker
 	observer    Observer
+	faults      FaultPlan
 }
 
 // Option customizes a Config (functional options).
@@ -308,6 +309,9 @@ func (c Config) KnowFrac() float64 { return c.knowFrac }
 // MaxRounds returns the synchronous round cap.
 func (c Config) MaxRounds() int { return c.maxRounds }
 
+// Faults returns the configured fault plan (zero = fault-free).
+func (c Config) Faults() FaultPlan { return c.faults }
+
 // validate checks the configuration.
 func (c Config) validate() error {
 	if c.n < 8 {
@@ -332,6 +336,9 @@ func (c Config) validate() error {
 	}
 	if c.schedMaker != nil && c.model != Async && c.model != AsyncAdversarial {
 		return fmt.Errorf("fastba: WithScheduler requires the async or async-adversarial model, have %v", c.model)
+	}
+	if err := c.faults.Validate(c.n); err != nil {
+		return err
 	}
 	return c.params.Validate()
 }

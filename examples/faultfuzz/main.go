@@ -1,0 +1,78 @@
+// Faultfuzz: the hostile-network workflow end to end. First a single run
+// under an explicit FaultPlan with the invariant oracles wired through
+// the observer stream; then a fault sweep whose report separates "the
+// network destroyed liveness" (agreement rate drops) from "safety broke"
+// (oracle violations — which must never appear); finally a small seeded
+// SimFuzz campaign sampling random hostile scenarios.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/fastba/fastba"
+)
+
+func main() {
+	// 1. One run on a partitioned, lossy, reordering network.
+	plan := fastba.FaultPlan{
+		Seed:       7,
+		DropProb:   0.05,
+		DelayProb:  0.3,
+		MaxDelay:   3,
+		Partitions: []fastba.Partition{{A: []fastba.NodeID{0, 1, 2, 3}, From: 2, Until: 6}},
+		Crashes:    []fastba.Crash{{Node: 5, At: 1, RecoverAt: 5}},
+	}
+	cfg := fastba.NewConfig(64, fastba.WithSeed(1), fastba.WithFaults(plan))
+	oracles := fastba.NewOracles(cfg)
+	cfg = fastba.NewConfig(64, fastba.WithSeed(1), fastba.WithFaults(plan),
+		fastba.WithObserver(oracles.Observer()))
+	res, err := fastba.RunAER(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single run under %s: %d/%d decided, oracles: %s\n",
+		plan.Label(), res.Decided, res.Correct, oracles.Report(res))
+
+	// 2. Fault plans as a sweep dimension, oracles on every cell.
+	rep, err := fastba.RunSuite(context.Background(), fastba.Suite{
+		Name: "fault sweep",
+		Sweep: fastba.Sweep{
+			Ns:          []int{64},
+			Seeds:       fastba.Seeds(5),
+			Adversaries: []string{"silent", "equivocate-then-silent"},
+			Faults: []fastba.FaultPlan{
+				{},
+				{Seed: 3, DupProb: 0.2, DelayProb: 0.4, MaxDelay: 4}, // lossless
+				{Seed: 5, DropProb: 0.1},                             // lossy
+			},
+		},
+		CheckOracles: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.Render(os.Stdout)
+	for _, cell := range rep.Cells {
+		if cell.OracleViolations > 0 {
+			log.Fatalf("cell %v: %d safety violations — the protocol is broken", cell.Cell, cell.OracleViolations)
+		}
+	}
+
+	// 3. A seeded fuzz campaign: deterministic per seed, shrunk
+	// reproducers persisted on any finding.
+	fz, err := fastba.SimFuzz(context.Background(), fastba.FuzzConfig{
+		Seed: 1,
+		Runs: 25,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fuzz campaign: %d cases, %d failing, %d probabilistic misses\n",
+		fz.Executed, len(fz.Failures), fz.ProbabilisticMisses)
+	for _, f := range fz.Failures {
+		log.Fatalf("fuzzer found a violation: %s → %v", f.Case, f.Violations)
+	}
+}

@@ -38,6 +38,11 @@ type Sweep struct {
 	// CorruptFracs and KnowFracs sweep the population shape.
 	CorruptFracs []float64
 	KnowFracs    []float64
+	// Faults sweeps fault-injection plans (see WithFaults). Cells are
+	// labeled with each plan's compact Label plus its schedule seed;
+	// identically-labeled distinct plans are disambiguated by position.
+	// The zero plan labels as "none".
+	Faults []FaultPlan
 	// Variants is the free-form axis of named option bundles.
 	Variants []Variant
 	// Options applies to every cell, before any per-axis option. A
@@ -68,12 +73,17 @@ type Cell struct {
 	Adversary   string  `json:"adversary"`
 	CorruptFrac float64 `json:"corruptFrac"`
 	KnowFrac    float64 `json:"knowFrac"`
-	Variant     string  `json:"variant,omitempty"`
+	// Fault labels the cell's fault plan ("" = fault-free).
+	Fault   string `json:"fault,omitempty"`
+	Variant string `json:"variant,omitempty"`
 }
 
 // String renders a compact cell label.
 func (c Cell) String() string {
 	s := fmt.Sprintf("n=%d/%s/%s", c.N, c.Model, c.Adversary)
+	if c.Fault != "" {
+		s += "/" + c.Fault
+	}
 	if c.Variant != "" {
 		s += "/" + c.Variant
 	}
@@ -121,49 +131,58 @@ func (s Sweep) expand() ([]plannedRun, error) {
 	}
 	seen := make(map[cellSeed]bool)
 
+	faultLabels := faultAxisLabels(s.Faults)
+
 	var runs []plannedRun
 	for _, n := range s.Ns {
 		for _, mi := range axis(len(s.Models)) {
 			for _, ai := range axis(len(s.Adversaries)) {
 				for _, ci := range axis(len(s.CorruptFracs)) {
 					for _, ki := range axis(len(s.KnowFracs)) {
-						for _, vi := range axis(len(s.Variants)) {
-							opts := append([]Option(nil), s.Options...)
-							variant := ""
-							if len(s.Models) > 0 {
-								opts = append(opts, WithModel(s.Models[mi]))
-							}
-							if len(s.Adversaries) > 0 {
-								opts = append(opts, WithAdversaryName(s.Adversaries[ai]))
-							}
-							if len(s.CorruptFracs) > 0 {
-								opts = append(opts, WithCorruptFrac(s.CorruptFracs[ci]))
-							}
-							if len(s.KnowFracs) > 0 {
-								opts = append(opts, WithKnowFrac(s.KnowFracs[ki]))
-							}
-							if len(s.Variants) > 0 {
-								variant = s.Variants[vi].Name
-								opts = append(opts, s.Variants[vi].Options...)
-							}
-							for _, seed := range seeds {
-								cfg := NewConfig(n, append(opts, WithSeed(seed))...)
-								if err := cfg.validate(); err != nil {
-									return nil, fmt.Errorf("fastba: sweep cell n=%d variant=%q: %w", n, variant, err)
+						for _, fi := range axis(len(s.Faults)) {
+							for _, vi := range axis(len(s.Variants)) {
+								opts := append([]Option(nil), s.Options...)
+								variant, fault := "", ""
+								if len(s.Models) > 0 {
+									opts = append(opts, WithModel(s.Models[mi]))
 								}
-								cell := Cell{
-									N:           cfg.n,
-									Model:       cfg.model.String(),
-									Adversary:   cfg.advName,
-									CorruptFrac: cfg.corruptFrac,
-									KnowFrac:    cfg.knowFrac,
-									Variant:     variant,
+								if len(s.Adversaries) > 0 {
+									opts = append(opts, WithAdversaryName(s.Adversaries[ai]))
 								}
-								if seen[cellSeed{cell, seed}] {
-									continue
+								if len(s.CorruptFracs) > 0 {
+									opts = append(opts, WithCorruptFrac(s.CorruptFracs[ci]))
 								}
-								seen[cellSeed{cell, seed}] = true
-								runs = append(runs, plannedRun{cell: cell, seed: seed, cfg: cfg})
+								if len(s.KnowFracs) > 0 {
+									opts = append(opts, WithKnowFrac(s.KnowFracs[ki]))
+								}
+								if len(s.Faults) > 0 {
+									fault = faultLabels[fi]
+									opts = append(opts, WithFaults(s.Faults[fi]))
+								}
+								if len(s.Variants) > 0 {
+									variant = s.Variants[vi].Name
+									opts = append(opts, s.Variants[vi].Options...)
+								}
+								for _, seed := range seeds {
+									cfg := NewConfig(n, append(opts, WithSeed(seed))...)
+									if err := cfg.validate(); err != nil {
+										return nil, fmt.Errorf("fastba: sweep cell n=%d fault=%q variant=%q: %w", n, fault, variant, err)
+									}
+									cell := Cell{
+										N:           cfg.n,
+										Model:       cfg.model.String(),
+										Adversary:   cfg.advName,
+										CorruptFrac: cfg.corruptFrac,
+										KnowFrac:    cfg.knowFrac,
+										Fault:       fault,
+										Variant:     variant,
+									}
+									if seen[cellSeed{cell, seed}] {
+										continue
+									}
+									seen[cellSeed{cell, seed}] = true
+									runs = append(runs, plannedRun{cell: cell, seed: seed, cfg: cfg})
+								}
 							}
 						}
 					}
@@ -172,6 +191,30 @@ func (s Sweep) expand() ([]plannedRun, error) {
 		}
 	}
 	return runs, nil
+}
+
+// faultAxisLabels renders one distinct cell label per fault plan: the
+// plan's compact Label plus its schedule seed, with positional suffixes
+// for plans that would otherwise collide (e.g. two partition plans
+// differing only in their windows). The zero plan labels as "none".
+func faultAxisLabels(plans []FaultPlan) []string {
+	labels := make([]string, len(plans))
+	seen := make(map[string]int, len(plans))
+	for i, p := range plans {
+		l := p.Label()
+		if l == "" {
+			l = "none"
+		}
+		if p.Seed != 0 {
+			l = fmt.Sprintf("%s#%d", l, p.Seed)
+		}
+		seen[l]++
+		if n := seen[l]; n > 1 {
+			l = fmt.Sprintf("%s(%d)", l, n)
+		}
+		labels[i] = l
+	}
+	return labels
 }
 
 // RunKind selects which entry point a suite drives.
@@ -227,6 +270,16 @@ type Suite struct {
 	// completes (calls are serialized). Completion order is
 	// non-deterministic under parallelism; the Report is not.
 	OnResult func(RunRecord)
+	// CheckOracles evaluates the protocol-invariant safety oracles
+	// (agreement, validity, certificates — see the Oracle* constants) on
+	// every successful AER, BA and TCP run and records violations in
+	// RunRecord.OracleViolations. Essential for sweeps with fault
+	// dimensions, where the Agreement flag alone cannot distinguish "the
+	// network destroyed liveness" from "safety broke". Termination is not
+	// an oracle here — it is a w.h.p. guarantee, reported as the cell's
+	// agreement rate; per-seed termination checking lives in
+	// CheckInvariants and the SimFuzz campaign.
+	CheckOracles bool
 }
 
 // RunRecord is the outcome of one (cell, seed) execution.
@@ -255,6 +308,15 @@ type RunRecord struct {
 	// CandidateCoverage is the Lemma 5 probe (AER runs only).
 	CandidateCoverage float64 `json:"candidateCoverage"`
 	DecisionTimes     []int   `json:"decisionTimes,omitempty"`
+	// DistinctDecisions counts distinct decided values among correct
+	// nodes (0 = nobody decided; > 1 = agreement violation).
+	DistinctDecisions int `json:"distinctDecisions"`
+	// CertDeficits counts deciders without a strict poll-list majority
+	// certificate (must stay 0 — see OracleCertificates).
+	CertDeficits int `json:"certDeficits,omitempty"`
+	// OracleViolations holds "oracle: detail" findings when
+	// Suite.CheckOracles is set; empty means every checked invariant held.
+	OracleViolations []string `json:"oracleViolations,omitempty"`
 
 	// BA-only phase metrics.
 	AEKnowFrac           float64 `json:"aeKnowFrac,omitempty"`
@@ -358,6 +420,11 @@ func (s Suite) runOne(ctx context.Context, run plannedRun) RunRecord {
 			return rec
 		}
 		rec.fillAER(res)
+		if s.CheckOracles {
+			o := NewOracles(run.cfg)
+			o.suiteMode = true
+			rec.OracleViolations = o.Report(res).Strings()
+		}
 	case KindBA:
 		res, err := RunBAContext(ctx, run.cfg)
 		if err != nil {
@@ -368,6 +435,14 @@ func (s Suite) runOne(ctx context.Context, run plannedRun) RunRecord {
 		rec.AEKnowFrac = res.AE.KnowFrac
 		rec.TotalTime = res.TotalTime
 		rec.TotalMeanBitsPerNode = res.TotalMeanBitsPerNode
+		if s.CheckOracles {
+			// The a.e. precondition of the AER phase is what the committee
+			// phase actually achieved, not the configured knowFrac.
+			o := NewOracles(run.cfg)
+			o.suiteMode = true
+			o.knowFrac = res.AE.KnowFrac
+			rec.OracleViolations = o.Report(&res.AER).Strings()
+		}
 	case KindBaseline:
 		if err := ctx.Err(); err != nil {
 			rec.Err = err.Error()
@@ -401,8 +476,23 @@ func (s Suite) runOne(ctx context.Context, run plannedRun) RunRecord {
 		rec.MaxBitsPerNode = res.MaxBitsPerNode
 		rec.Time = int(res.Wall.Milliseconds())
 		rec.LastDecision = res.LastDecision
+		rec.DistinctDecisions = res.DistinctDecisions
+		rec.CertDeficits = res.CertDeficits
 		if res.TimedOut {
 			rec.Err = "tcp run timed out before all correct nodes decided"
+		}
+		if s.CheckOracles && rec.Err == "" {
+			// Oracles consume the AER-shaped view of the TCP outcome.
+			view := &AERResult{
+				Correct: res.Correct, Decided: res.Decided,
+				DecidedGString: res.DecidedGString, DecidedOther: res.DecidedOther,
+				LastDecision:      res.LastDecision,
+				DistinctDecisions: res.DistinctDecisions,
+				CertDeficits:      res.CertDeficits,
+			}
+			o := NewOracles(run.cfg)
+			o.suiteMode = true
+			rec.OracleViolations = o.Report(view).Strings()
 		}
 	default:
 		rec.Err = fmt.Sprintf("fastba: unknown run kind %v", s.Kind)
@@ -426,4 +516,6 @@ func (rec *RunRecord) fillAER(res *AERResult) {
 	rec.PushesPerCorrect = res.PushesPerCorrect
 	rec.CandidateCoverage = res.CandidateCoverage
 	rec.DecisionTimes = res.DecisionTimes
+	rec.DistinctDecisions = res.DistinctDecisions
+	rec.CertDeficits = res.CertDeficits
 }

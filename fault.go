@@ -1,0 +1,58 @@
+package fastba
+
+import (
+	"github.com/fastba/fastba/internal/simnet"
+)
+
+// Fault injection. The paper's model (§2.1) assumes authenticated reliable
+// channels; a FaultPlan deliberately steps outside that envelope — message
+// loss, duplication, extra latency and reordering, link partitions with
+// heal times, node crash/recover windows — so experiments can probe where
+// the protocol's guarantees actually bend and the invariant Oracles can
+// check which ones must never break (safety holds under every plan;
+// termination is only promised for lossless ones — see OracleTermination).
+//
+// Plans are deterministic: every probabilistic verdict is a pure hash of
+// (plan seed, sender, receiver, per-link send index), so under the
+// deterministic runners a configuration plus a plan reproduces the exact
+// same fault schedule on every run. Under the concurrent runtimes
+// (Goroutines, TCP) the per-link send indices follow real scheduling
+// order, so — like the delivery order itself — the schedule varies between
+// runs and only outcome properties are comparable.
+
+// FaultPlan is a deterministic, seed-driven fault schedule applied on the
+// send path of every runtime. The zero value injects no faults. Attach one
+// to a run with WithFaults, sweep them with Sweep.Faults, or sample them
+// with SimFuzz.
+type FaultPlan = simnet.FaultPlan
+
+// Partition cuts the links between a node set and the rest of the system
+// for a window of logical time (see FaultPlan.Partitions).
+type Partition = simnet.Partition
+
+// Crash makes a node fail-silent for a window of logical time; a recovery
+// models a process restart with protocol state intact (see
+// FaultPlan.Crashes).
+type Crash = simnet.Crash
+
+// WithFaults installs a fault plan on the run's delivery path. The plan
+// applies under every model and over TCP; invalid plans (probabilities
+// outside [0, 1], malformed windows, unknown nodes) are rejected by
+// validation at run time. Time units for partition and crash windows
+// follow the runtime's clock: synchronous rounds, asynchronous causal
+// depth, or the sender's per-node delivery count over TCP.
+func WithFaults(plan FaultPlan) Option {
+	return optionFunc(func(c *Config) { c.faults = plan })
+}
+
+// WithDecideThreshold REPLACES the strict Poll List majority of
+// Algorithm 1 with a fixed answer count — a deliberate protocol MUTATION,
+// not a tuning knob. It exists to validate the invariant oracles: a run
+// mutated this way (e.g. threshold 1) decides without a quorum
+// certificate, splitting the system in exactly the way OracleAgreement
+// and OracleCertificates must detect. The zero value keeps the paper's
+// faithful rule. See TestOracleCatchesBrokenQuorum and cmd/fuzzba
+// -selftest.
+func WithDecideThreshold(answers int) Option {
+	return optionFunc(func(c *Config) { c.params.DecideThreshold = answers })
+}

@@ -1,0 +1,539 @@
+package fastba
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/fastba/fastba/internal/prng"
+)
+
+// The scenario fuzzer: SimFuzz samples random hostile scenarios —
+// a FaultPlan crossed with a system size, timing model, Byzantine
+// strategy and population shape — runs each one, and checks the
+// protocol-invariant oracles on the outcome. Campaigns are fully
+// deterministic: case i of a campaign is a pure function of
+// (FuzzConfig.Seed, i), every sampled case runs under a deterministic
+// runner, and each run is summarized into a canonical digest — so a
+// failing case replays bit-for-bit from its FuzzCase alone, and a fixed
+// campaign seed reproduces identical digests across invocations (the
+// regression tests lock this).
+//
+// When a case violates an oracle, the fuzzer shrinks it — greedily
+// clearing and simplifying fault-plan dimensions while the violation
+// persists — and persists the shrunk reproducer as JSON, ready for
+// testdata/fuzz_corpus. The corpus is replayed by cmd/fuzzba (and CI) as
+// a regression suite: every committed case must pass its oracles.
+
+// FuzzCase is one fully-specified, reproducible fuzz scenario. It is the
+// JSON corpus format of cmd/fuzzba.
+type FuzzCase struct {
+	// N is the system size.
+	N int `json:"n"`
+	// Seed is the run's master seed.
+	Seed uint64 `json:"seed"`
+	// Model is the timing model's String name. Deterministic models only:
+	// the fuzzer needs bit-for-bit replays.
+	Model string `json:"model"`
+	// Adversary is the Byzantine strategy's registry name.
+	Adversary string `json:"adversary"`
+	// CorruptFrac and KnowFrac shape the population.
+	CorruptFrac float64 `json:"corruptFrac"`
+	KnowFrac    float64 `json:"knowFrac"`
+	// Plan is the fault schedule under test.
+	Plan FaultPlan `json:"plan"`
+	// Note is free-form provenance ("sampled by campaign seed 7, case 42";
+	// "shrunk from ...").
+	Note string `json:"note,omitempty"`
+}
+
+// String renders a compact case label.
+func (c FuzzCase) String() string {
+	fault := c.Plan.Label()
+	if fault == "" {
+		fault = "none"
+	}
+	return fmt.Sprintf("n=%d seed=%d %s/%s corrupt=%.2f know=%.2f faults=%s",
+		c.N, c.Seed, c.Model, c.Adversary, c.CorruptFrac, c.KnowFrac, fault)
+}
+
+// config materializes the case into a validated-on-use Config.
+func (c FuzzCase) config() (Config, error) {
+	model, err := ParseModel(c.Model)
+	if err != nil {
+		return Config{}, err
+	}
+	if model == Goroutines {
+		return Config{}, fmt.Errorf("fastba: fuzz cases require a deterministic model, have %v", model)
+	}
+	return NewConfig(c.N,
+		WithSeed(c.Seed),
+		WithModel(model),
+		WithAdversaryName(c.Adversary),
+		WithCorruptFrac(c.CorruptFrac),
+		WithKnowFrac(c.KnowFrac),
+		WithFaults(c.Plan),
+	), nil
+}
+
+// FuzzRun is the outcome of one executed case.
+type FuzzRun struct {
+	Case FuzzCase `json:"case"`
+	// Digest canonically summarizes the run (decisions, traffic, oracle
+	// verdicts). Equal cases produce equal digests — the reproducibility
+	// contract the regression tests lock.
+	Digest string `json:"digest"`
+	// Report is the oracle verdict.
+	Report OracleReport `json:"report"`
+	// Result is the underlying run result (not serialized).
+	Result *AERResult `json:"-"`
+}
+
+// ReplayCase executes one fuzz case — oracles wired into the run through
+// the Observer stream plus the end-state check — and returns the digested
+// outcome. It is the unit the fuzzer, the corpus replayer and the
+// shrinker all share.
+func ReplayCase(c FuzzCase) (FuzzRun, error) {
+	cfg, err := c.config()
+	if err != nil {
+		return FuzzRun{}, err
+	}
+	oracles := NewOracles(cfg)
+	cfg.observer = oracles.Observer()
+	res, err := RunAER(cfg)
+	if err != nil {
+		return FuzzRun{}, err
+	}
+	report := oracles.Report(res)
+	return FuzzRun{Case: c, Digest: runDigest(res, report), Report: report, Result: res}, nil
+}
+
+// runDigest renders the canonical summary of a run and hashes it. Every
+// field written here is deterministic under the deterministic runners.
+func runDigest(res *AERResult, report OracleReport) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "gstring=%s correct=%d decided=%d onG=%d other=%d distinct=%d certdef=%d\n",
+		res.GString, res.Correct, res.Decided, res.DecidedGString, res.DecidedOther,
+		res.DistinctDecisions, res.CertDeficits)
+	fmt.Fprintf(h, "time=%d last=%d msgs=%d meanBits=%.6f maxBits=%d deferred=%d\n",
+		res.Time, res.LastDecision, res.TotalMessages, res.MeanBitsPerNode,
+		res.MaxBitsPerNode, res.AnswersDeferred)
+	kinds := make([]string, 0, len(res.MessagesByKind))
+	for k := range res.MessagesByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(h, "kind %s=%d\n", k, res.MessagesByKind[k])
+	}
+	fmt.Fprintf(h, "decisions=%v\n", res.DecisionTimes)
+	fmt.Fprintf(h, "oracles checked=%v violations=%v\n", report.Checked, report.Strings())
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// FuzzFailure is a persisted oracle violation: the shrunk reproducer, the
+// originally sampled case it came from, and the findings.
+type FuzzFailure struct {
+	// Case is the shrunk (minimal found) reproducer.
+	Case FuzzCase `json:"case"`
+	// Original is the case as sampled, before shrinking.
+	Original FuzzCase `json:"original"`
+	// Violations are the shrunk case's oracle findings.
+	Violations []Violation `json:"violations"`
+	// Digest is the shrunk case's run digest.
+	Digest string `json:"digest"`
+}
+
+// FuzzConfig parameterizes a SimFuzz campaign. The zero value of every
+// field has a usable default; at least one of Runs and Budget must bound
+// the campaign.
+type FuzzConfig struct {
+	// Seed keys the campaign: case i is a pure function of (Seed, i).
+	Seed uint64
+	// Runs bounds the number of sampled cases (0 = unbounded, Budget
+	// bounds instead).
+	Runs int
+	// Budget bounds the campaign's wall-clock time (0 = unbounded, Runs
+	// bounds instead). Cases run in deterministic order, so a larger
+	// budget strictly extends a smaller one's coverage.
+	Budget time.Duration
+	// Ns are the candidate system sizes (default 16, 24, 32).
+	Ns []int
+	// Models are the candidate timing models — deterministic ones only
+	// (default all four: sync non-rushing/rushing, async, async-adversarial).
+	Models []Model
+	// Adversaries are the candidate strategy registry names (default: all
+	// built-ins including the *-then-silent fault flavours).
+	Adversaries []string
+	// KnowFracs are the candidate knowledge fractions (default 0.85, 1.0).
+	KnowFracs []float64
+	// CorruptFracs are the candidate corruption fractions (default 0,
+	// 0.10, 0.20).
+	CorruptFracs []float64
+	// PersistDir, when set, receives one JSON FuzzFailure file per failing
+	// case (after shrinking), named fail_<digest prefix>.json.
+	PersistDir string
+	// OnRun, when set, observes every executed case (sampled campaign
+	// cases only, not shrink replays), in order.
+	OnRun func(FuzzRun)
+}
+
+func (fc *FuzzConfig) defaults() error {
+	if fc.Runs <= 0 && fc.Budget <= 0 {
+		return fmt.Errorf("fastba: fuzz campaign needs a Runs or Budget bound")
+	}
+	if len(fc.Ns) == 0 {
+		fc.Ns = []int{16, 24, 32}
+	}
+	if len(fc.Models) == 0 {
+		fc.Models = []Model{SyncNonRushing, SyncRushing, Async, AsyncAdversarial}
+	}
+	for _, m := range fc.Models {
+		if m == Goroutines {
+			return fmt.Errorf("fastba: fuzz campaigns require deterministic models, have %v", m)
+		}
+	}
+	if len(fc.Adversaries) == 0 {
+		fc.Adversaries = []string{
+			"none", "silent", "flood", "equivocate", "corner", "corner-rushing",
+			"flood-then-silent", "equivocate-then-silent",
+		}
+	}
+	if len(fc.KnowFracs) == 0 {
+		fc.KnowFracs = []float64{0.85, 1.0}
+	}
+	if len(fc.CorruptFracs) == 0 {
+		fc.CorruptFracs = []float64{0, 0.10, 0.20}
+	}
+	return nil
+}
+
+// FuzzResult summarizes a campaign.
+type FuzzResult struct {
+	// Executed counts the sampled cases that ran.
+	Executed int `json:"executed"`
+	// Failures holds one shrunk reproducer per oracle-violating case.
+	Failures []FuzzFailure `json:"failures,omitempty"`
+	// ProbabilisticMisses counts termination-only findings whose
+	// fault-free twin (same case, zero plan) also fails to fully decide:
+	// the protocol's guarantees are w.h.p., so at fuzzing sizes some seeds
+	// legitimately leave nodes undecided even on a clean network. Those
+	// are not fault-injection findings and are not treated as failures —
+	// only faults that destroy liveness a clean run had are. Safety
+	// violations are never downgraded this way.
+	ProbabilisticMisses int `json:"probabilisticMisses,omitempty"`
+	// Persisted lists the failure files written to PersistDir.
+	Persisted []string `json:"persisted,omitempty"`
+}
+
+// OK reports whether the campaign found no violation.
+func (r *FuzzResult) OK() bool { return len(r.Failures) == 0 }
+
+// SimFuzz runs a fuzz campaign: sample case i from (Seed, i), execute it
+// under its deterministic runner with the oracles attached, and on any
+// violation shrink the case to a minimal reproducer and (when PersistDir
+// is set) persist it. The campaign stops at the Runs bound, the Budget
+// bound, or ctx cancellation — whichever comes first; the error reports
+// infrastructure problems (invalid campaign, unwritable PersistDir), not
+// oracle findings, which land in FuzzResult.Failures.
+func SimFuzz(ctx context.Context, fc FuzzConfig) (*FuzzResult, error) {
+	if err := fc.defaults(); err != nil {
+		return nil, err
+	}
+	res := &FuzzResult{}
+	var deadline time.Time
+	if fc.Budget > 0 {
+		deadline = time.Now().Add(fc.Budget)
+	}
+	for i := 0; ; i++ {
+		if fc.Runs > 0 && i >= fc.Runs {
+			break
+		}
+		if fc.Budget > 0 && !time.Now().Before(deadline) {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		c := sampleCase(fc, i)
+		run, err := ReplayCase(c)
+		if err != nil {
+			return res, fmt.Errorf("fastba: fuzz case %d (%s): %w", i, c, err)
+		}
+		res.Executed++
+		if fc.OnRun != nil {
+			fc.OnRun(run)
+		}
+		if run.Report.OK() {
+			continue
+		}
+		if terminationOnly(run.Report) {
+			twin := c
+			twin.Plan = FaultPlan{}
+			twinRun, err := ReplayCase(twin)
+			if err == nil && !twinRun.Report.OK() && terminationOnly(twinRun.Report) {
+				res.ProbabilisticMisses++
+				continue
+			}
+		}
+		shrunk, shrunkRun := shrinkCase(c, run)
+		failure := FuzzFailure{
+			Case:       shrunk,
+			Original:   c,
+			Violations: shrunkRun.Report.Violations,
+			Digest:     shrunkRun.Digest,
+		}
+		res.Failures = append(res.Failures, failure)
+		if fc.PersistDir != "" {
+			path, err := persistFailure(fc.PersistDir, failure)
+			if err != nil {
+				return res, err
+			}
+			res.Persisted = append(res.Persisted, path)
+		}
+	}
+	return res, nil
+}
+
+// terminationOnly reports whether every violation in the report is a
+// termination finding.
+func terminationOnly(rep OracleReport) bool {
+	if len(rep.Violations) == 0 {
+		return false
+	}
+	for _, v := range rep.Violations {
+		if v.Oracle != OracleTermination {
+			return false
+		}
+	}
+	return true
+}
+
+// sampleCase derives case i of the campaign — a pure function of
+// (fc.Seed, i), independent of every other case.
+func sampleCase(fc FuzzConfig, i int) FuzzCase {
+	src := prng.New(prng.DeriveKey(fc.Seed, "simfuzz/case", uint64(i)))
+	n := fc.Ns[src.Intn(len(fc.Ns))]
+	c := FuzzCase{
+		N:           n,
+		Seed:        src.Uint64()>>1 | 1, // non-zero run seed
+		Model:       fc.Models[src.Intn(len(fc.Models))].String(),
+		Adversary:   fc.Adversaries[src.Intn(len(fc.Adversaries))],
+		CorruptFrac: fc.CorruptFracs[src.Intn(len(fc.CorruptFracs))],
+		KnowFrac:    fc.KnowFracs[src.Intn(len(fc.KnowFracs))],
+		Plan:        samplePlan(src, n),
+		Note:        fmt.Sprintf("sampled: campaign seed %d, case %d", fc.Seed, i),
+	}
+	return c
+}
+
+// samplePlan draws a random fault plan. Roughly a third of the plans are
+// lossless (delay/duplicate/reorder only) so the termination oracle gets
+// real coverage; the rest mix message loss, partitions and crashes.
+func samplePlan(src *prng.Source, n int) FaultPlan {
+	p := FaultPlan{Seed: src.Uint64()}
+	if src.Float64() < 0.5 {
+		p.DupProb = src.Float64() * 0.3
+	}
+	if src.Float64() < 0.6 {
+		p.DelayProb = src.Float64() * 0.5
+		p.MaxDelay = 1 + src.Intn(6)
+	}
+	if lossless := src.Float64() < 1.0/3; lossless {
+		return p
+	}
+	if src.Float64() < 0.6 {
+		p.DropProb = src.Float64() * 0.25
+	}
+	for k := src.Intn(3); k > 0; k-- { // 0..2 partitions
+		side := 1 + src.Intn(n/2)
+		perm := src.Perm(n)
+		a := make([]NodeID, side)
+		copy(a, perm[:side])
+		from := src.Intn(8)
+		until := 0
+		if src.Bool() {
+			until = from + 1 + src.Intn(8)
+		}
+		p.Partitions = append(p.Partitions, Partition{A: a, From: from, Until: until})
+	}
+	for k := src.Intn(3); k > 0; k-- { // 0..2 crashes
+		at := src.Intn(8)
+		recover := 0
+		if src.Bool() {
+			recover = at + 1 + src.Intn(8)
+		}
+		p.Crashes = append(p.Crashes, Crash{Node: src.Intn(n), At: at, RecoverAt: recover})
+	}
+	return p
+}
+
+// shrinkCase greedily simplifies a violating case while the violation
+// persists: clear whole fault dimensions, then drop individual partitions
+// and crashes, then shorten delays. Each candidate replays the run;
+// replay errors just reject the candidate. Returns the smallest still-
+// violating case found and its run.
+func shrinkCase(c FuzzCase, run FuzzRun) (FuzzCase, FuzzRun) {
+	best, bestRun := c, run
+	improved := true
+	for rounds := 0; improved && rounds < 8; rounds++ {
+		improved = false
+		for _, candidate := range shrinkCandidates(best) {
+			crun, err := ReplayCase(candidate)
+			if err != nil || crun.Report.OK() {
+				continue
+			}
+			best, bestRun = candidate, crun
+			improved = true
+			break // restart candidate generation from the smaller case
+		}
+	}
+	best.Note = fmt.Sprintf("shrunk from: %s", c.Note)
+	return best, bestRun
+}
+
+// shrinkCandidates proposes strictly simpler variants of a case, most
+// aggressive first.
+func shrinkCandidates(c FuzzCase) []FuzzCase {
+	var out []FuzzCase
+	add := func(mut func(*FaultPlan)) {
+		v := c
+		v.Plan = clonePlan(c.Plan)
+		mut(&v.Plan)
+		out = append(out, v)
+	}
+	if c.Plan.DropProb > 0 {
+		add(func(p *FaultPlan) { p.DropProb = 0 })
+	}
+	if c.Plan.DupProb > 0 {
+		add(func(p *FaultPlan) { p.DupProb = 0 })
+	}
+	if c.Plan.DelayProb > 0 {
+		add(func(p *FaultPlan) { p.DelayProb = 0; p.MaxDelay = 0 })
+	}
+	if len(c.Plan.Partitions) > 0 {
+		add(func(p *FaultPlan) { p.Partitions = nil })
+	}
+	if len(c.Plan.Crashes) > 0 {
+		add(func(p *FaultPlan) { p.Crashes = nil })
+	}
+	for i := range c.Plan.Partitions {
+		i := i
+		if len(c.Plan.Partitions) > 1 {
+			add(func(p *FaultPlan) { p.Partitions = append(p.Partitions[:i:i], p.Partitions[i+1:]...) })
+		}
+	}
+	for i := range c.Plan.Crashes {
+		i := i
+		if len(c.Plan.Crashes) > 1 {
+			add(func(p *FaultPlan) { p.Crashes = append(p.Crashes[:i:i], p.Crashes[i+1:]...) })
+		}
+	}
+	if c.Plan.DropProb > 0.02 {
+		add(func(p *FaultPlan) { p.DropProb /= 2 })
+	}
+	if c.Plan.MaxDelay > 1 {
+		add(func(p *FaultPlan) { p.MaxDelay /= 2 })
+	}
+	// Beyond the plan: a fault-free variant separates "faults did it"
+	// from "the scenario violates even on a clean network" (e.g. a
+	// protocol mutation), and the weakest adversary isolates faults from
+	// Byzantine behaviour.
+	if !c.Plan.IsZero() {
+		v := c
+		v.Plan = FaultPlan{}
+		out = append(out, v)
+	}
+	// ("none" is excluded: it forces zero corruption, so replacing it with
+	// "silent" would re-activate the corrupt fraction — a strictly MORE
+	// hostile case, not a simpler one.)
+	if c.Adversary != "silent" && c.Adversary != "none" && c.CorruptFrac > 0 {
+		v := c
+		v.Adversary = "silent"
+		out = append(out, v)
+	}
+	return out
+}
+
+func clonePlan(p FaultPlan) FaultPlan {
+	p.Partitions = append([]Partition(nil), p.Partitions...)
+	p.Crashes = append([]Crash(nil), p.Crashes...)
+	return p
+}
+
+// persistFailure writes one failure as indented JSON into dir, named by
+// its digest prefix.
+func persistFailure(dir string, f FuzzFailure) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("fail_%s.json", f.Digest[:12]))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadFuzzCase reads one corpus file: either a bare FuzzCase or a
+// persisted FuzzFailure (whose shrunk Case is taken).
+func LoadFuzzCase(path string) (FuzzCase, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return FuzzCase{}, err
+	}
+	var failure struct {
+		Case *FuzzCase `json:"case"`
+	}
+	if err := json.Unmarshal(data, &failure); err == nil && failure.Case != nil {
+		return *failure.Case, nil
+	}
+	var c FuzzCase
+	if err := json.Unmarshal(data, &c); err != nil {
+		return FuzzCase{}, fmt.Errorf("fastba: corpus file %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// ReplayCorpus replays every *.json case under dir (sorted by name) and
+// returns the runs in order plus the cases whose oracles now fail. A
+// missing directory is an error; an empty one is not.
+func ReplayCorpus(dir string) ([]FuzzRun, []FuzzFailure, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := os.Stat(dir); err != nil {
+		return nil, nil, err
+	}
+	sort.Strings(paths)
+	var runs []FuzzRun
+	var failures []FuzzFailure
+	for _, path := range paths {
+		c, err := LoadFuzzCase(path)
+		if err != nil {
+			return runs, failures, err
+		}
+		run, err := ReplayCase(c)
+		if err != nil {
+			return runs, failures, fmt.Errorf("fastba: corpus case %s: %w", path, err)
+		}
+		runs = append(runs, run)
+		if !run.Report.OK() {
+			failures = append(failures, FuzzFailure{
+				Case: c, Original: c,
+				Violations: run.Report.Violations,
+				Digest:     run.Digest,
+			})
+		}
+	}
+	return runs, failures, nil
+}

@@ -1,0 +1,253 @@
+package fastba
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestOracleCatchesBrokenQuorum is the oracle subsystem's acceptance
+// proof: a deliberately broken quorum threshold (deciding on the first
+// poll answer instead of the strict majority of Algorithm 1) must be
+// caught — the split decisions by the agreement oracle and the
+// certificate-less decisions by the certificate oracle. knowFrac 0.60
+// lets the shared junk belief assemble push-quorum majorities, so the
+// mutation deterministically splits the system on this seed.
+func TestOracleCatchesBrokenQuorum(t *testing.T) {
+	cfg := NewConfig(32,
+		WithSeed(1),
+		WithKnowFrac(0.60),
+		WithAdversary(AdversaryNone),
+		WithDecideThreshold(1),
+	)
+	res, err := RunAER(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DistinctDecisions < 2 {
+		t.Fatalf("mutation did not split the system: %d distinct decisions", res.DistinctDecisions)
+	}
+	rep := CheckInvariants(cfg, res)
+	caught := map[string]bool{}
+	for _, v := range rep.Violations {
+		caught[v.Oracle] = true
+	}
+	if !caught[OracleAgreement] {
+		t.Errorf("agreement oracle missed the broken quorum threshold: %s", rep)
+	}
+	if !caught[OracleCertificates] {
+		t.Errorf("certificate oracle missed the broken quorum threshold: %s", rep)
+	}
+
+	// The same configuration without the mutation must keep every safety
+	// oracle quiet: the findings above react to the broken threshold, not
+	// to the hostile population shape. (Termination is exempt — at this
+	// knowFrac and n, a clean run can legitimately leave stragglers, the
+	// w.h.p. nature of Lemmas 9/10.)
+	clean := NewConfig(32, WithSeed(1), WithKnowFrac(0.60), WithAdversary(AdversaryNone))
+	cleanRes, err := RunAER(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range CheckInvariants(clean, cleanRes).Violations {
+		if v.Oracle != OracleTermination {
+			t.Errorf("unmutated run violates safety oracle: %s", v)
+		}
+	}
+}
+
+// TestFuzzDigestDeterministic locks the reproducibility contract: a fixed
+// campaign seed yields byte-identical run digests across two invocations,
+// case by case.
+func TestFuzzDigestDeterministic(t *testing.T) {
+	campaign := func() []string {
+		var digests []string
+		res, err := SimFuzz(context.Background(), FuzzConfig{
+			Seed: 7,
+			Runs: 6,
+			Ns:   []int{16, 24},
+			OnRun: func(r FuzzRun) {
+				digests = append(digests, r.Digest)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Executed != 6 {
+			t.Fatalf("executed %d of 6 cases", res.Executed)
+		}
+		return digests
+	}
+	first, second := campaign(), campaign()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("digests diverge across invocations:\n%v\nvs\n%v", first, second)
+	}
+	for i, d := range first {
+		if len(d) != 64 {
+			t.Fatalf("digest %d malformed: %q", i, d)
+		}
+	}
+}
+
+// TestReplayCaseDeterministic: the single-case form of the same contract,
+// for a case with every fault dimension active.
+func TestReplayCaseDeterministic(t *testing.T) {
+	c := FuzzCase{
+		N: 24, Seed: 42, Model: "async", Adversary: "equivocate",
+		CorruptFrac: 0.1, KnowFrac: 0.85,
+		Plan: FaultPlan{
+			Seed: 9, DropProb: 0.1, DupProb: 0.1, DelayProb: 0.3, MaxDelay: 3,
+			Partitions: []Partition{{A: []NodeID{1, 2}, From: 2, Until: 5}},
+			Crashes:    []Crash{{Node: 3, At: 1, RecoverAt: 4}},
+		},
+	}
+	a, err := ReplayCase(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReplayCase(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("digests diverge: %s vs %s", a.Digest, b.Digest)
+	}
+}
+
+// TestFuzzCorpusReplay: every committed corpus case must pass its oracles
+// — the corpus is the fuzzer's regression suite.
+func TestFuzzCorpusReplay(t *testing.T) {
+	runs, failures, err := ReplayCorpus(filepath.Join("testdata", "fuzz_corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) == 0 {
+		t.Fatal("corpus is empty")
+	}
+	for _, f := range failures {
+		t.Errorf("corpus case %s now violates: %v", f.Case, f.Violations)
+	}
+}
+
+// TestFuzzFailurePersistRoundTrip: a persisted failure loads back as its
+// shrunk reproducer case.
+func TestFuzzFailurePersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	failure := FuzzFailure{
+		Case: FuzzCase{N: 16, Seed: 3, Model: "async", Adversary: "silent",
+			CorruptFrac: 0.1, KnowFrac: 0.85, Plan: FaultPlan{Seed: 4, DropProb: 0.2}},
+		Original:   FuzzCase{N: 16, Seed: 3, Model: "async", Adversary: "flood"},
+		Violations: []Violation{{Oracle: OracleAgreement, Detail: "synthetic"}},
+		Digest:     "0123456789abcdef0123456789abcdef",
+	}
+	path, err := persistFailure(dir, failure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFuzzCase(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, failure.Case) {
+		t.Fatalf("round trip mangled the case: %+v vs %+v", got, failure.Case)
+	}
+	// A bare FuzzCase file loads too (the handwritten corpus format).
+	bare := filepath.Join(dir, "bare.json")
+	if err := os.WriteFile(bare, []byte(`{"n":16,"seed":5,"model":"async","adversary":"silent","corruptFrac":0.1,"knowFrac":1,"plan":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := LoadFuzzCase(bare); err != nil || got.Seed != 5 {
+		t.Fatalf("bare case load: %+v, %v", got, err)
+	}
+}
+
+// TestShrinkCandidates: candidates are strictly simpler and never alias
+// the parent's plan slices.
+func TestShrinkCandidates(t *testing.T) {
+	c := FuzzCase{
+		N: 16, Seed: 1, Model: "async", Adversary: "flood", CorruptFrac: 0.1, KnowFrac: 0.85,
+		Plan: FaultPlan{
+			Seed: 2, DropProb: 0.2, DupProb: 0.1, DelayProb: 0.3, MaxDelay: 4,
+			Partitions: []Partition{{A: []NodeID{0}, From: 1}, {A: []NodeID{1}, From: 2}},
+			Crashes:    []Crash{{Node: 1, At: 1}, {Node: 2, At: 2}},
+		},
+	}
+	cands := shrinkCandidates(c)
+	if len(cands) == 0 {
+		t.Fatal("no candidates for a maximally faulty case")
+	}
+	for i, cand := range cands {
+		if reflect.DeepEqual(cand, c) {
+			t.Errorf("candidate %d did not simplify anything", i)
+		}
+	}
+	// Mutating a candidate's partitions must not touch the parent.
+	for _, cand := range cands {
+		if len(cand.Plan.Partitions) == len(c.Plan.Partitions) && len(cand.Plan.Partitions) > 0 {
+			cand.Plan.Partitions[0].From = 99
+			if c.Plan.Partitions[0].From == 99 {
+				t.Fatal("candidate aliases the parent plan")
+			}
+			break
+		}
+	}
+}
+
+// TestSweepFaultAxis: fault plans are a first-class sweep dimension —
+// cells are labeled per plan, records carry oracle verdicts, and a
+// lossless plan keeps full agreement.
+func TestSweepFaultAxis(t *testing.T) {
+	rep, err := RunSuite(context.Background(), Suite{
+		Name: "faults",
+		Sweep: Sweep{
+			Ns:    []int{16},
+			Seeds: Seeds(2),
+			Faults: []FaultPlan{
+				{},
+				{Seed: 3, DupProb: 0.2, DelayProb: 0.3, MaxDelay: 2},
+				{Seed: 4, DropProb: 0.15},
+			},
+		},
+		Workers:      1,
+		CheckOracles: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 3 {
+		t.Fatalf("want 3 fault cells, got %d", len(rep.Cells))
+	}
+	wantLabels := []string{"none", "dup0.2+delay0.3×2#3", "drop0.15#4"}
+	for i, cr := range rep.Cells {
+		if cr.Cell.Fault != wantLabels[i] {
+			t.Errorf("cell %d fault label = %q, want %q", i, cr.Cell.Fault, wantLabels[i])
+		}
+		if cr.OracleViolations != 0 {
+			t.Errorf("cell %q has %d oracle violations: %+v", cr.Cell.Fault, cr.OracleViolations, cr.Records)
+		}
+	}
+	// The lossless cells must reach full agreement; the lossy one may
+	// legitimately lose liveness but its safety verdicts were checked
+	// above.
+	for _, cr := range rep.Cells[:2] {
+		if cr.AgreementRate != 1 {
+			t.Errorf("lossless cell %q agreement rate %.2f", cr.Cell.Fault, cr.AgreementRate)
+		}
+	}
+}
+
+// TestFaultPlanValidationAtConfig: invalid plans are rejected at the same
+// place every other configuration error is.
+func TestFaultPlanValidationAtConfig(t *testing.T) {
+	for _, plan := range []FaultPlan{
+		{DropProb: 1.5},
+		{Partitions: []Partition{{A: []NodeID{99}}}},
+		{Crashes: []Crash{{Node: 0, At: 5, RecoverAt: 2}}},
+	} {
+		if _, err := RunAER(NewConfig(16, WithFaults(plan))); err == nil {
+			t.Errorf("plan %+v accepted", plan)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package bitstring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests: Set and Bitset are checked against the obvious
+// map model over randomized operation sequences, so the allocation-lean
+// implementations cannot silently drift from set semantics.
+
+// setOps interprets a random value stream as Add operations on both the
+// Set under test and a map model, checking every intermediate answer.
+func setOps(values []uint8) bool {
+	var s Set
+	model := map[int]bool{}
+	var order []int
+	for _, raw := range values {
+		v := int(raw % 64)
+		added := s.Add(v)
+		if added == model[v] {
+			return false // Add must report "newly added" exactly when the model lacks v
+		}
+		if !model[v] {
+			model[v] = true
+			order = append(order, v)
+		}
+		if !s.Contains(v) {
+			return false
+		}
+		if s.Len() != len(model) {
+			return false
+		}
+	}
+	// Membership agrees over the whole domain.
+	for v := 0; v < 64; v++ {
+		if s.Contains(v) != model[v] {
+			return false
+		}
+	}
+	// ForEach yields exactly the members, in first-insertion order.
+	var seen []int
+	s.ForEach(func(v int) { seen = append(seen, v) })
+	if len(seen) != len(order) {
+		return false
+	}
+	for i := range seen {
+		if seen[i] != order[i] {
+			return false
+		}
+	}
+	// Reset empties without disturbing reuse.
+	s.Reset()
+	return s.Len() == 0 && !s.Contains(order2(order))
+}
+
+// order2 picks an arbitrary previously-present member (or 0).
+func order2(order []int) int {
+	if len(order) == 0 {
+		return 0
+	}
+	return order[0]
+}
+
+func TestQuickSetMatchesMapModel(t *testing.T) {
+	if err := quick.Check(setOps, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bitsetOps does the same for Bitset, including the maintained population
+// count against a full recount.
+func bitsetOps(values []uint16) bool {
+	var b Bitset
+	model := map[int]bool{}
+	for _, raw := range values {
+		v := int(raw % 1024) // spans multiple words, forces growth
+		set := b.Set(v)
+		if set == model[v] {
+			return false
+		}
+		model[v] = true
+		if !b.Get(v) {
+			return false
+		}
+		if b.Count() != len(model) {
+			return false
+		}
+		if b.Count() != b.recount() {
+			return false
+		}
+	}
+	for v := 0; v < 1024; v++ {
+		if b.Get(v) != model[v] {
+			return false
+		}
+	}
+	// Out-of-domain reads are clear, never a panic.
+	return !b.Get(1<<20) && !b.Get(-1)
+}
+
+func TestQuickBitsetMatchesMapModel(t *testing.T) {
+	if err := quick.Check(bitsetOps, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickStringRoundTrip: packing a bit pattern into a String and
+// reading it back through Bytes/FromBytes preserves every bit and the
+// equality/key relations.
+func TestQuickStringRoundTrip(t *testing.T) {
+	prop := func(bits []byte) bool {
+		if len(bits) > 256 {
+			bits = bits[:256]
+		}
+		for i := range bits {
+			bits[i] &= 1
+		}
+		s := New(bits)
+		if s.Len() != len(bits) {
+			return false
+		}
+		for i, b := range bits {
+			if s.Bit(i) != b {
+				return false
+			}
+		}
+		back, err := FromBytes(s.Bytes(), s.Len())
+		if err != nil {
+			return false
+		}
+		return back.Equal(s) && back.MapKey() == s.MapKey() && back.Hash64() == s.Hash64()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -38,6 +38,13 @@ func (s *Set) Contains(v int) bool {
 // Len returns the cardinality.
 func (s *Set) Len() int { return len(s.ids) }
 
+// ForEach calls f for every member, in insertion order.
+func (s *Set) ForEach(f func(v int)) {
+	for _, id := range s.ids {
+		f(int(id))
+	}
+}
+
 // Reset empties the set, keeping its capacity for reuse.
 func (s *Set) Reset() { s.ids = s.ids[:0] }
 

@@ -233,6 +233,36 @@ func (n *Node) DecidedAt() int {
 // Believes returns the node's current belief s_this.
 func (n *Node) Believes() bitstring.String { return n.sthis }
 
+// DecisionCert re-derives the quorum certificate behind this node's
+// decision for the protocol-invariant oracles: support is the number of
+// recorded answerers for the decided string that the authoritative poll
+// list J(this, r) actually contains (re-validated against the shared
+// sampler, independently of the delivery-path checks), and need is the
+// strict-majority threshold the decision required. ok reports whether the
+// node decided at all. A decided node with support < need holds a decision
+// no valid certificate backs — a protocol-state inconsistency no
+// fault schedule can excuse. Call after the run completes.
+func (n *Node) DecisionCert() (support, need int, ok bool) {
+	if !n.hasDecided {
+		return 0, 0, false
+	}
+	need = n.params.PollSize/2 + 1
+	sid := n.strs.Lookup(n.decided)
+	if sid == intern.None || int(sid) >= len(n.states) {
+		return 0, need, true
+	}
+	st := &n.states[sid]
+	if !st.hasLabel {
+		return 0, need, true
+	}
+	st.answers.ForEach(func(from int) {
+		if n.smp.J.Contains(n.id, st.label, from) {
+			support++
+		}
+	})
+	return support, need, true
+}
+
 // Stats returns the protocol counters (valid after the run completes).
 func (n *Node) Stats() Stats {
 	s := n.stats
@@ -502,7 +532,11 @@ func (n *Node) onAnswer(ctx simnet.Context, from int, m MsgAnswer) {
 	if !st.answers.Add(from) {
 		return // "w hasn't sent another Answer(s) message yet"
 	}
-	if 2*st.answers.Len() > n.params.PollSize {
+	need := n.params.PollSize/2 + 1
+	if n.params.DecideThreshold > 0 {
+		need = n.params.DecideThreshold // oracle-validation mutation
+	}
+	if st.answers.Len() >= need {
 		n.decide(ctx, sid, m.S)
 	}
 }

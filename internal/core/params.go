@@ -43,6 +43,13 @@ type Params struct {
 	// assumes all nodes share these functions (§3.1 "Preconditions"); the
 	// seed is therefore public and known to the adversary.
 	SamplerSeed uint64
+	// DecideThreshold, when positive, REPLACES the strict Poll List
+	// majority of Algorithm 1 with a fixed answer count — a deliberate
+	// protocol mutation for validating the invariant oracles (a node that
+	// decides below the majority cannot hold a valid quorum certificate,
+	// and colluding answerers can split the system). Zero, the only
+	// faithful value, keeps the paper's 2·answers > PollSize rule.
+	DecideThreshold int
 	// DeferredRelay enables an extension beyond the paper's pseudocode:
 	// a pull-quorum member that declines to proxy a request because the
 	// string differs from its current belief (Algorithm 2's s = s_y check)
@@ -92,6 +99,8 @@ func (p Params) Validate() error {
 		return fmt.Errorf("core: StringBits must be positive")
 	case p.AnswerBudget < 0:
 		return fmt.Errorf("core: AnswerBudget must be non-negative")
+	case p.DecideThreshold < 0 || p.DecideThreshold > p.PollSize:
+		return fmt.Errorf("core: DecideThreshold = %d out of range for PollSize = %d", p.DecideThreshold, p.PollSize)
 	}
 	return nil
 }

@@ -198,6 +198,13 @@ type Outcome struct {
 	DecidedOther  int // correct nodes that decided on something else
 	MaxDecisionAt int // latest decision time among deciders
 	SumCandidates int // Σ|L_x| over correct nodes (Lemma 4)
+	// DistinctDecisions counts the distinct values decided by correct
+	// nodes — the agreement oracle's input: > 1 is an agreement violation.
+	DistinctDecisions int
+	// CertDeficits counts deciders whose re-derived quorum certificate
+	// (Node.DecisionCert) falls short of the strict poll-list majority —
+	// must stay 0 under every fault schedule.
+	CertDeficits int
 }
 
 // Agreement reports whether every correct node decided and all decisions
@@ -209,6 +216,7 @@ func (o Outcome) Agreement() bool {
 // Evaluate inspects the correct nodes after a run.
 func Evaluate(correct []*Node, gstring bitstring.String) Outcome {
 	var o Outcome
+	values := make(map[bitstring.MapKey]bool)
 	for _, n := range correct {
 		if n == nil {
 			continue
@@ -220,6 +228,7 @@ func Evaluate(correct []*Node, gstring bitstring.String) Outcome {
 			continue
 		}
 		o.Decided++
+		values[d.MapKey()] = true
 		if d.Equal(gstring) {
 			o.DecidedG++
 		} else {
@@ -228,6 +237,10 @@ func Evaluate(correct []*Node, gstring bitstring.String) Outcome {
 		if at := n.DecidedAt(); at > o.MaxDecisionAt {
 			o.MaxDecisionAt = at
 		}
+		if support, need, ok := n.DecisionCert(); ok && support < need {
+			o.CertDeficits++
+		}
 	}
+	o.DistinctDecisions = len(values)
 	return o
 }

@@ -1,0 +1,97 @@
+package intern
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/fastba/fastba/internal/bitstring"
+	"github.com/fastba/fastba/internal/prng"
+)
+
+// Property-based tests for the interning table: IDs are dense (assigned
+// consecutively from 0 in first-seen order), stable (re-interning never
+// changes an assignment), and round-trip (String(ID(s)) is s). These are
+// the assumptions the protocol cores index slices by, so a violation
+// would silently corrupt per-candidate state.
+
+// TestQuickInternDenseStableRoundTrip drives a table with a random
+// sequence of strings (drawn from a small pool, so re-interning is
+// frequent) and checks every invariant after every operation.
+func TestQuickInternDenseStableRoundTrip(t *testing.T) {
+	prop := func(seed uint64, picks []uint8) bool {
+		// A pool of 16 distinct random strings of varying lengths.
+		src := prng.New(seed)
+		pool := make([]bitstring.String, 16)
+		for i := range pool {
+			pool[i] = bitstring.Random(src, 8+i)
+		}
+		var tab Table
+		assigned := map[bitstring.MapKey]ID{}
+		var firstSeen []bitstring.String
+		for _, p := range picks {
+			s := pool[int(p)%len(pool)]
+			id := tab.ID(s)
+			if prev, ok := assigned[s.MapKey()]; ok {
+				if id != prev {
+					return false // dense-ID stability
+				}
+			} else {
+				if id != ID(len(assigned)) {
+					return false // IDs are consecutive in first-seen order
+				}
+				assigned[s.MapKey()] = id
+				firstSeen = append(firstSeen, s)
+			}
+			if tab.Lookup(s) != id {
+				return false // Lookup agrees with ID
+			}
+			if !tab.String(id).Equal(s) {
+				return false // round trip
+			}
+			if tab.Len() != len(assigned) {
+				return false
+			}
+		}
+		// First-seen order is fully reconstructible from the IDs.
+		for i, s := range firstSeen {
+			if !tab.String(ID(i)).Equal(s) {
+				return false
+			}
+		}
+		// Never-interned strings Lookup to None and leave the table alone.
+		fresh := bitstring.Random(src, 200)
+		before := tab.Len()
+		return tab.Lookup(fresh) == None && tab.Len() == before
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickInternDistinctStringsDistinctIDs: strings differing in any bit
+// (or only in length) intern to distinct IDs.
+func TestQuickInternDistinctStringsDistinctIDs(t *testing.T) {
+	prop := func(seed uint64, nbits uint8) bool {
+		n := 1 + int(nbits%200)
+		src := prng.New(seed)
+		s := bitstring.Random(src, n)
+		var tab Table
+		base := tab.ID(s)
+		// Flip one bit: distinct ID.
+		bits := make([]byte, n)
+		for i := 0; i < n; i++ {
+			bits[i] = s.Bit(i)
+		}
+		bits[0] ^= 1
+		flipped := bitstring.New(bits)
+		if tab.ID(flipped) == base {
+			return false
+		}
+		// Same prefix, longer length: distinct ID.
+		longer := bitstring.Concat(s, bitstring.New([]byte{0}))
+		return tab.ID(longer) != base && tab.ID(longer) != tab.ID(flipped)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

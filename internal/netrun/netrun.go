@@ -92,6 +92,13 @@ func New(nodes []simnet.Node) (*Cluster, error) {
 // per-node logical clock). It must be called before Start.
 func (c *Cluster) Observe(o simnet.Observer) { c.fab.Observe(o) }
 
+// InjectFaults installs a fault plan on the Fabric's send path: judged
+// before a frame reaches the wire, so dropped messages are never written
+// and duplicated messages are framed twice. Time for crash/partition
+// windows is the sender's per-node delivery count (the cluster's
+// CounterClock). It must be called before Start.
+func (c *Cluster) InjectFaults(plan simnet.FaultPlan) { c.fab.SetFaults(plan) }
+
 // Addrs returns the per-node listen addresses.
 func (c *Cluster) Addrs() []string { return append([]string(nil), c.addrs...) }
 
@@ -156,6 +163,13 @@ func (c *Cluster) RunUntil(ctx context.Context, pred func() bool, timeout time.D
 func (c *Cluster) AwaitQuiescence(timeout time.Duration) bool {
 	return c.fab.AwaitQuiescence(timeout)
 }
+
+// Quiesced is the non-blocking form of AwaitQuiescence: once it reports
+// true the execution is over (no unhandled message remains and none can be
+// created). With a lossy fault plan installed it is the natural RunUntil
+// predicate — "all correct nodes decided" may never come true when the
+// plan destroys messages.
+func (c *Cluster) Quiesced() bool { return c.fab.Quiesced() }
 
 // Close shuts listeners, connections and delivery loops down, waits for
 // the worker goroutines and flushes buffered observer events.

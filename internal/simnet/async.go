@@ -31,6 +31,8 @@ type AsyncRunner struct {
 	metrics  *Metrics
 	observer Observer
 	stop     func() bool
+	inj      *Injector
+	delayed  *delayedScheduler
 	seq      uint64
 	// MaxDeliveries guards against runaway executions (0 = no limit).
 	MaxDeliveries int64
@@ -55,6 +57,19 @@ func (r *AsyncRunner) Observe(o Observer) { r.observer = o }
 // and returns the metrics collected so far. It must be called before Run.
 func (r *AsyncRunner) StopWhen(f func() bool) { r.stop = f }
 
+// InjectFaults installs a fault plan, judged at send time: dropped
+// messages are metered as sent but never enqueued, duplicates are enqueued
+// twice, and a delay of d both inflates the message's causal depth by d
+// and holds it back past the next d deliveries — so later sends can
+// overtake it under any Scheduler. It must be called before Run.
+func (r *AsyncRunner) InjectFaults(plan FaultPlan) {
+	r.inj = NewInjector(plan, len(r.nodes))
+	if plan.DelayProb > 0 {
+		r.delayed = &delayedScheduler{inner: r.sched}
+		r.sched = r.delayed
+	}
+}
+
 type asyncCtx struct {
 	r    *AsyncRunner
 	self NodeID
@@ -68,7 +83,23 @@ func (c *asyncCtx) Send(to NodeID, m Message) {
 	c.r.seq++
 	validateEnvelope(len(c.r.nodes), e)
 	c.r.metrics.recordSend(e)
-	c.r.sched.Push(e)
+	if c.r.inj == nil {
+		c.r.sched.Push(e)
+		return
+	}
+	v := c.r.inj.Judge(e, c.now)
+	e.Depth += v.Delay
+	for i := 0; i < v.Copies; i++ {
+		if i > 0 { // duplicates carry their own sequence number
+			e.seq = c.r.seq
+			c.r.seq++
+		}
+		if v.Delay > 0 && c.r.delayed != nil {
+			c.r.delayed.PushDelayed(e, v.Delay)
+		} else {
+			c.r.sched.Push(e)
+		}
+	}
 }
 
 // Run initializes all nodes and processes messages to quiescence (or until
@@ -90,6 +121,11 @@ func (r *AsyncRunner) Run() *Metrics {
 			break
 		}
 		e := r.sched.Pop()
+		// Receive-side crash check: fail-silence also drops messages that
+		// arrive (possibly delayed) inside the destination's crash window.
+		if r.inj != nil && r.inj.CrashedAt(e.To, e.Depth) {
+			continue
+		}
 		r.metrics.recordDeliver(e)
 		ctx.self, ctx.now = e.To, e.Depth
 		r.nodes[e.To].Deliver(ctx, e.From, e.Msg)
@@ -237,4 +273,62 @@ func (s *adversarialScheduler) take(h *advHeap) Envelope {
 	e := heap.Pop(h).(advItem).env
 	delete(s.pending, e.seq)
 	return e
+}
+
+// heldItem is a delayed envelope waiting to re-enter the inner scheduler.
+type heldItem struct {
+	env     Envelope
+	release uint64 // the pop count at which the envelope becomes eligible
+}
+
+type heldHeap []heldItem
+
+func (h heldHeap) Len() int { return len(h) }
+func (h heldHeap) Less(i, j int) bool {
+	if h[i].release != h[j].release {
+		return h[i].release < h[j].release
+	}
+	return h[i].env.seq < h[j].env.seq
+}
+func (h heldHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *heldHeap) Push(x any)   { *h = append(*h, x.(heldItem)) }
+func (h *heldHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// delayedScheduler realizes fault-plan delays under asynchrony: a message
+// delayed by d is held outside the inner scheduler until d further
+// deliveries have happened, so any later send can overtake it regardless
+// of the inner delivery order. If the inner queue ever empties while
+// messages are still held, the earliest held message is released
+// immediately — a delay reorders, it never deadlocks the execution.
+type delayedScheduler struct {
+	inner Scheduler
+	pops  uint64
+	held  heldHeap
+}
+
+// PushDelayed enqueues an envelope that becomes eligible after d more
+// deliveries.
+func (s *delayedScheduler) PushDelayed(e Envelope, d int) {
+	heap.Push(&s.held, heldItem{env: e, release: s.pops + uint64(d)})
+}
+
+func (s *delayedScheduler) Push(e Envelope) { s.inner.Push(e) }
+
+func (s *delayedScheduler) Len() int { return s.inner.Len() + len(s.held) }
+
+func (s *delayedScheduler) Pop() Envelope {
+	s.pops++
+	for len(s.held) > 0 && s.held[0].release <= s.pops {
+		s.inner.Push(heap.Pop(&s.held).(heldItem).env)
+	}
+	if s.inner.Len() == 0 { // only held messages remain: release the earliest
+		s.inner.Push(heap.Pop(&s.held).(heldItem).env)
+	}
+	return s.inner.Pop()
 }

@@ -1,0 +1,298 @@
+package simnet
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/fastba/fastba/internal/prng"
+)
+
+// This file is the fault-injection fabric: a deterministic, seed-driven
+// description of network and node faults (FaultPlan) and its compiled form
+// (Injector) consulted on the send path of every runtime. The paper's model
+// (§2.1) assumes authenticated *reliable* channels; the fault fabric
+// deliberately steps outside that envelope — message loss, duplication,
+// extra latency, link partitions, node crashes — so the experiment harness
+// can measure where the protocol's guarantees actually bend, and the
+// protocol-invariant oracles can check which ones must never break.
+//
+// Determinism: every per-message verdict is a pure hash of
+// (plan seed, sender, receiver, per-link send index). The deterministic
+// runners (sync, async) therefore reproduce fault schedules bit-for-bit
+// per seed. Under the concurrent runtimes (goroutines, TCP) the per-link
+// send indices follow the real scheduling order, so fault schedules vary
+// between runs there — like the delivery order itself — and only outcome
+// properties are comparable.
+
+// Partition cuts the links between a node set A and the rest of the system
+// for a window of logical time: messages crossing the cut in either
+// direction while the partition is active are dropped. Multiple partitions
+// compose (a message is dropped if any active partition cuts its link).
+type Partition struct {
+	// A is one side of the cut; every node not in A is on the other side.
+	A []NodeID `json:"a"`
+	// From is the first time unit (send-time: round, causal depth, or the
+	// sender's delivery count, depending on the runtime clock) at which the
+	// cut is active.
+	From int `json:"from"`
+	// Until is the heal time: the first time unit at which the cut is no
+	// longer active. Zero means the partition never heals.
+	Until int `json:"until,omitempty"`
+}
+
+// Crash makes a node fail-silent for a window of logical time: while
+// crashed, everything the node sends and everything addressed to it is
+// dropped. The node's in-memory protocol state is preserved across the
+// window, so a recovery models a process restart with state intact
+// (crash-recover), not amnesia.
+type Crash struct {
+	// Node is the crashing node.
+	Node NodeID `json:"node"`
+	// At is the crash time (send-time units, as for Partition.From).
+	At int `json:"at"`
+	// RecoverAt is the recovery time. Zero means the node never recovers.
+	RecoverAt int `json:"recoverAt,omitempty"`
+}
+
+// FaultPlan is a deterministic, seed-driven fault schedule applied on the
+// delivery path of every runtime. The zero value is the fault-free plan.
+//
+// Probabilistic knobs (DropProb, DupProb, DelayProb) are judged per
+// message by hashing (Seed, sender, receiver, per-link send index), so a
+// plan plus a deterministic runner reproduces the exact same schedule on
+// every run. Structural faults (Partitions, Crashes) are windows in
+// logical send time.
+type FaultPlan struct {
+	// Seed keys the per-message fault hashes. Two plans with equal knobs
+	// but different seeds produce different (equally deterministic)
+	// schedules.
+	Seed uint64 `json:"seed,omitempty"`
+	// DropProb is the probability that a message is silently lost.
+	DropProb float64 `json:"dropProb,omitempty"`
+	// DupProb is the probability that a message is delivered twice.
+	DupProb float64 `json:"dupProb,omitempty"`
+	// DelayProb is the probability that a message is delayed; a delayed
+	// message arrives 1..MaxDelay time units late (uniform, deterministic
+	// per message). Under the synchronous runner delay defers delivery by
+	// whole rounds; under the asynchronous runners it additionally holds
+	// the message back so later sends can overtake it (reordering).
+	DelayProb float64 `json:"delayProb,omitempty"`
+	// MaxDelay bounds the extra latency of a delayed message (default 1
+	// when DelayProb > 0).
+	MaxDelay int `json:"maxDelay,omitempty"`
+	// Partitions are link cuts with heal times.
+	Partitions []Partition `json:"partitions,omitempty"`
+	// Crashes are fail-silent node windows.
+	Crashes []Crash `json:"crashes,omitempty"`
+}
+
+// IsZero reports whether the plan injects no faults at all.
+func (p FaultPlan) IsZero() bool {
+	return p.DropProb == 0 && p.DupProb == 0 && p.DelayProb == 0 &&
+		len(p.Partitions) == 0 && len(p.Crashes) == 0
+}
+
+// Lossless reports whether the plan can never destroy a message: only
+// duplication, delay and reordering. Termination oracles are applicable
+// exactly for lossless plans — a lossy network may legitimately starve a
+// node of its poll answers.
+func (p FaultPlan) Lossless() bool {
+	return p.DropProb == 0 && len(p.Partitions) == 0 && len(p.Crashes) == 0
+}
+
+// Validate checks the plan against a system of n nodes.
+func (p FaultPlan) Validate(n int) error {
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{{"DropProb", p.DropProb}, {"DupProb", p.DupProb}, {"DelayProb", p.DelayProb}} {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("simnet: fault plan %s = %v outside [0, 1]", pr.name, pr.v)
+		}
+	}
+	if p.MaxDelay < 0 {
+		return fmt.Errorf("simnet: fault plan MaxDelay = %d negative", p.MaxDelay)
+	}
+	for i, part := range p.Partitions {
+		if len(part.A) == 0 {
+			return fmt.Errorf("simnet: partition %d has an empty side", i)
+		}
+		for _, id := range part.A {
+			if id < 0 || id >= n {
+				return fmt.Errorf("simnet: partition %d contains invalid node %d (n=%d)", i, id, n)
+			}
+		}
+		if part.Until != 0 && part.Until <= part.From {
+			return fmt.Errorf("simnet: partition %d heals at %d, before it forms at %d", i, part.Until, part.From)
+		}
+	}
+	for i, c := range p.Crashes {
+		if c.Node < 0 || c.Node >= n {
+			return fmt.Errorf("simnet: crash %d names invalid node %d (n=%d)", i, c.Node, n)
+		}
+		if c.RecoverAt != 0 && c.RecoverAt <= c.At {
+			return fmt.Errorf("simnet: crash %d recovers at %d, before it crashes at %d", i, c.RecoverAt, c.At)
+		}
+	}
+	return nil
+}
+
+// Label renders a compact human-readable summary of the plan's knobs, used
+// as the default sweep-cell label for unnamed plans.
+func (p FaultPlan) Label() string {
+	if p.IsZero() {
+		return ""
+	}
+	var parts []string
+	if p.DropProb > 0 {
+		parts = append(parts, fmt.Sprintf("drop%.3g", p.DropProb))
+	}
+	if p.DupProb > 0 {
+		parts = append(parts, fmt.Sprintf("dup%.3g", p.DupProb))
+	}
+	if p.DelayProb > 0 {
+		parts = append(parts, fmt.Sprintf("delay%.3g×%d", p.DelayProb, p.maxDelay()))
+	}
+	if len(p.Partitions) > 0 {
+		parts = append(parts, fmt.Sprintf("part%d", len(p.Partitions)))
+	}
+	if len(p.Crashes) > 0 {
+		parts = append(parts, fmt.Sprintf("crash%d", len(p.Crashes)))
+	}
+	return strings.Join(parts, "+")
+}
+
+func (p FaultPlan) maxDelay() int {
+	if p.MaxDelay <= 0 {
+		return 1
+	}
+	return p.MaxDelay
+}
+
+// Verdict is the injector's decision for one message.
+type Verdict struct {
+	// Copies is how many times the message reaches the destination mailbox:
+	// 0 = dropped, 1 = normal, 2 = duplicated.
+	Copies int
+	// Delay is the extra logical latency in time units (0 = on time).
+	Delay int
+}
+
+// Injector is a compiled FaultPlan. It is consulted once per send; apart
+// from per-sender link counters it is stateless, so the same plan yields
+// the same verdict sequence for the same send sequence.
+//
+// Concurrency: Judge mutates only counters[from][·]. Every runtime sends a
+// node's messages from a single goroutine (the event-loop runners are
+// single-threaded; on the Fabric a node's sends happen during sequential
+// Init or on the node's own delivery goroutine), so Judge is safe without
+// locks under the same single-writer discipline as the Fabric's metric
+// shards.
+type Injector struct {
+	plan     FaultPlan
+	maxDelay int
+	// partMask[i] marks side-A membership for partition i, as a bitmask
+	// over node IDs.
+	partMask [][]uint64
+	// crashed[id] holds the crash windows of node id (rarely more than one).
+	crashed  [][]Crash
+	counters [][]uint32 // per-link send index, [from][to]
+}
+
+// NewInjector compiles a plan for a system of n nodes. It panics on
+// invalid plans — callers validate at configuration time.
+func NewInjector(plan FaultPlan, n int) *Injector {
+	if err := plan.Validate(n); err != nil {
+		panic(err)
+	}
+	inj := &Injector{
+		plan:     plan,
+		maxDelay: plan.maxDelay(),
+		crashed:  make([][]Crash, n),
+		counters: make([][]uint32, n),
+	}
+	for i := range inj.counters {
+		inj.counters[i] = make([]uint32, n)
+	}
+	words := (n + 63) / 64
+	for _, part := range plan.Partitions {
+		mask := make([]uint64, words)
+		for _, id := range part.A {
+			mask[id>>6] |= 1 << (id & 63)
+		}
+		inj.partMask = append(inj.partMask, mask)
+	}
+	for _, c := range plan.Crashes {
+		inj.crashed[c.Node] = append(inj.crashed[c.Node], c)
+	}
+	return inj
+}
+
+// windowActive reports whether a [from, until) window (until 0 = forever)
+// contains time t.
+func windowActive(from, until, t int) bool {
+	return t >= from && (until == 0 || t < until)
+}
+
+// CrashedAt reports whether node id is inside a crash window at time t.
+func (inj *Injector) CrashedAt(id NodeID, t int) bool {
+	for _, c := range inj.crashed[id] {
+		if windowActive(c.At, c.RecoverAt, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// cut reports whether any active partition separates from and to at time t.
+func (inj *Injector) cut(from, to NodeID, t int) bool {
+	for i, part := range inj.plan.Partitions {
+		if !windowActive(part.From, part.Until, t) {
+			continue
+		}
+		mask := inj.partMask[i]
+		if (mask[from>>6]>>(uint(from)&63))&1 != (mask[to>>6]>>(uint(to)&63))&1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Judge decides the fate of one message sent at logical time sendTime.
+// Structural faults (crashes, partitions) are checked first; the
+// probabilistic knobs are then resolved from a pure hash of the plan seed
+// and the message's link coordinates. Judge covers the sending side only:
+// every runner additionally consults CrashedAt at delivery time, so a
+// message that arrives (possibly delayed) inside the destination's crash
+// window vanishes at the door — fail-silence covers receipt too.
+func (inj *Injector) Judge(e Envelope, sendTime int) Verdict {
+	if inj.CrashedAt(e.From, sendTime) || inj.CrashedAt(e.To, sendTime) {
+		return Verdict{Copies: 0}
+	}
+	if inj.cut(e.From, e.To, sendTime) {
+		return Verdict{Copies: 0}
+	}
+	v := Verdict{Copies: 1}
+	p := inj.plan
+	if p.DropProb == 0 && p.DupProb == 0 && p.DelayProb == 0 {
+		return v
+	}
+	idx := inj.counters[e.From][e.To]
+	inj.counters[e.From][e.To] = idx + 1
+	h := prng.Hash4(p.Seed, uint64(e.From), uint64(e.To), uint64(idx))
+	if p.DropProb > 0 && unit(h) < p.DropProb {
+		return Verdict{Copies: 0}
+	}
+	h = prng.Mix64(h)
+	if p.DupProb > 0 && unit(h) < p.DupProb {
+		v.Copies = 2
+	}
+	h = prng.Mix64(h)
+	if p.DelayProb > 0 && unit(h) < p.DelayProb {
+		v.Delay = 1 + int(prng.Mix64(h)%uint64(inj.maxDelay))
+	}
+	return v
+}
+
+// unit maps a hash to a uniform float64 in [0, 1).
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }

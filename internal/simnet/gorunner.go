@@ -30,6 +30,12 @@ func NewGo(nodes []Node) *GoRunner {
 // called before Run.
 func (r *GoRunner) Observe(o Observer) { r.f.Observe(o) }
 
+// InjectFaults installs a fault plan on the Fabric's send path. Because
+// the per-link fault counters follow the real goroutine schedule, the
+// fault pattern — like the delivery order — varies between runs; only
+// outcome properties are reproducible. It must be called before Run.
+func (r *GoRunner) InjectFaults(plan FaultPlan) { r.f.SetFaults(plan) }
+
 // Run initializes every node, processes messages until global quiescence,
 // and returns the metrics. Run must be called at most once.
 func (r *GoRunner) Run() *Metrics {

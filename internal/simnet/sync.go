@@ -16,8 +16,10 @@ type SyncRunner struct {
 	metrics  *Metrics
 	observer Observer
 	stop     func() bool
+	inj      *Injector
 
-	pending []Envelope // messages to deliver next round
+	pending []Envelope // messages in flight (due this round or later)
+	due     []Envelope // scratch: the messages due in the current round
 	seq     uint64
 	round   int
 	ctx     *syncCtx // reused across deliveries (contexts are call-scoped)
@@ -49,6 +51,14 @@ func (r *SyncRunner) Observe(o Observer) { r.observer = o }
 // the metrics collected so far. It must be called before Run.
 func (r *SyncRunner) StopWhen(f func() bool) { r.stop = f }
 
+// InjectFaults installs a fault plan, judged at send time: dropped
+// messages are metered as sent but never delivered, duplicated messages
+// are delivered twice, and a delay of d defers delivery by d whole rounds.
+// It must be called before Run.
+func (r *SyncRunner) InjectFaults(plan FaultPlan) {
+	r.inj = NewInjector(plan, len(r.nodes))
+}
+
 // Ticker is implemented by nodes that act on synchronous round boundaries
 // (e.g. committee protocols that tally everything received in a round).
 // The SyncRunner calls OnRoundEnd after all of a round's deliveries, in
@@ -74,7 +84,19 @@ func (c *syncCtx) Send(to NodeID, m Message) {
 	c.r.seq++
 	validateEnvelope(len(c.r.nodes), e)
 	c.r.metrics.recordSend(e)
-	c.r.pending = append(c.r.pending, e)
+	if c.r.inj == nil {
+		c.r.pending = append(c.r.pending, e)
+		return
+	}
+	v := c.r.inj.Judge(e, c.now)
+	e.Depth += v.Delay
+	for i := 0; i < v.Copies; i++ {
+		if i > 0 { // duplicates carry their own sequence number
+			e.seq = c.r.seq
+			c.r.seq++
+		}
+		c.r.pending = append(c.r.pending, e)
+	}
 }
 
 // Run initializes every node and then executes rounds until either no
@@ -117,11 +139,28 @@ func (r *SyncRunner) initNodes() {
 	}
 }
 
-// step delivers the pending messages of the previous round and collects the
-// sends of the current one.
+// step delivers the pending messages due this round and collects the
+// sends of the current one. With a fault plan installed, delayed messages
+// (Depth beyond the current round) stay in flight until their round comes.
 func (r *SyncRunner) step() {
-	toDeliver := r.pending
-	r.pending = nil
+	var toDeliver []Envelope
+	if r.inj == nil {
+		toDeliver = r.pending
+		r.pending = nil
+	} else {
+		toDeliver = r.due[:0]
+		keep := r.pending[:0]
+		for _, e := range r.pending {
+			if e.Depth <= r.round {
+				toDeliver = append(toDeliver, e)
+			} else {
+				keep = append(keep, e)
+			}
+		}
+		r.due = toDeliver
+		r.pending = keep
+	}
+	carried := len(r.pending) // in-flight delayed messages are not this round's sends
 
 	// Deliver to correct nodes first and track what they send this round.
 	for _, e := range toDeliver {
@@ -129,7 +168,7 @@ func (r *SyncRunner) step() {
 			r.deliver(e)
 		}
 	}
-	correctSends := append([]Envelope(nil), r.pending...)
+	correctSends := append([]Envelope(nil), r.pending[carried:]...)
 
 	// Then Byzantine nodes receive their messages and, if rushing, observe
 	// the correct nodes' round traffic before sending.
@@ -156,6 +195,13 @@ func (r *SyncRunner) step() {
 }
 
 func (r *SyncRunner) deliver(e Envelope) {
+	// Fail-silence covers receipt, not only transmission: a message
+	// arriving while its destination is inside a crash window vanishes at
+	// the door (in-flight sends do not survive into a crash, and delayed
+	// messages cannot land on a crashed node).
+	if r.inj != nil && r.inj.CrashedAt(e.To, r.round) {
+		return
+	}
 	// Depth is re-stamped to the actual delivery round: messages injected
 	// by a Rusher were created with the same round number as regular sends
 	// but all arrive in the next round.

@@ -157,6 +157,12 @@ type Fabric struct {
 	// from a Byzantine strategy is protocol traffic to tolerate, not a
 	// simulator programming error.
 	lenient bool
+	// faults, when set, is judged on every send: dropped messages are
+	// metered as sent but never reach the transport; duplicates are sent
+	// twice; delays inflate the envelope's causal depth. The per-link
+	// counters inside follow real scheduling order, so fault schedules on
+	// the concurrent runtimes vary between runs like delivery order does.
+	faults *Injector
 
 	inflight atomic.Int64
 	obsSeq   atomic.Uint64
@@ -195,6 +201,12 @@ func (f *Fabric) SetTransport(t Transport) { f.transport = t }
 // silently dropped instead of a panic. It must be called before Start.
 func (f *Fabric) SetLenientSends(on bool) { f.lenient = on }
 
+// SetFaults installs a fault plan on the send path. It must be called
+// before Start.
+func (f *Fabric) SetFaults(plan FaultPlan) {
+	f.faults = NewInjector(plan, len(f.nodes))
+}
+
 // Observe registers an observer. Delivered envelopes are buffered per
 // shard and fanned into the observer — in a single globally ordered pass —
 // when the fabric stops: the delivery path stays lock-free, at the cost of
@@ -228,6 +240,13 @@ func (f *Fabric) Start() {
 		go f.nodeLoop(id)
 	}
 }
+
+// Quiesced reports whether no tracked message is currently in flight.
+// Unlike a transient empty-queue observation, a zero in-flight count is
+// final: no further message can ever be created once it is reached, so a
+// true return means the execution is over. Useful as a stop predicate for
+// lossy fault plans, where "all nodes decided" may never come true.
+func (f *Fabric) Quiesced() bool { return f.inflight.Load() == 0 }
 
 // AwaitQuiescence blocks until no tracked messages are in flight, or until
 // the timeout elapses (timeout 0 = wait forever). It reports whether
@@ -316,10 +335,19 @@ func (f *Fabric) nodeLoop(id NodeID) {
 			return
 		}
 		for _, e := range batch {
-			sh.delivered++
 			now := e.Depth
 			if f.clock == CounterClock {
-				now = int(sh.delivered)
+				now = int(sh.delivered) + 1
+			}
+			// Receive-side crash check: a message arriving while this node
+			// is inside a crash window vanishes at the door, unhandled and
+			// unmetered (it still decrements the in-flight counter with its
+			// batch below, so quiescence accounting stays exact).
+			if f.faults != nil && f.faults.CrashedAt(id, now) {
+				continue
+			}
+			sh.delivered++
+			if f.clock == CounterClock {
 				e.Depth = now // stamp observers with the per-node clock
 			}
 			if now > sh.maxDepth {
@@ -367,10 +395,18 @@ func (c *fabricCtx) Send(to NodeID, m Message) {
 	sh.nm.SentMsgs++
 	sh.nm.SentBytes += int64(m.WireSize() + envelopeOverhead)
 	sh.byKind[m.Kind()]++
-	if c.f.track {
-		c.f.inflight.Add(1)
+	copies := 1
+	if c.f.faults != nil {
+		v := c.f.faults.Judge(e, c.now)
+		copies = v.Copies
+		e.Depth += v.Delay
 	}
-	if !c.f.transport.Send(e) && c.f.track {
-		c.f.inflight.Add(-1)
+	for i := 0; i < copies; i++ {
+		if c.f.track {
+			c.f.inflight.Add(1)
+		}
+		if !c.f.transport.Send(e) && c.f.track {
+			c.f.inflight.Add(-1)
+		}
 	}
 }

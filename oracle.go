@@ -1,0 +1,234 @@
+package fastba
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Protocol-invariant oracles. Each oracle states one guarantee the paper
+// proves about AER and checks it on a finished run; together they separate
+// "the network was hostile" from "the protocol is broken". Safety oracles
+// (agreement, validity, certificates, single-decision) are checked under
+// EVERY fault plan — no schedule of drops, duplicates, delays, partitions
+// or crashes excuses a safety violation, because a correct node only
+// decides on a strict answer majority of its authoritative poll list
+// (Algorithm 1) and faults can only remove or repeat messages, never forge
+// them. The termination oracle is different: it restates Lemmas 9/10,
+// which assume reliable channels, so it applies only to lossless plans
+// (delay, duplication and reordering — no drops, partitions or crashes).
+const (
+	// OracleAgreement: no two correct nodes decide different values
+	// (Lemma 7 / the Agreement property of §2.1).
+	OracleAgreement = "agreement"
+	// OracleValidity: a correct node only ever decides gstring. Sound
+	// when the almost-everywhere precondition holds (≥ 3/4 of correct
+	// nodes start knowing gstring, §3.1); skipped below it, where a junk
+	// majority is legitimately possible.
+	OracleValidity = "validity"
+	// OracleCertificates: every decision is backed by a re-derived quorum
+	// certificate — a strict majority of the decider's authoritative poll
+	// list J(x, r) recorded as answerers (Node.DecisionCert re-validates
+	// membership against the shared sampler, independently of the
+	// delivery-path checks).
+	OracleCertificates = "certificates"
+	// OracleSingleDecision: the decision-event stream is consistent with
+	// the end state — at most one decision event per node (decisions are
+	// irrevocable), never more event-emitting nodes than final deciders,
+	// and, once any decision is streamed, no decider missing from the
+	// stream. Needs the Oracles' Observer attached; simulation runtimes
+	// only (TCP runs stream deliveries but no decision events).
+	OracleSingleDecision = "single-decision"
+	// OracleTermination: every correct node decides. Applies only to
+	// lossless fault plans; under lossy plans it is reported as skipped.
+	// (No separate round-bound check: the synchronous runner caps
+	// execution at MaxRounds by construction, so full decision within the
+	// run is the bound.)
+	OracleTermination = "termination"
+)
+
+// Violation is one oracle finding on one run.
+type Violation struct {
+	// Oracle is the violated invariant's name (the Oracle* constants).
+	Oracle string `json:"oracle"`
+	// Detail describes the concrete violation.
+	Detail string `json:"detail"`
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string { return v.Oracle + ": " + v.Detail }
+
+// OracleReport is the verdict of all oracles on one run.
+type OracleReport struct {
+	// Checked lists the oracles that were evaluated, sorted.
+	Checked []string `json:"checked"`
+	// Skipped maps each non-applicable oracle to the reason it was not
+	// evaluated (e.g. termination under a lossy plan).
+	Skipped map[string]string `json:"skipped,omitempty"`
+	// Violations holds the findings; empty means every checked invariant
+	// held.
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// OK reports whether every checked invariant held.
+func (r OracleReport) OK() bool { return len(r.Violations) == 0 }
+
+// Strings renders the violations as "oracle: detail" lines.
+func (r OracleReport) Strings() []string {
+	out := make([]string, len(r.Violations))
+	for i, v := range r.Violations {
+		out[i] = v.String()
+	}
+	return out
+}
+
+// String summarizes the report on one line.
+func (r OracleReport) String() string {
+	if r.OK() {
+		return fmt.Sprintf("ok (%s)", strings.Join(r.Checked, ", "))
+	}
+	return strings.Join(r.Strings(), "; ")
+}
+
+// Oracles checks the protocol invariants on one run. Build one per run
+// with NewOracles, optionally attach its Observer (through WithObserver)
+// to stream-check decision events mid-run, and call Report with the run's
+// result to obtain the verdict.
+//
+// The stream hook and the final check are complementary: the observer
+// sees the execution as it happened, and Report cross-checks the two
+// views (a node emitting two decision events, decision events for nodes
+// the end state says never decided, deciders the stream lost) besides
+// re-deriving the end-state invariants from node state — so oracles
+// remain fully usable without an observer, which is how RunSuite applies
+// them to every sweep cell.
+type Oracles struct {
+	n        int
+	knowFrac float64
+	plan     FaultPlan
+	// suiteMode skips the termination oracle: sweeps report liveness as
+	// the cell's agreement rate (termination is a w.h.p. guarantee, not a
+	// per-seed one), so only safety findings count as violations there.
+	suiteMode bool
+	// attached records that the stream hook was handed out, so Report can
+	// distinguish "no observer" from "observer saw no decisions".
+	attached bool
+
+	mu        sync.Mutex
+	decisions map[NodeID]int
+	streamed  []Violation
+}
+
+// NewOracles builds the oracle set for one run of the given configuration.
+func NewOracles(cfg Config) *Oracles {
+	return &Oracles{
+		n:         cfg.n,
+		knowFrac:  cfg.knowFrac,
+		plan:      cfg.faults,
+		decisions: make(map[NodeID]int),
+	}
+}
+
+// aePrecondition reports whether the almost-everywhere precondition of
+// §3.1 holds: at least 3/4 of correct nodes start out knowing gstring.
+func (o *Oracles) aePrecondition() bool { return o.knowFrac >= 0.75 }
+
+// Observer returns the stream hook: it watches EventDecision events and
+// records single-decision violations live. Attach it with WithObserver;
+// it is safe for the concurrent runtimes (which fan buffered events in at
+// quiescence).
+func (o *Oracles) Observer() Observer {
+	o.attached = true
+	return func(ev Event) {
+		if ev.Type != EventDecision {
+			return
+		}
+		o.mu.Lock()
+		o.decisions[ev.To]++
+		if n := o.decisions[ev.To]; n == 2 { // report once per node
+			o.streamed = append(o.streamed, Violation{
+				Oracle: OracleSingleDecision,
+				Detail: fmt.Sprintf("node %d emitted a second decision event at time %d", ev.To, ev.Time),
+			})
+		}
+		o.mu.Unlock()
+	}
+}
+
+// Report evaluates every applicable oracle against the finished run and
+// any stream observations, and returns the verdict.
+func (o *Oracles) Report(res *AERResult) OracleReport {
+	rep := OracleReport{Skipped: map[string]string{}}
+	checked := map[string]bool{}
+	check := func(name string, violated bool, detail string, args ...any) {
+		checked[name] = true
+		if violated {
+			rep.Violations = append(rep.Violations, Violation{Oracle: name, Detail: fmt.Sprintf(detail, args...)})
+		}
+	}
+
+	check(OracleAgreement, res.DistinctDecisions > 1,
+		"%d distinct values decided by correct nodes (%d on gstring, %d on other values)",
+		res.DistinctDecisions, res.DecidedGString, res.DecidedOther)
+
+	if o.aePrecondition() {
+		check(OracleValidity, res.DecidedOther > 0,
+			"%d correct nodes decided a non-gstring value despite the a.e. precondition (knowFrac=%.2f)",
+			res.DecidedOther, o.knowFrac)
+	} else {
+		rep.Skipped[OracleValidity] = fmt.Sprintf("knowFrac %.2f below the 3/4 a.e. precondition", o.knowFrac)
+	}
+
+	check(OracleCertificates, res.CertDeficits > 0,
+		"%d deciders hold no strict poll-list majority certificate for their decision",
+		res.CertDeficits)
+
+	o.mu.Lock()
+	streamed := append([]Violation(nil), o.streamed...)
+	deciders := len(o.decisions)
+	o.mu.Unlock()
+	if o.attached {
+		checked[OracleSingleDecision] = true
+		rep.Violations = append(rep.Violations, streamed...)
+		// Stream/state consistency. More event-emitting nodes than final
+		// deciders is always wrong. Fewer is only judged when the stream
+		// carried at least one decision: a transport that never emits
+		// decision events (TCP) must not be misread as losing them.
+		if deciders > res.Decided {
+			check(OracleSingleDecision, true,
+				"decision events for %d nodes but the end state records only %d deciders", deciders, res.Decided)
+		} else if deciders > 0 && deciders < res.Decided {
+			check(OracleSingleDecision, true,
+				"only %d of %d deciders emitted a decision event — the stream lost decisions", deciders, res.Decided)
+		}
+	} else {
+		rep.Skipped[OracleSingleDecision] = "no observer attached (stream oracle needs WithObserver)"
+	}
+
+	if o.suiteMode {
+		rep.Skipped[OracleTermination] = "suite mode: liveness is reported as the cell's agreement rate"
+	} else if !o.plan.Lossless() {
+		rep.Skipped[OracleTermination] = "fault plan can destroy messages (drops, partitions or crashes)"
+	} else {
+		check(OracleTermination, res.Decided < res.Correct,
+			"%d of %d correct nodes never decided under a lossless plan",
+			res.Correct-res.Decided, res.Correct)
+	}
+
+	for name := range checked {
+		rep.Checked = append(rep.Checked, name)
+	}
+	sort.Strings(rep.Checked)
+	if len(rep.Skipped) == 0 {
+		rep.Skipped = nil
+	}
+	return rep
+}
+
+// CheckInvariants runs the end-state oracles on a finished run without a
+// stream hook: the one-call form used by RunSuite (Suite.CheckOracles)
+// and the scenario fuzzer's corpus replays.
+func CheckInvariants(cfg Config, res *AERResult) OracleReport {
+	return NewOracles(cfg).Report(res)
+}

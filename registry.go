@@ -160,6 +160,47 @@ func CornerStrategy(rushing bool) AdversaryMaker {
 	return builtinMaker(adversary.Corner{Rushing: rushing})
 }
 
+// SilencedStrategy wraps any Byzantine strategy so its nodes fall silent
+// from logical time `after` on: deliveries are still consumed (the
+// adversary keeps observing the network) but nothing is sent anymore —
+// Byzantine fail-silence mid-protocol, the attack shape where a node
+// first does damage and then withholds the cooperation the protocol may
+// be counting on (e.g. poll answers it is the recorded answerer for).
+// Rushing behaviours of the inner strategy degrade to their non-rushing
+// form. The built-ins "flood-then-silent" and "equivocate-then-silent"
+// are registered through this combinator.
+func SilencedStrategy(inner AdversaryMaker, after int) AdversaryMaker {
+	return func(env AdversaryEnv, id int) ProtocolNode {
+		return &silencedNode{inner: inner(env, id), after: after}
+	}
+}
+
+type silencedNode struct {
+	inner ProtocolNode
+	after int
+}
+
+func (s *silencedNode) Init(ctx NodeContext) {
+	s.inner.Init(&mutedCtx{NodeContext: ctx, after: s.after})
+}
+
+func (s *silencedNode) Deliver(ctx NodeContext, from NodeID, m Message) {
+	s.inner.Deliver(&mutedCtx{NodeContext: ctx, after: s.after}, from, m)
+}
+
+// mutedCtx swallows sends once the silence window opens; Now and any
+// other context behaviour pass through.
+type mutedCtx struct {
+	NodeContext
+	after int
+}
+
+func (c *mutedCtx) Send(to NodeID, m Message) {
+	if c.Now() < c.after {
+		c.NodeContext.Send(to, m)
+	}
+}
+
 func mustRegister(name string, maker AdversaryMaker) {
 	if err := RegisterAdversary(name, maker); err != nil {
 		panic(err)
@@ -173,6 +214,12 @@ func init() {
 	mustRegister(AdversaryEquivocate.String(), builtinMaker(adversary.Equivocate{}))
 	mustRegister(AdversaryCorner.String(), CornerStrategy(false))
 	mustRegister(AdversaryCornerRushing.String(), CornerStrategy(true))
+	// Fault-flavoured Byzantine behaviours for hostile-network testing:
+	// do damage early (bogus pushes, equivocation), then withhold all
+	// cooperation from time 2 on — past the push phase, before most polls
+	// resolve.
+	mustRegister("flood-then-silent", SilencedStrategy(builtinMaker(adversary.Flood{}), 2))
+	mustRegister("equivocate-then-silent", SilencedStrategy(builtinMaker(adversary.Equivocate{}), 2))
 }
 
 // newAdversaryEnv builds the public view over a scenario.

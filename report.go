@@ -44,6 +44,9 @@ type CellReport struct {
 	// ValidityViolations counts runs in which any correct node decided a
 	// non-gstring value (must stay 0 — Lemma 7).
 	ValidityViolations int `json:"validityViolations"`
+	// OracleViolations counts runs with at least one invariant-oracle
+	// finding (populated when Suite.CheckOracles is set; must stay 0).
+	OracleViolations int `json:"oracleViolations,omitempty"`
 	// WorstDecidedFrac is the minimum over runs of the fraction of
 	// correct nodes deciding gstring (0 on a validity violation).
 	WorstDecidedFrac float64 `json:"worstDecidedFrac"`
@@ -103,6 +106,9 @@ func aggregate(s Suite, runs []plannedRun, records []RunRecord) *Report {
 			}
 			if rec.DecidedOther > 0 {
 				cr.ValidityViolations++
+			}
+			if len(rec.OracleViolations) > 0 {
+				cr.OracleViolations++
 			}
 			if f := rec.DecidedFrac(); f < cr.WorstDecidedFrac {
 				cr.WorstDecidedFrac = f
@@ -173,7 +179,7 @@ func (r *Report) Render(w io.Writer) {
 	}
 	tb := metrics.NewTable(
 		fmt.Sprintf("%s (%s)", title, r.Kind),
-		"n", "model", "adversary", "corrupt", "know", "variant", "runs", "agree",
+		"n", "model", "adversary", "corrupt", "know", "fault", "variant", "runs", "agree",
 		timeCol, "bits/node μ", "max bits/node", "max/μ")
 	for _, c := range r.Cells {
 		ratio := "-"
@@ -184,10 +190,13 @@ func (r *Report) Render(w io.Writer) {
 		if c.Failures > 0 {
 			agree += fmt.Sprintf(" (%d err)", c.Failures)
 		}
+		if c.OracleViolations > 0 {
+			agree += fmt.Sprintf(" (%d VIOL)", c.OracleViolations)
+		}
 		tb.Add(
 			fmt.Sprint(c.Cell.N), c.Cell.Model, c.Cell.Adversary,
 			fmt.Sprintf("%.2f", c.Cell.CorruptFrac), fmt.Sprintf("%.2f", c.Cell.KnowFrac),
-			c.Cell.Variant, fmt.Sprint(c.Runs), agree,
+			c.Cell.Fault, c.Cell.Variant, fmt.Sprint(c.Runs), agree,
 			fmt.Sprintf("%.0f/%.0f", c.Time.Mean, c.Time.Max),
 			metrics.Bits(c.MeanBits.Mean), metrics.Bits(c.MaxBits.Mean), ratio)
 	}

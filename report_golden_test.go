@@ -9,18 +9,19 @@ import (
 	"testing"
 )
 
-var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files instead of comparing")
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files instead of comparing")
 
 // TestReportGolden locks the byte-level determinism of seeded sweeps: the
 // same Suite must produce a byte-identical JSON Report across runs, Go
-// versions and — most importantly — runtime refactors. The golden file was
-// captured before the allocation-lean runtime-core refactor (interned
-// candidate state, sharded Fabric) and doubles as the acceptance proof
-// that the refactor is behavior-preserving.
+// versions and — most importantly — runtime refactors. (The pre-refactor
+// capture of this file was the acceptance proof that the allocation-lean
+// runtime-core refactor was behavior-preserving; it was regenerated when
+// RunRecord gained the oracle fields, with determinism re-verified across
+// repeated runs.)
 //
-// Regenerate (only after an intentional semantic change) with:
+// Regenerate (only after an intentional semantic or schema change) with:
 //
-//	go test -run TestReportGolden -update-golden .
+//	go test -run TestReportGolden -update .
 func TestReportGolden(t *testing.T) {
 	rep, err := RunSuite(context.Background(), Suite{
 		Name: "golden",
@@ -52,6 +53,6 @@ func TestReportGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got.Bytes(), want) {
-		t.Fatalf("seeded sweep Report diverged from %s (run with -update-golden after an intentional change);\n got %d bytes, want %d", path, got.Len(), len(want))
+		t.Fatalf("seeded sweep Report diverged from %s (run with -update after an intentional change);\n got %d bytes, want %d", path, got.Len(), len(want))
 	}
 }

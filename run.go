@@ -49,6 +49,14 @@ type AERResult struct {
 	// CandidateCoverage is the fraction of correct nodes whose candidate
 	// list contains gstring at the end of the run (the Lemma 5 probe).
 	CandidateCoverage float64
+	// DistinctDecisions counts the distinct values decided by correct
+	// nodes — the agreement oracle's input (> 1 is an agreement
+	// violation; 0 means nobody decided).
+	DistinctDecisions int
+	// CertDeficits counts deciders whose re-derived quorum certificate
+	// falls short of the strict poll-list majority — the certificate
+	// oracle's input (must stay 0 under every fault schedule).
+	CertDeficits int
 }
 
 // RunAER executes the core protocol on a synthetic almost-everywhere
@@ -114,17 +122,26 @@ func execute(ctx context.Context, cfg Config, nodes []simnet.Node, corrupt []boo
 		r := simnet.NewSync(nodes, corrupt)
 		r.Observe(obs)
 		r.StopWhen(stop)
+		if !cfg.faults.IsZero() {
+			r.InjectFaults(cfg.faults)
+		}
 		m = r.Run(cfg.maxRounds)
 	case Async, AsyncAdversarial:
 		r := simnet.NewAsync(nodes, asyncScheduler(cfg, corrupt))
 		r.Observe(obs)
 		r.StopWhen(stop)
+		if !cfg.faults.IsZero() {
+			r.InjectFaults(cfg.faults)
+		}
 		m = r.Run()
 	case Goroutines:
 		// The goroutine runner has no safe preemption point; it runs to
 		// quiescence and cancellation is honoured on return.
 		r := simnet.NewGo(nodes)
 		r.Observe(obs)
+		if !cfg.faults.IsZero() {
+			r.InjectFaults(cfg.faults)
+		}
 		m = r.Run()
 	default:
 		return nil, fmt.Errorf("fastba: unknown model %v", cfg.model)
@@ -193,19 +210,21 @@ func streamObserver(cfg Config, correct []*core.Node) simnet.Observer {
 func summarize(sc *core.Scenario, correct []*core.Node, m *simnet.Metrics) *AERResult {
 	o := core.Evaluate(correct, sc.GString)
 	res := &AERResult{
-		Agreement:       o.Agreement(),
-		GString:         hex.EncodeToString(sc.GString.Bytes()),
-		Correct:         o.Correct,
-		Decided:         o.Decided,
-		DecidedGString:  o.DecidedG,
-		DecidedOther:    o.DecidedOther,
-		Time:            m.Rounds,
-		LastDecision:    o.MaxDecisionAt,
-		MeanBitsPerNode: m.MeanSentBits(),
-		MaxBitsPerNode:  m.MaxSentBits(),
-		TotalMessages:   m.Delivered,
-		MessagesByKind:  m.ByKind,
-		SumCandidates:   o.SumCandidates,
+		Agreement:         o.Agreement(),
+		GString:           hex.EncodeToString(sc.GString.Bytes()),
+		Correct:           o.Correct,
+		Decided:           o.Decided,
+		DecidedGString:    o.DecidedG,
+		DecidedOther:      o.DecidedOther,
+		Time:              m.Rounds,
+		LastDecision:      o.MaxDecisionAt,
+		MeanBitsPerNode:   m.MeanSentBits(),
+		MaxBitsPerNode:    m.MaxSentBits(),
+		TotalMessages:     m.Delivered,
+		MessagesByKind:    m.ByKind,
+		SumCandidates:     o.SumCandidates,
+		DistinctDecisions: o.DistinctDecisions,
+		CertDeficits:      o.CertDeficits,
 	}
 	var pushes, covered float64
 	for _, n := range correct {

@@ -32,8 +32,16 @@ type TCPResult struct {
 	// Wall is the elapsed wall-clock time until completion (or timeout).
 	Wall time.Duration
 	// TimedOut reports that not every correct node decided within the
-	// timeout; the remaining fields describe the partial outcome.
+	// timeout; the remaining fields describe the partial outcome. With a
+	// lossy fault plan installed the run instead ends at network
+	// quiescence (no surviving message unhandled), so a partial outcome
+	// without TimedOut means the plan destroyed liveness — the expected
+	// hostile-network shape, which the safety oracles still police.
 	TimedOut bool
+	// DistinctDecisions / CertDeficits are the oracle inputs (see
+	// AERResult).
+	DistinctDecisions int
+	CertDeficits      int
 }
 
 // RunTCP executes the same AER nodes a RunAER call with this configuration
@@ -73,6 +81,9 @@ func RunTCP(ctx context.Context, cfg Config, timeout time.Duration) (*TCPResult,
 		return nil, err
 	}
 	defer cluster.Close()
+	if !cfg.faults.IsZero() {
+		cluster.InjectFaults(cfg.faults)
+	}
 	if cfg.observer != nil {
 		observer := cfg.observer
 		cluster.Observe(func(e simnet.Envelope) {
@@ -97,7 +108,14 @@ func RunTCP(ctx context.Context, cfg Config, timeout time.Duration) (*TCPResult,
 		}
 		return true
 	}
-	runErr := cluster.RunUntil(ctx, allDecided, timeout)
+	// Under a plan that can destroy messages, "all correct nodes decided"
+	// may never come true; network quiescence is then the other legitimate
+	// end of the run (every surviving message handled, nothing in flight).
+	stop := allDecided
+	if !cfg.faults.Lossless() {
+		stop = func() bool { return allDecided() || cluster.Quiesced() }
+	}
+	runErr := cluster.RunUntil(ctx, stop, timeout)
 	if ctx.Err() != nil {
 		return nil, ctx.Err()
 	}
@@ -119,6 +137,9 @@ func RunTCP(ctx context.Context, cfg Config, timeout time.Duration) (*TCPResult,
 		LastDecision:   o.MaxDecisionAt,
 		Wall:           wall,
 		TimedOut:       runErr != nil,
+
+		DistinctDecisions: o.DistinctDecisions,
+		CertDeficits:      o.CertDeficits,
 	}
 	var total int64
 	for _, b := range cluster.SentBytes() {

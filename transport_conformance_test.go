@@ -162,6 +162,154 @@ func TestTransportConformance(t *testing.T) {
 	}
 }
 
+// TestTransportConformanceFaults extends the conformance suite to hostile
+// networks: fixed FaultPlan seeds run on every runtime.
+//
+// Lossless plans (duplication + delay/reorder) preserve the monotone-send
+// argument — every message still arrives eventually, duplicates are
+// deduplicated by per-sender state — so all five runtimes must reach the
+// identical full-agreement decision set, even though each runtime
+// realizes a different concrete fault schedule (per-link send indices
+// follow its own delivery order).
+//
+// Lossy plans (drops, partitions, crashes) legitimately produce different
+// decision subsets per runtime; what must coincide everywhere is the
+// oracle verdict: safety (agreement, validity, certificates) clean on
+// every runtime.
+func TestTransportConformanceFaults(t *testing.T) {
+	const n, seed = 24, 11
+
+	type runtimeCase struct {
+		name string
+		run  func(t *testing.T, sc *core.Scenario, plan simnet.FaultPlan) (*core.Scenario, []*core.Node)
+	}
+	cases := []runtimeCase{
+		{"sync", func(t *testing.T, sc *core.Scenario, plan simnet.FaultPlan) (*core.Scenario, []*core.Node) {
+			nodes, correct := sc.Build(nil)
+			r := simnet.NewSync(nodes, sc.Corrupt)
+			r.InjectFaults(plan)
+			r.Run(200)
+			return sc, correct
+		}},
+		{"async-fifo", func(t *testing.T, sc *core.Scenario, plan simnet.FaultPlan) (*core.Scenario, []*core.Node) {
+			nodes, correct := sc.Build(nil)
+			r := simnet.NewAsync(nodes, simnet.NewFIFO())
+			r.InjectFaults(plan)
+			r.Run()
+			return sc, correct
+		}},
+		{"async-random", func(t *testing.T, sc *core.Scenario, plan simnet.FaultPlan) (*core.Scenario, []*core.Node) {
+			nodes, correct := sc.Build(nil)
+			r := simnet.NewAsync(nodes, simnet.NewRandom(99))
+			r.InjectFaults(plan)
+			r.Run()
+			return sc, correct
+		}},
+		{"goroutines", func(t *testing.T, sc *core.Scenario, plan simnet.FaultPlan) (*core.Scenario, []*core.Node) {
+			nodes, correct := sc.Build(nil)
+			r := simnet.NewGo(nodes)
+			r.InjectFaults(plan)
+			r.Run()
+			return sc, correct
+		}},
+		{"tcp-cluster", func(t *testing.T, sc *core.Scenario, plan simnet.FaultPlan) (*core.Scenario, []*core.Node) {
+			nodes, correct := sc.Build(nil)
+			cluster, err := netrun.New(nodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cluster.Close()
+			cluster.InjectFaults(plan)
+			cluster.Start()
+			// "All decided" may never come true on a lossy network;
+			// quiescence is the other legitimate end of the run.
+			if !cluster.AwaitQuiescence(60 * time.Second) {
+				t.Fatal("TCP cluster did not quiesce under faults")
+			}
+			cluster.Close()
+			return sc, correct
+		}},
+	}
+
+	// safetyVerdict distills the cross-runtime comparable oracle verdict.
+	safetyVerdict := func(sc *core.Scenario, correct []*core.Node) string {
+		o := core.Evaluate(correct, sc.GString)
+		switch {
+		case o.DistinctDecisions > 1:
+			return "agreement-violated"
+		case o.DecidedOther > 0:
+			return "validity-violated"
+		case o.CertDeficits > 0:
+			return "certificates-violated"
+		default:
+			return "safe"
+		}
+	}
+
+	t.Run("lossless-identical-decisions", func(t *testing.T) {
+		plan := simnet.FaultPlan{Seed: 3, DupProb: 0.25, DelayProb: 0.3, MaxDelay: 3}
+		for _, tc := range cases {
+			tc := tc
+			t.Run(tc.name, func(t *testing.T) {
+				sc, correct := tc.run(t, conformanceScenario(t, n, seed), plan)
+				o := core.Evaluate(correct, sc.GString)
+				if o.DecidedG != o.Correct || o.Correct != n {
+					t.Fatalf("%s under lossless faults: %d/%d decided gstring (want all %d)",
+						tc.name, o.DecidedG, o.Correct, n)
+				}
+				if v := safetyVerdict(sc, correct); v != "safe" {
+					t.Fatalf("%s under lossless faults: %s", tc.name, v)
+				}
+			})
+		}
+	})
+
+	t.Run("lossy-identical-verdicts", func(t *testing.T) {
+		plans := []simnet.FaultPlan{
+			{Seed: 5, DropProb: 0.15, Partitions: []simnet.Partition{{A: []simnet.NodeID{0, 1, 2, 3}, From: 2, Until: 6}}},
+			{Seed: 9, DropProb: 0.1, Crashes: []simnet.Crash{{Node: 1, At: 0}, {Node: 2, At: 3, RecoverAt: 8}}},
+		}
+		for pi, plan := range plans {
+			for _, tc := range cases {
+				tc, plan := tc, plan
+				t.Run(fmt.Sprintf("plan%d-%s", pi, tc.name), func(t *testing.T) {
+					sc, correct := tc.run(t, conformanceScenario(t, n, seed), plan)
+					if v := safetyVerdict(sc, correct); v != "safe" {
+						t.Fatalf("%s under lossy plan %d: %s", tc.name, pi, v)
+					}
+				})
+			}
+		}
+	})
+
+	// The public entry point agrees: RunTCP with a lossless plan decides
+	// everywhere; with a lossy plan it ends at quiescence with clean
+	// safety verdicts.
+	t.Run("run-tcp", func(t *testing.T) {
+		lossless := NewConfig(16, WithSeed(11), WithAdversary(AdversaryNone), WithKnowFrac(1),
+			WithFaults(FaultPlan{Seed: 3, DupProb: 0.25, DelayProb: 0.3, MaxDelay: 3}))
+		res, err := RunTCP(context.Background(), lossless, 60*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TimedOut || !res.Agreement || res.DistinctDecisions != 1 || res.CertDeficits != 0 {
+			t.Fatalf("lossless TCP run: %+v", res)
+		}
+		lossy := NewConfig(16, WithSeed(11), WithAdversary(AdversaryNone), WithKnowFrac(1),
+			WithFaults(FaultPlan{Seed: 5, DropProb: 0.2}))
+		res, err = RunTCP(context.Background(), lossy, 60*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TimedOut {
+			t.Fatalf("lossy TCP run should end at quiescence, not timeout: %+v", res)
+		}
+		if res.DistinctDecisions > 1 || res.DecidedOther > 0 || res.CertDeficits > 0 {
+			t.Fatalf("lossy TCP run broke safety: %+v", res)
+		}
+	})
+}
+
 // TestTransportConformanceRunTCP closes the loop at the public API: RunTCP
 // executes the same configuration RunAER simulates, over real sockets, and
 // must reach the same decisions with a meaningful decision time.
