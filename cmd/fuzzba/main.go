@@ -49,6 +49,7 @@ func run(args []string) (int, error) {
 		ns       = fs.String("n", "", "comma-separated candidate system sizes (default 16,24,32)")
 		models   = fs.String("models", "", "comma-separated candidate models (default all deterministic models)")
 		advs     = fs.String("adversaries", "", "comma-separated adversary registry names (default built-ins)")
+		logFrac  = fs.Float64("logfrac", 0, "fraction of campaign cases drawn from the pipelined decision-log family (0 = off)")
 		out      = fs.String("out", "", "directory receiving shrunk JSON reproducers for failing cases")
 		selftest = fs.Bool("selftest", false, "also run a deliberately broken quorum threshold and require the agreement oracle to catch it")
 		verbose  = fs.Bool("v", false, "log every executed case")
@@ -79,6 +80,7 @@ func run(args []string) (int, error) {
 			Runs:       *runs,
 			Budget:     *budget,
 			PersistDir: *out,
+			LogFrac:    *logFrac,
 		}
 		var err error
 		if fc.Ns, err = parseInts(*ns); err != nil {

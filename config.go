@@ -49,6 +49,7 @@ package fastba
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/fastba/fastba/internal/core"
 )
@@ -163,6 +164,18 @@ type Config struct {
 	schedMaker  SchedulerMaker
 	observer    Observer
 	faults      FaultPlan
+
+	// Decision-log knobs (log.go) and the load-harness workload (load.go).
+	logRuntime    LogRuntime
+	logDepth      int
+	logBatch      int
+	logLinger     time.Duration
+	logCommitFrac float64
+	logTimeout    time.Duration
+	// logNaive disables per-instance node recycling — the naive-rebuild
+	// arm of BenchmarkLogInstanceReuse (no public option on purpose).
+	logNaive bool
+	workload Workload
 }
 
 // Option customizes a Config (functional options).

@@ -43,6 +43,10 @@ type Sweep struct {
 	// identically-labeled distinct plans are disambiguated by position.
 	// The zero plan labels as "none".
 	Faults []FaultPlan
+	// Workloads sweeps sustained-load shapes (KindLog suites; see
+	// Workload and RunLoad). Cells are labeled with each workload's
+	// Label.
+	Workloads []Workload
 	// Variants is the free-form axis of named option bundles.
 	Variants []Variant
 	// Options applies to every cell, before any per-axis option. A
@@ -74,8 +78,10 @@ type Cell struct {
 	CorruptFrac float64 `json:"corruptFrac"`
 	KnowFrac    float64 `json:"knowFrac"`
 	// Fault labels the cell's fault plan ("" = fault-free).
-	Fault   string `json:"fault,omitempty"`
-	Variant string `json:"variant,omitempty"`
+	Fault string `json:"fault,omitempty"`
+	// Workload labels the cell's sustained-load shape (KindLog sweeps).
+	Workload string `json:"workload,omitempty"`
+	Variant  string `json:"variant,omitempty"`
 }
 
 // String renders a compact cell label.
@@ -83,6 +89,9 @@ func (c Cell) String() string {
 	s := fmt.Sprintf("n=%d/%s/%s", c.N, c.Model, c.Adversary)
 	if c.Fault != "" {
 		s += "/" + c.Fault
+	}
+	if c.Workload != "" {
+		s += "/" + c.Workload
 	}
 	if c.Variant != "" {
 		s += "/" + c.Variant
@@ -140,48 +149,55 @@ func (s Sweep) expand() ([]plannedRun, error) {
 				for _, ci := range axis(len(s.CorruptFracs)) {
 					for _, ki := range axis(len(s.KnowFracs)) {
 						for _, fi := range axis(len(s.Faults)) {
-							for _, vi := range axis(len(s.Variants)) {
-								opts := append([]Option(nil), s.Options...)
-								variant, fault := "", ""
-								if len(s.Models) > 0 {
-									opts = append(opts, WithModel(s.Models[mi]))
-								}
-								if len(s.Adversaries) > 0 {
-									opts = append(opts, WithAdversaryName(s.Adversaries[ai]))
-								}
-								if len(s.CorruptFracs) > 0 {
-									opts = append(opts, WithCorruptFrac(s.CorruptFracs[ci]))
-								}
-								if len(s.KnowFracs) > 0 {
-									opts = append(opts, WithKnowFrac(s.KnowFracs[ki]))
-								}
-								if len(s.Faults) > 0 {
-									fault = faultLabels[fi]
-									opts = append(opts, WithFaults(s.Faults[fi]))
-								}
-								if len(s.Variants) > 0 {
-									variant = s.Variants[vi].Name
-									opts = append(opts, s.Variants[vi].Options...)
-								}
-								for _, seed := range seeds {
-									cfg := NewConfig(n, append(opts, WithSeed(seed))...)
-									if err := cfg.validate(); err != nil {
-										return nil, fmt.Errorf("fastba: sweep cell n=%d fault=%q variant=%q: %w", n, fault, variant, err)
+							for _, wi := range axis(len(s.Workloads)) {
+								for _, vi := range axis(len(s.Variants)) {
+									opts := append([]Option(nil), s.Options...)
+									variant, fault, workload := "", "", ""
+									if len(s.Models) > 0 {
+										opts = append(opts, WithModel(s.Models[mi]))
 									}
-									cell := Cell{
-										N:           cfg.n,
-										Model:       cfg.model.String(),
-										Adversary:   cfg.advName,
-										CorruptFrac: cfg.corruptFrac,
-										KnowFrac:    cfg.knowFrac,
-										Fault:       fault,
-										Variant:     variant,
+									if len(s.Adversaries) > 0 {
+										opts = append(opts, WithAdversaryName(s.Adversaries[ai]))
 									}
-									if seen[cellSeed{cell, seed}] {
-										continue
+									if len(s.CorruptFracs) > 0 {
+										opts = append(opts, WithCorruptFrac(s.CorruptFracs[ci]))
 									}
-									seen[cellSeed{cell, seed}] = true
-									runs = append(runs, plannedRun{cell: cell, seed: seed, cfg: cfg})
+									if len(s.KnowFracs) > 0 {
+										opts = append(opts, WithKnowFrac(s.KnowFracs[ki]))
+									}
+									if len(s.Faults) > 0 {
+										fault = faultLabels[fi]
+										opts = append(opts, WithFaults(s.Faults[fi]))
+									}
+									if len(s.Workloads) > 0 {
+										workload = s.Workloads[wi].Label()
+										opts = append(opts, WithWorkload(s.Workloads[wi]))
+									}
+									if len(s.Variants) > 0 {
+										variant = s.Variants[vi].Name
+										opts = append(opts, s.Variants[vi].Options...)
+									}
+									for _, seed := range seeds {
+										cfg := NewConfig(n, append(opts, WithSeed(seed))...)
+										if err := cfg.validate(); err != nil {
+											return nil, fmt.Errorf("fastba: sweep cell n=%d fault=%q variant=%q: %w", n, fault, variant, err)
+										}
+										cell := Cell{
+											N:           cfg.n,
+											Model:       cfg.model.String(),
+											Adversary:   cfg.advName,
+											CorruptFrac: cfg.corruptFrac,
+											KnowFrac:    cfg.knowFrac,
+											Fault:       fault,
+											Workload:    workload,
+											Variant:     variant,
+										}
+										if seen[cellSeed{cell, seed}] {
+											continue
+										}
+										seen[cellSeed{cell, seed}] = true
+										runs = append(runs, plannedRun{cell: cell, seed: seed, cfg: cfg})
+									}
 								}
 							}
 						}
@@ -231,6 +247,12 @@ const (
 	// KindTCP sweeps RunTCP: every run executes over real loopback
 	// sockets. Time statistics are wall-clock milliseconds.
 	KindTCP
+	// KindLog sweeps RunLoad: every run drives a pipelined DecisionLog
+	// under the cell's Workload (Sweep.Workloads) and reports committed
+	// throughput and commit-latency percentiles. Time statistics are
+	// wall-clock milliseconds; the cross-instance log oracles are always
+	// evaluated.
+	KindLog
 )
 
 // String implements fmt.Stringer.
@@ -244,6 +266,8 @@ func (k RunKind) String() string {
 		return "baseline"
 	case KindTCP:
 		return "tcp"
+	case KindLog:
+		return "log"
 	default:
 		return fmt.Sprintf("RunKind(%d)", int(k))
 	}
@@ -322,6 +346,15 @@ type RunRecord struct {
 	AEKnowFrac           float64 `json:"aeKnowFrac,omitempty"`
 	TotalTime            int     `json:"totalTime,omitempty"`
 	TotalMeanBitsPerNode float64 `json:"totalMeanBitsPerNode,omitempty"`
+
+	// Decision-log metrics (KindLog runs only).
+	Committed         int          `json:"committed,omitempty"`
+	CommittedPayloads int          `json:"committedPayloads,omitempty"`
+	EntriesPerSec     float64      `json:"entriesPerSec,omitempty"`
+	PayloadsPerSec    float64      `json:"payloadsPerSec,omitempty"`
+	CommitP50Ms       float64      `json:"commitP50Ms,omitempty"`
+	CommitP99Ms       float64      `json:"commitP99Ms,omitempty"`
+	LatencyHist       []HistBucket `json:"latencyHist,omitempty"`
 }
 
 // DecidedFrac returns the fraction of correct nodes that decided gstring,
@@ -493,6 +526,28 @@ func (s Suite) runOne(ctx context.Context, run plannedRun) RunRecord {
 			o := NewOracles(run.cfg)
 			o.suiteMode = true
 			rec.OracleViolations = o.Report(view).Strings()
+		}
+	case KindLog:
+		res, err := RunLoad(ctx, run.cfg)
+		if err != nil {
+			rec.Err = err.Error()
+			return rec
+		}
+		// Agreement for a log cell means: something committed and every
+		// cross-instance oracle held. The oracles run unconditionally —
+		// a log sweep without safety verdicts would be meaningless.
+		rec.Agreement = res.Committed > 0 && res.Oracles.OK()
+		rec.Time = int(res.Elapsed.Milliseconds())
+		rec.Committed = res.Committed
+		rec.CommittedPayloads = res.CommittedPayloads
+		rec.EntriesPerSec = res.EntriesPerSec
+		rec.PayloadsPerSec = res.PayloadsPerSec
+		rec.CommitP50Ms = float64(res.CommitP50) / float64(time.Millisecond)
+		rec.CommitP99Ms = float64(res.CommitP99) / float64(time.Millisecond)
+		rec.LatencyHist = res.Hist
+		rec.OracleViolations = res.Oracles.Strings()
+		if res.Err != "" {
+			rec.Err = res.Err
 		}
 	default:
 		rec.Err = fmt.Sprintf("fastba: unknown run kind %v", s.Kind)

@@ -38,18 +38,36 @@ type FuzzCase struct {
 	// Seed is the run's master seed.
 	Seed uint64 `json:"seed"`
 	// Model is the timing model's String name. Deterministic models only:
-	// the fuzzer needs bit-for-bit replays.
-	Model string `json:"model"`
-	// Adversary is the Byzantine strategy's registry name.
-	Adversary string `json:"adversary"`
+	// the fuzzer needs bit-for-bit replays. Ignored for pipelined-log
+	// cases (Log != nil), which run on the fabric runtime.
+	Model string `json:"model,omitempty"`
+	// Adversary is the Byzantine strategy's registry name. Pipelined-log
+	// cases support only the log's fail-silent corruption model.
+	Adversary string `json:"adversary,omitempty"`
 	// CorruptFrac and KnowFrac shape the population.
 	CorruptFrac float64 `json:"corruptFrac"`
 	KnowFrac    float64 `json:"knowFrac"`
 	// Plan is the fault schedule under test.
 	Plan FaultPlan `json:"plan"`
+	// Log, when set, makes this a pipelined decision-log case: a short
+	// log with deterministic batches replayed under the plan, judged by
+	// the cross-instance oracles.
+	Log *LogFuzz `json:"log,omitempty"`
 	// Note is free-form provenance ("sampled by campaign seed 7, case 42";
 	// "shrunk from ...").
 	Note string `json:"note,omitempty"`
+}
+
+// LogFuzz shapes a pipelined decision-log fuzz case.
+type LogFuzz struct {
+	// Entries is the number of deterministic batches appended.
+	Entries int `json:"entries"`
+	// Depth is the instance pipelining depth.
+	Depth int `json:"depth"`
+	// Batch is the payload count per batch; PayloadBytes sizes each
+	// payload.
+	Batch        int `json:"batch"`
+	PayloadBytes int `json:"payloadBytes"`
 }
 
 // String renders a compact case label.
@@ -57,6 +75,10 @@ func (c FuzzCase) String() string {
 	fault := c.Plan.Label()
 	if fault == "" {
 		fault = "none"
+	}
+	if c.Log != nil {
+		return fmt.Sprintf("n=%d seed=%d log[e=%d,d=%d,b=%d] corrupt=%.2f know=%.2f faults=%s",
+			c.N, c.Seed, c.Log.Entries, c.Log.Depth, c.Log.Batch, c.CorruptFrac, c.KnowFrac, fault)
 	}
 	return fmt.Sprintf("n=%d seed=%d %s/%s corrupt=%.2f know=%.2f faults=%s",
 		c.N, c.Seed, c.Model, c.Adversary, c.CorruptFrac, c.KnowFrac, fault)
@@ -97,8 +119,12 @@ type FuzzRun struct {
 // ReplayCase executes one fuzz case — oracles wired into the run through
 // the Observer stream plus the end-state check — and returns the digested
 // outcome. It is the unit the fuzzer, the corpus replayer and the
-// shrinker all share.
+// shrinker all share. Pipelined-log cases replay through the decision log
+// instead of a single-shot run.
 func ReplayCase(c FuzzCase) (FuzzRun, error) {
+	if c.Log != nil {
+		return replayLogCase(c)
+	}
 	cfg, err := c.config()
 	if err != nil {
 		return FuzzRun{}, err
@@ -111,6 +137,90 @@ func ReplayCase(c FuzzCase) (FuzzRun, error) {
 	}
 	report := oracles.Report(res)
 	return FuzzRun{Case: c, Digest: runDigest(res, report), Report: report, Result: res}, nil
+}
+
+// replayLogCase executes a pipelined decision-log case: Entries
+// deterministic batches appended over the fabric runtime at the case's
+// depth, under the case's fault plan and corruption, judged by the
+// cross-instance oracles plus a termination check (all planned entries
+// committed — applicable, like the single-shot termination oracle, only
+// to lossless plans). The committed log and the verdicts are digested;
+// both are pure functions of the case for lossless plans, because the
+// committed (seq, value) sequence does not depend on delivery order.
+func replayLogCase(c FuzzCase) (FuzzRun, error) {
+	lf := *c.Log
+	if lf.Entries <= 0 || lf.Depth <= 0 || lf.Batch <= 0 || lf.PayloadBytes <= 0 {
+		return FuzzRun{}, fmt.Errorf("fastba: malformed log fuzz case: %+v", lf)
+	}
+	cfg := NewConfig(c.N,
+		WithSeed(c.Seed),
+		WithCorruptFrac(c.CorruptFrac),
+		WithKnowFrac(c.KnowFrac),
+		WithFaults(c.Plan),
+		WithLogDepth(lf.Depth),
+		WithLogInstanceTimeout(30*time.Second),
+	)
+	if err := cfg.validate(); err != nil {
+		return FuzzRun{}, err
+	}
+	ctx := context.Background()
+	log, err := OpenLog(ctx, cfg)
+	if err != nil {
+		return FuzzRun{}, err
+	}
+	var appendErr error
+	for k := 0; k < lf.Entries; k++ {
+		batch := make([][]byte, lf.Batch)
+		for i := range batch {
+			src := prng.New(prng.DeriveKey(c.Seed, "fuzz/log/payload", uint64(k)<<16|uint64(i)))
+			p := make([]byte, lf.PayloadBytes)
+			for j := range p {
+				p[j] = byte(src.Uint64())
+			}
+			batch[i] = p
+		}
+		if _, err := log.Append(ctx, batch); err != nil {
+			appendErr = err
+			break
+		}
+	}
+	closeErr := log.Close()
+	entries := log.Committed()
+	report := CheckLogInvariants(entries, cfg.knowFrac)
+	if c.Plan.Lossless() {
+		report.Checked = append(report.Checked, OracleTermination)
+		sort.Strings(report.Checked)
+		if len(entries) < lf.Entries {
+			detail := fmt.Sprintf("%d of %d planned entries committed under a lossless plan", len(entries), lf.Entries)
+			if closeErr != nil {
+				detail += ": " + closeErr.Error()
+			} else if appendErr != nil {
+				detail += ": " + appendErr.Error()
+			}
+			report.Violations = append(report.Violations, Violation{Oracle: OracleTermination, Detail: detail})
+		}
+	} else {
+		if report.Skipped == nil {
+			report.Skipped = map[string]string{}
+		}
+		report.Skipped[OracleTermination] = "fault plan can destroy messages (drops, partitions or crashes)"
+	}
+	return FuzzRun{Case: c, Digest: logDigest(entries, report), Report: report}, nil
+}
+
+// logDigest canonically summarizes a committed log and its verdicts.
+// Only order-independent fields enter: the committed (seq, value, payload
+// count) sequence and the oracle verdicts — never latencies or delivery
+// counts, which the concurrent runtime does not reproduce.
+func logDigest(entries []LogEntry, report OracleReport) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "committed=%d\n", len(entries))
+	for _, e := range entries {
+		fmt.Fprintf(h, "seq=%d value=%s payloads=%d distinct=%d certdef=%d proposal=%t\n",
+			e.Seq, e.Value, e.PayloadCount, e.DistinctValues, e.CertDeficits, e.MatchesProposal)
+	}
+	fmt.Fprintf(h, "oracles checked=%v violations=%v\n", report.Checked, report.Strings())
+	return fmt.Sprintf("%x", h.Sum(nil))
 }
 
 // runDigest renders the canonical summary of a run and hashes it. Every
@@ -175,6 +285,14 @@ type FuzzConfig struct {
 	// CorruptFracs are the candidate corruption fractions (default 0,
 	// 0.10, 0.20).
 	CorruptFracs []float64
+	// LogFrac is the fraction of sampled cases drawn from the
+	// pipelined-log family (default 0 — off, keeping legacy campaign
+	// digests stable): short decision logs (2–5 entries, depth 1–4) on
+	// the fabric runtime with fail-silent corruption and lossless fault
+	// plans (duplication/delay — the envelope in which the committed log
+	// is a pure function of the case), judged by the cross-instance
+	// oracles.
+	LogFrac float64
 	// PersistDir, when set, receives one JSON FuzzFailure file per failing
 	// case (after shrinking), named fail_<digest prefix>.json.
 	PersistDir string
@@ -209,6 +327,9 @@ func (fc *FuzzConfig) defaults() error {
 	}
 	if len(fc.CorruptFracs) == 0 {
 		fc.CorruptFracs = []float64{0, 0.10, 0.20}
+	}
+	if fc.LogFrac < 0 || fc.LogFrac > 1 {
+		return fmt.Errorf("fastba: fuzz LogFrac %v outside [0, 1]", fc.LogFrac)
 	}
 	return nil
 }
@@ -319,6 +440,9 @@ func terminationOnly(rep OracleReport) bool {
 func sampleCase(fc FuzzConfig, i int) FuzzCase {
 	src := prng.New(prng.DeriveKey(fc.Seed, "simfuzz/case", uint64(i)))
 	n := fc.Ns[src.Intn(len(fc.Ns))]
+	if fc.LogFrac > 0 && src.Float64() < fc.LogFrac {
+		return sampleLogCase(fc, src, n, i)
+	}
 	c := FuzzCase{
 		N:           n,
 		Seed:        src.Uint64()>>1 | 1, // non-zero run seed
@@ -330,6 +454,38 @@ func sampleCase(fc FuzzConfig, i int) FuzzCase {
 		Note:        fmt.Sprintf("sampled: campaign seed %d, case %d", fc.Seed, i),
 	}
 	return c
+}
+
+// sampleLogCase draws a pipelined-log case: short logs at depth 1–4 with
+// small deterministic batches, fail-silent corruption, full knowledge and
+// a lossless plan — the envelope in which replay digests are exact.
+func sampleLogCase(fc FuzzConfig, src *prng.Source, n, i int) FuzzCase {
+	plan := FaultPlan{Seed: src.Uint64()}
+	if src.Float64() < 0.6 {
+		plan.DupProb = src.Float64() * 0.3
+	}
+	if src.Float64() < 0.6 {
+		plan.DelayProb = src.Float64() * 0.5
+		plan.MaxDelay = 1 + src.Intn(6)
+	}
+	corrupt := 0.0
+	if src.Bool() {
+		corrupt = 0.1
+	}
+	return FuzzCase{
+		N:           n,
+		Seed:        src.Uint64()>>1 | 1,
+		CorruptFrac: corrupt,
+		KnowFrac:    1,
+		Plan:        plan,
+		Log: &LogFuzz{
+			Entries:      2 + src.Intn(4),
+			Depth:        1 + src.Intn(4),
+			Batch:        1 + src.Intn(3),
+			PayloadBytes: 8 << src.Intn(4),
+		},
+		Note: fmt.Sprintf("sampled: campaign seed %d, case %d (log family)", fc.Seed, i),
+	}
 }
 
 // samplePlan draws a random fault plan. Roughly a third of the plans are
@@ -404,8 +560,32 @@ func shrinkCandidates(c FuzzCase) []FuzzCase {
 	add := func(mut func(*FaultPlan)) {
 		v := c
 		v.Plan = clonePlan(c.Plan)
+		v.Log = cloneLog(c.Log)
 		mut(&v.Plan)
 		out = append(out, v)
+	}
+	// Log-dimension shrinks first: a shorter, shallower, thinner log is
+	// strictly simpler than any fault-plan change.
+	if c.Log != nil {
+		addLog := func(mut func(*LogFuzz)) {
+			v := c
+			v.Plan = clonePlan(c.Plan)
+			v.Log = cloneLog(c.Log)
+			mut(v.Log)
+			out = append(out, v)
+		}
+		if c.Log.Entries > 1 {
+			addLog(func(l *LogFuzz) { l.Entries = 1 })
+			if c.Log.Entries > 2 {
+				addLog(func(l *LogFuzz) { l.Entries /= 2 })
+			}
+		}
+		if c.Log.Depth > 1 {
+			addLog(func(l *LogFuzz) { l.Depth = 1 })
+		}
+		if c.Log.Batch > 1 {
+			addLog(func(l *LogFuzz) { l.Batch = 1 })
+		}
 	}
 	if c.Plan.DropProb > 0 {
 		add(func(p *FaultPlan) { p.DropProb = 0 })
@@ -452,9 +632,18 @@ func shrinkCandidates(c FuzzCase) []FuzzCase {
 	// ("none" is excluded: it forces zero corruption, so replacing it with
 	// "silent" would re-activate the corrupt fraction — a strictly MORE
 	// hostile case, not a simpler one.)
-	if c.Adversary != "silent" && c.Adversary != "none" && c.CorruptFrac > 0 {
+	if c.Log == nil && c.Adversary != "silent" && c.Adversary != "none" && c.CorruptFrac > 0 {
 		v := c
 		v.Adversary = "silent"
+		out = append(out, v)
+	}
+	// Log cases are already fail-silent; dropping corruption entirely is
+	// their adversary shrink.
+	if c.Log != nil && c.CorruptFrac > 0 {
+		v := c
+		v.Plan = clonePlan(c.Plan)
+		v.Log = cloneLog(c.Log)
+		v.CorruptFrac = 0
 		out = append(out, v)
 	}
 	return out
@@ -464,6 +653,14 @@ func clonePlan(p FaultPlan) FaultPlan {
 	p.Partitions = append([]Partition(nil), p.Partitions...)
 	p.Crashes = append([]Crash(nil), p.Crashes...)
 	return p
+}
+
+func cloneLog(l *LogFuzz) *LogFuzz {
+	if l == nil {
+		return nil
+	}
+	v := *l
+	return &v
 }
 
 // persistFailure writes one failure as indented JSON into dir, named by

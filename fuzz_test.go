@@ -116,6 +116,103 @@ func TestReplayCaseDeterministic(t *testing.T) {
 	}
 }
 
+// TestFuzzLogCaseDeterministic: a pipelined-log case with lossless faults
+// replays to a byte-identical digest — the committed (seq, value)
+// sequence is a pure function of the case even on the concurrent fabric.
+func TestFuzzLogCaseDeterministic(t *testing.T) {
+	c := FuzzCase{
+		N: 16, Seed: 33, CorruptFrac: 0.1, KnowFrac: 1,
+		Plan: FaultPlan{Seed: 5, DupProb: 0.2, DelayProb: 0.3, MaxDelay: 2},
+		Log:  &LogFuzz{Entries: 3, Depth: 4, Batch: 2, PayloadBytes: 16},
+	}
+	a, err := ReplayCase(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReplayCase(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("log digests diverge: %s vs %s", a.Digest, b.Digest)
+	}
+	if !a.Report.OK() {
+		t.Fatalf("log case violates: %s", a.Report)
+	}
+	found := false
+	for _, name := range a.Report.Checked {
+		if name == OracleTermination {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("lossless log case skipped termination: %+v", a.Report)
+	}
+}
+
+// TestFuzzLogCampaign: a log-only campaign samples, executes and passes
+// the pipelined-log family.
+func TestFuzzLogCampaign(t *testing.T) {
+	logCases := 0
+	res, err := SimFuzz(context.Background(), FuzzConfig{
+		Seed:    13,
+		Runs:    5,
+		Ns:      []int{16},
+		LogFrac: 1,
+		OnRun: func(r FuzzRun) {
+			if r.Case.Log != nil {
+				logCases++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 5 || logCases != 5 {
+		t.Fatalf("executed %d cases, %d from the log family; want 5/5", res.Executed, logCases)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("log campaign failure: %s: %v", f.Case, f.Violations)
+	}
+}
+
+// TestFuzzLogShrinkCandidates: log cases shrink along log dimensions
+// without aliasing the parent's Log.
+func TestFuzzLogShrinkCandidates(t *testing.T) {
+	c := FuzzCase{
+		N: 16, Seed: 1, CorruptFrac: 0.1, KnowFrac: 1,
+		Plan: FaultPlan{Seed: 2, DupProb: 0.2},
+		Log:  &LogFuzz{Entries: 4, Depth: 4, Batch: 2, PayloadBytes: 16},
+	}
+	cands := shrinkCandidates(c)
+	if len(cands) == 0 {
+		t.Fatal("no candidates for a shrinkable log case")
+	}
+	sawEntries, sawDepth := false, false
+	for _, cand := range cands {
+		if cand.Log == nil {
+			t.Fatal("candidate lost its log shape")
+		}
+		if cand.Log == c.Log && (cand.Log.Entries != c.Log.Entries || cand.Log.Depth != c.Log.Depth || cand.Log.Batch != c.Log.Batch) {
+			t.Fatal("candidate aliases the parent's Log")
+		}
+		if cand.Log.Entries < c.Log.Entries {
+			sawEntries = true
+		}
+		if cand.Log.Depth == 1 && c.Log.Depth > 1 {
+			sawDepth = true
+		}
+	}
+	if !sawEntries || !sawDepth {
+		t.Fatalf("missing log shrink dimensions (entries=%t depth=%t)", sawEntries, sawDepth)
+	}
+	// Mutating a candidate's Log must not touch the parent.
+	cands[0].Log.Entries = 99
+	if c.Log.Entries == 99 {
+		t.Fatal("candidate Log aliases the parent")
+	}
+}
+
 // TestFuzzCorpusReplay: every committed corpus case must pass its oracles
 // — the corpus is the fuzzer's regression suite.
 func TestFuzzCorpusReplay(t *testing.T) {

@@ -90,6 +90,14 @@ func (b *Bitset) Get(i int) bool {
 // Count returns the number of set bits.
 func (b *Bitset) Count() int { return b.count }
 
+// Reset clears every bit, keeping the word storage for reuse.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+	b.count = 0
+}
+
 // recount is a debugging invariant helper: it recomputes the population
 // count from the words. Exposed to tests only through count equality.
 func (b *Bitset) recount() int {

@@ -184,6 +184,55 @@ func NewNode(id int, initial bitstring.String, params Params, smp *Samplers, rng
 	return n
 }
 
+// Reset rewinds the node to a freshly constructed state for a new agreement
+// instance, keeping every allocation it can: map buckets survive via
+// clear(), the intern table and per-string state slice keep their storage,
+// and the quorum-member sets inside recycled strState entries keep their
+// capacity. The node's identity, protocol geometry and samplers are
+// unchanged; initial and rng take the role of NewNode's arguments. The
+// decision-log pipeline calls this between instances so a long log reuses
+// one set of nodes instead of reallocating per-instance protocol state
+// (see BenchmarkLogInstanceReuse).
+func (n *Node) Reset(initial bitstring.String, rng *prng.Source) {
+	n.rng = rng
+	n.sthis = initial
+	n.initial = initial
+	n.hasDecided = false
+	n.decided = bitstring.String{}
+	n.decidedAt = 0
+	n.pub.Store(nil)
+
+	n.strs.Reset()
+	// Keep the state slice's length: intern IDs restart from 0, so recycled
+	// entries are re-addressed by the new instance's strings; each entry is
+	// scrubbed in place to keep its sets' capacity.
+	for i := range n.states {
+		st := &n.states[i]
+		st.pushRecv.Reset()
+		st.pushQuorum = 0
+		st.hasLabel = false
+		st.label = 0
+		st.answers.Reset()
+	}
+	n.candidates.Reset()
+
+	clear(n.pullForwarded)
+	clear(n.fw1Vouches)
+	clear(n.fw1Done)
+	clear(n.fw2Vouches)
+	clear(n.fw2Majority)
+	clear(n.polled)
+	clear(n.answered)
+	clear(n.hxSizes)
+	n.answerCount = 0
+	n.deferred = n.deferred[:0]
+	n.beliefDeferred = n.beliefDeferred[:0]
+	n.relayDeferred = n.relayDeferred[:0]
+	n.stats = Stats{}
+
+	n.sthisID = n.strs.ID(initial)
+}
+
 // state returns the per-string state for an interned ID, growing the
 // ID-indexed slice on demand. Growth may reallocate the slice, so callers
 // must not hold the returned pointer across any later state() call.

@@ -58,3 +58,11 @@ func (t *Table) String(id ID) bitstring.String { return t.strs[id] }
 
 // Len returns the number of interned strings (also the next ID).
 func (t *Table) Len() int { return len(t.strs) }
+
+// Reset empties the table for reuse, keeping the map's buckets and the
+// slice's capacity allocated — the decision-log pipeline recycles one table
+// per node across agreement instances.
+func (t *Table) Reset() {
+	clear(t.ids)
+	t.strs = t.strs[:0]
+}

@@ -114,6 +114,13 @@ func (c *Cluster) SentBytes() []int64 {
 // or quiescent; merging during delivery is racy.
 func (c *Cluster) Metrics() *simnet.Metrics { return c.fab.Metrics() }
 
+// Inject feeds a locally originated control envelope (e.g. a decision-log
+// open/close message) straight into the destination node's mailbox,
+// bypassing the wire. The in-flight counter is incremented so quiescence
+// accounting stays exact — unlike frames arriving through readLoop, nobody
+// counted these on a send path.
+func (c *Cluster) Inject(e simnet.Envelope) { c.fab.InjectLocal(e) }
+
 // Start launches accept loops, then starts the Fabric: nodes initialize
 // sequentially before any delivery loop runs — the ordering that preserves
 // the runner contract that Init and Deliver never overlap on one node
@@ -229,7 +236,13 @@ func (c *Cluster) readLoop(id int, conn net.Conn) {
 		if err != nil || to != id {
 			continue // malformed or misrouted frame: authenticated drop
 		}
-		c.fab.Inject(simnet.Envelope{From: from, To: to, Msg: msg})
+		e := simnet.Envelope{From: from, To: to, Msg: msg}
+		// Instance-tagged frames surface as InstMsg; hoist the tag back
+		// into the envelope header so the Fabric dispatches DeliverTagged.
+		if im, ok := msg.(simnet.InstMsg); ok {
+			e.Msg, e.Inst, e.Tagged = im.Inner, im.Inst, true
+		}
+		c.fab.Inject(e)
 	}
 }
 
@@ -239,7 +252,13 @@ func (c *Cluster) readLoop(id int, conn net.Conn) {
 // unreachable peers are dropped; the Fabric then uncounts them).
 func (c *Cluster) Send(e simnet.Envelope) bool {
 	bp := bufPool.Get().(*[]byte)
-	buf, err := wire.AppendFrame((*bp)[:0], e.From, e.To, e.Msg)
+	var buf []byte
+	var err error
+	if e.Tagged {
+		buf, err = wire.AppendTaggedFrame((*bp)[:0], e.From, e.To, e.Inst, e.Msg)
+	} else {
+		buf, err = wire.AppendFrame((*bp)[:0], e.From, e.To, e.Msg)
+	}
 	if err != nil {
 		bufPool.Put(bp)
 		return false // unknown message type: nothing a remote peer could do either

@@ -1,0 +1,580 @@
+package pipeline
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"github.com/fastba/fastba/internal/bitstring"
+	"github.com/fastba/fastba/internal/core"
+	"github.com/fastba/fastba/internal/netrun"
+	"github.com/fastba/fastba/internal/prng"
+	"github.com/fastba/fastba/internal/simnet"
+)
+
+// Config parameterizes one decision log.
+type Config struct {
+	// N is the system size; Params the protocol geometry (zero value:
+	// core.DefaultParams(N)).
+	N      int
+	Params core.Params
+	// Seed keys everything derived: corruption, per-instance knowledge,
+	// junk values and per-(instance, node) private randomness.
+	Seed uint64
+	// CorruptFrac is the fraction of fail-silent Byzantine nodes, fixed for
+	// the whole log (the adversary is non-adaptive).
+	CorruptFrac float64
+	// KnowFrac is the per-instance fraction of correct nodes that start
+	// knowing the instance's value; the rest hold a shared junk candidate.
+	KnowFrac float64
+	// Depth bounds concurrently open instances (≥ 1).
+	Depth int
+	// CommitFraction is the fraction of correct nodes that must decide
+	// before an instance commits (default 1 — every correct node).
+	CommitFraction float64
+	// InstanceTimeout fails the log when the head instance does not commit
+	// in time (default 30s). Lossy fault plans can legitimately destroy an
+	// instance's liveness; the timeout turns that into a reported error
+	// instead of a hang.
+	InstanceTimeout time.Duration
+	// Faults is the fault plan installed on the transport's send path.
+	Faults simnet.FaultPlan
+	// DisablePool turns off per-instance node recycling (benchmark knob:
+	// the naive-rebuild arm of BenchmarkLogInstanceReuse).
+	DisablePool bool
+	// OnCommit, when set, observes every committed entry, in sequence
+	// order, from the engine's commit goroutine.
+	OnCommit func(Entry)
+}
+
+// Entry is one committed decision-log record.
+type Entry struct {
+	// Seq is the instance sequence number; committed seqs are contiguous
+	// from 0.
+	Seq uint64
+	// Value is the decided value — the digest of the batch, as agreed by
+	// the instance's deciders.
+	Value bitstring.String
+	// Payloads are the client payloads folded into this instance.
+	Payloads [][]byte
+	// Deciders and Correct count the correct nodes that decided before the
+	// commit and the correct population.
+	Deciders int
+	Correct  int
+	// DistinctValues counts distinct decided values among deciders at
+	// commit time (> 1 is a log-agreement violation).
+	DistinctValues int
+	// CertDeficits counts deciders whose re-derived quorum certificate
+	// fell short of the strict poll-list majority (must stay 0).
+	CertDeficits int
+	// MatchesProposal reports whether Value equals the batch digest the
+	// engine proposed (a validity probe).
+	MatchesProposal bool
+	// Opened and Committed bound the instance's lifetime.
+	Opened    time.Time
+	Committed time.Time
+}
+
+// instance is one open (not yet committed) agreement instance.
+type instance struct {
+	seq      uint64
+	proposed bitstring.String
+	payloads [][]byte
+	opened   time.Time
+
+	deciders     int
+	values       map[bitstring.MapKey]int
+	value        bitstring.String // a maximally decided value
+	valueCount   int
+	certDeficits int
+
+	committed chan struct{} // closed when the instance commits or the log fails
+}
+
+// Engine runs the pipelined decision log over one long-lived transport.
+// Build it with New, start exactly one transport (StartFabric or
+// StartTCP), feed it with Append, then Close it.
+type Engine struct {
+	cfg     Config
+	params  core.Params
+	corrupt []bool
+	correct int
+	need    int // deciders required to commit
+	mux     []*MuxNode
+	nodes   []simnet.Node
+
+	fab     *simnet.Fabric
+	cluster *netrun.Cluster
+	inject  func(simnet.Envelope)
+
+	slots   chan struct{} // Depth tokens: held while an instance is open
+	wake    chan struct{} // commit-watcher kick (capacity 1)
+	done    chan struct{} // watcher shutdown
+	failCh  chan struct{} // closed on the first fatal error, releasing Append waiters
+	watcher sync.WaitGroup
+
+	mu        sync.Mutex
+	nextSeq   uint64
+	commitSeq uint64
+	open      map[uint64]*instance
+	entries   []Entry
+	failed    error
+	closed    bool
+
+	teardown sync.Once
+}
+
+// New validates the configuration and assembles the node vector. The
+// engine is inert until a transport starts.
+func New(cfg Config) (*Engine, error) {
+	if cfg.N < 8 {
+		return nil, fmt.Errorf("pipeline: n = %d too small (need ≥ 8)", cfg.N)
+	}
+	if cfg.Params.N == 0 {
+		cfg.Params = core.DefaultParams(cfg.N)
+	}
+	if cfg.Params.N != cfg.N {
+		return nil, fmt.Errorf("pipeline: params are for n = %d, log has n = %d", cfg.Params.N, cfg.N)
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Params.StringBits > 8*sha256.Size {
+		return nil, fmt.Errorf("pipeline: StringBits %d exceeds the %d-bit value digest", cfg.Params.StringBits, 8*sha256.Size)
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = 1
+	}
+	if cfg.CommitFraction <= 0 {
+		cfg.CommitFraction = 1
+	}
+	if cfg.CommitFraction > 1 {
+		return nil, fmt.Errorf("pipeline: commit fraction %v above 1", cfg.CommitFraction)
+	}
+	if cfg.InstanceTimeout <= 0 {
+		cfg.InstanceTimeout = 30 * time.Second
+	}
+	if !(cfg.CorruptFrac >= 0 && cfg.CorruptFrac < 1.0/3) {
+		return nil, fmt.Errorf("pipeline: corrupt fraction %v outside [0, 1/3)", cfg.CorruptFrac)
+	}
+	if !(cfg.KnowFrac >= 0 && cfg.KnowFrac <= 1) {
+		return nil, fmt.Errorf("pipeline: know fraction %v outside [0, 1]", cfg.KnowFrac)
+	}
+	if err := cfg.Faults.Validate(cfg.N); err != nil {
+		return nil, err
+	}
+
+	e := &Engine{
+		cfg:     cfg,
+		params:  cfg.Params,
+		corrupt: make([]bool, cfg.N),
+		slots:   make(chan struct{}, cfg.Depth),
+		wake:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+		failCh:  make(chan struct{}),
+		open:    make(map[uint64]*instance),
+	}
+
+	// Non-adaptive corruption, fixed for the log's lifetime.
+	src := prng.New(prng.DeriveKey(cfg.Seed, "log/corrupt", 0))
+	t := int(cfg.CorruptFrac * float64(cfg.N))
+	for _, id := range src.Perm(cfg.N)[:t] {
+		e.corrupt[id] = true
+	}
+	e.correct = cfg.N - t
+	e.need = int(math.Ceil(cfg.CommitFraction * float64(e.correct)))
+	if e.need < 1 {
+		e.need = 1
+	}
+
+	smp := core.NewSamplers(cfg.Params)
+	e.mux = make([]*MuxNode, cfg.N)
+	e.nodes = make([]simnet.Node, cfg.N)
+	for id := 0; id < cfg.N; id++ {
+		m := NewMuxNode(id, e.corrupt[id], cfg.Params, smp, cfg.Seed, e.onDecision)
+		m.disablePool = cfg.DisablePool
+		e.mux[id] = m
+		e.nodes[id] = m
+	}
+	return e, nil
+}
+
+// Correct returns the number of correct nodes.
+func (e *Engine) Correct() int { return e.correct }
+
+// StartFabric runs the log over the in-process loopback Fabric
+// (CounterClock: fault windows and decision times are per-node delivery
+// counts, the sustained-load analogue of rounds).
+func (e *Engine) StartFabric() {
+	e.fab = simnet.NewFabric(e.nodes, simnet.CounterClock, true)
+	if !e.cfg.Faults.IsZero() {
+		e.fab.SetFaults(e.cfg.Faults)
+	}
+	e.fab.Start()
+	e.inject = e.fab.InjectLocal
+	e.watcher.Add(1)
+	go e.watch()
+}
+
+// StartTCP runs the log over real loopback TCP sockets (one listener per
+// node, lazily dialed mesh — internal/netrun).
+func (e *Engine) StartTCP() error {
+	cluster, err := netrun.New(e.nodes)
+	if err != nil {
+		return err
+	}
+	if !e.cfg.Faults.IsZero() {
+		cluster.InjectFaults(e.cfg.Faults)
+	}
+	cluster.Start()
+	e.cluster = cluster
+	e.inject = cluster.Inject
+	e.watcher.Add(1)
+	go e.watch()
+	return nil
+}
+
+// Value derives instance seq's proposal digest from the batch: the first
+// StringBits bits of SHA-256 over (seed, seq, payloads). All correct
+// runtimes derive the same value for the same inputs, which is what makes
+// committed logs comparable across transports.
+func (e *Engine) Value(seq uint64, payloads [][]byte) bitstring.String {
+	h := sha256.New()
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], e.cfg.Seed)
+	binary.LittleEndian.PutUint64(hdr[8:16], seq)
+	h.Write(hdr[:])
+	var lenBuf [8]byte
+	for _, p := range payloads {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write(p)
+	}
+	sum := h.Sum(nil)
+	s, err := bitstring.FromBytes(sum, e.params.StringBits)
+	if err != nil {
+		panic("pipeline: internal: " + err.Error()) // unreachable: SHA-256 is 32 bytes, StringBits ≤ 256 validated sizes
+	}
+	return s
+}
+
+// Append opens the next instance with the given batch, blocking while the
+// pipeline is at Depth. It returns the assigned sequence number; the
+// commit is observed with WaitSeq or OnCommit.
+func (e *Engine) Append(ctx context.Context, payloads [][]byte) (uint64, error) {
+	select {
+	case e.slots <- struct{}{}:
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	case <-e.failCh:
+		return 0, e.runError()
+	case <-e.done:
+		return 0, e.runError()
+	}
+
+	e.mu.Lock()
+	if err := e.appendBlocked(); err != nil {
+		e.mu.Unlock()
+		<-e.slots
+		return 0, err
+	}
+	seq := e.nextSeq
+	e.nextSeq++
+	if seq > math.MaxUint32 {
+		e.failLocked(fmt.Errorf("pipeline: instance tag overflow at seq %d", seq))
+		e.mu.Unlock()
+		<-e.slots
+		return 0, e.runError()
+	}
+	inst := &instance{
+		seq:       seq,
+		proposed:  e.Value(seq, payloads),
+		payloads:  payloads,
+		opened:    time.Now(),
+		values:    make(map[bitstring.MapKey]int, 1),
+		committed: make(chan struct{}),
+	}
+	e.open[seq] = inst
+	e.mu.Unlock()
+
+	e.openInstance(seq, inst.proposed)
+	return seq, nil
+}
+
+// appendBlocked reports why new instances cannot open, if they cannot.
+func (e *Engine) appendBlocked() error {
+	if e.failed != nil {
+		return e.failed
+	}
+	if e.closed {
+		return fmt.Errorf("pipeline: log closed")
+	}
+	return nil
+}
+
+// openInstance distributes MsgOpen to every node with the deterministic
+// per-node initial beliefs of instance seq.
+func (e *Engine) openInstance(seq uint64, value bitstring.String) {
+	src := prng.New(prng.DeriveKey(e.cfg.Seed, "log/believe", seq))
+	junk := bitstring.Random(src.Fork(1), e.params.StringBits)
+	for id := 0; id < e.cfg.N; id++ {
+		if e.corrupt[id] {
+			// Corrupt nodes ignore MsgOpen; skip the injection entirely.
+			continue
+		}
+		initial := junk
+		if e.cfg.KnowFrac >= 1 || src.Float64() < e.cfg.KnowFrac {
+			initial = value
+		}
+		e.inject(simnet.Envelope{From: id, To: id, Msg: MsgOpen{Seq: seq, Initial: initial}})
+	}
+}
+
+// onDecision is the MuxNode callback: record one node's decision and kick
+// the commit watcher. Decisions arriving after the instance committed
+// (possible below CommitFraction 1) are dropped.
+func (e *Engine) onDecision(node int, seq uint64, value bitstring.String, support, need int) {
+	e.mu.Lock()
+	inst := e.open[seq]
+	if inst != nil {
+		inst.deciders++
+		k := value.MapKey()
+		inst.values[k]++
+		if inst.values[k] > inst.valueCount {
+			inst.valueCount = inst.values[k]
+			inst.value = value
+		}
+		if support < need {
+			inst.certDeficits++
+		}
+	}
+	e.mu.Unlock()
+	if inst != nil {
+		e.kick()
+	}
+}
+
+// kick wakes the commit watcher without blocking.
+func (e *Engine) kick() {
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
+}
+
+// watch is the commit goroutine: it advances the in-order commit frontier
+// on every decision signal and polls for instance timeouts.
+func (e *Engine) watch() {
+	defer e.watcher.Done()
+	ticker := time.NewTicker(10 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-e.wake:
+		case <-ticker.C:
+		}
+		e.advance()
+	}
+}
+
+// advance commits every head instance whose decision threshold is met, in
+// sequence order, and fails the log on a head timeout.
+func (e *Engine) advance() {
+	for {
+		e.mu.Lock()
+		inst := e.open[e.commitSeq]
+		if inst == nil || e.failed != nil {
+			e.mu.Unlock()
+			return
+		}
+		if inst.deciders < e.need {
+			if time.Since(inst.opened) > e.cfg.InstanceTimeout {
+				e.failLocked(fmt.Errorf("pipeline: instance %d: %d of %d required deciders after %v",
+					inst.seq, inst.deciders, e.need, e.cfg.InstanceTimeout))
+			}
+			e.mu.Unlock()
+			return
+		}
+		entry := Entry{
+			Seq:             inst.seq,
+			Value:           inst.value,
+			Payloads:        inst.payloads,
+			Deciders:        inst.deciders,
+			Correct:         e.correct,
+			DistinctValues:  len(inst.values),
+			CertDeficits:    inst.certDeficits,
+			MatchesProposal: inst.value.Equal(inst.proposed),
+			Opened:          inst.opened,
+			Committed:       time.Now(),
+		}
+		delete(e.open, e.commitSeq)
+		e.commitSeq++
+		e.entries = append(e.entries, entry)
+		e.mu.Unlock()
+
+		close(inst.committed)
+		<-e.slots // free the pipeline slot
+		for id := 0; id < e.cfg.N; id++ {
+			if !e.corrupt[id] {
+				e.inject(simnet.Envelope{From: id, To: id, Msg: MsgClose{Seq: entry.Seq}})
+			}
+		}
+		if e.cfg.OnCommit != nil {
+			e.cfg.OnCommit(entry)
+		}
+	}
+}
+
+// failLocked records the first fatal error and releases every waiter.
+// Callers hold e.mu.
+func (e *Engine) failLocked(err error) {
+	if e.failed != nil {
+		return
+	}
+	e.failed = err
+	close(e.failCh)
+	for _, inst := range e.open {
+		close(inst.committed)
+	}
+	e.open = make(map[uint64]*instance)
+}
+
+// runError returns the recorded fatal error, or a generic closed error.
+func (e *Engine) runError() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.failed != nil {
+		return e.failed
+	}
+	return fmt.Errorf("pipeline: log closed")
+}
+
+// WaitSeq blocks until instance seq commits and returns its entry.
+func (e *Engine) WaitSeq(ctx context.Context, seq uint64) (Entry, error) {
+	e.mu.Lock()
+	if seq < e.commitSeq {
+		entry := e.entries[seq]
+		e.mu.Unlock()
+		return entry, nil
+	}
+	if err := e.failed; err != nil {
+		e.mu.Unlock()
+		return Entry{}, err
+	}
+	inst := e.open[seq]
+	next := e.nextSeq
+	e.mu.Unlock()
+	if inst == nil {
+		return Entry{}, fmt.Errorf("pipeline: seq %d not open (next append is %d)", seq, next)
+	}
+	select {
+	case <-inst.committed:
+	case <-ctx.Done():
+		return Entry{}, ctx.Err()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if seq < e.commitSeq {
+		return e.entries[seq], nil
+	}
+	if e.failed != nil {
+		return Entry{}, e.failed
+	}
+	return Entry{}, fmt.Errorf("pipeline: seq %d released without commit", seq)
+}
+
+// CommittedSeq returns instance seq's entry if it has already committed.
+func (e *Engine) CommittedSeq(seq uint64) (Entry, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if seq < e.commitSeq {
+		return e.entries[seq], true
+	}
+	return Entry{}, false
+}
+
+// Failed returns a channel closed on the log's first fatal error (an
+// instance timeout, an abort). Waiters holding per-payload state use it
+// to resolve promptly instead of discovering the failure at Close.
+func (e *Engine) Failed() <-chan struct{} { return e.failCh }
+
+// Entries snapshots the committed log in sequence order.
+func (e *Engine) Entries() []Entry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Entry(nil), e.entries...)
+}
+
+// Err returns the log's fatal error, if any.
+func (e *Engine) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.failed
+}
+
+// Close drains the log — no new Appends, every open instance gets until
+// the instance timeout to commit — then tears the transport down. It
+// returns the log's fatal error, if any.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	waiting := make([]*instance, 0, len(e.open))
+	for _, inst := range e.open {
+		waiting = append(waiting, inst)
+	}
+	e.mu.Unlock()
+	deadline := time.NewTimer(e.cfg.InstanceTimeout + time.Second)
+	defer deadline.Stop()
+	for _, inst := range waiting {
+		select {
+		case <-inst.committed:
+		case <-deadline.C:
+			e.mu.Lock()
+			e.failLocked(fmt.Errorf("pipeline: close: open instances did not drain in %v", e.cfg.InstanceTimeout))
+			e.mu.Unlock()
+		}
+	}
+	e.stop()
+	return e.Err()
+}
+
+// Abort tears the transport down immediately, abandoning open instances
+// (the context-cancellation path).
+func (e *Engine) Abort() {
+	e.mu.Lock()
+	e.failLocked(context.Canceled)
+	e.mu.Unlock()
+	e.stop()
+}
+
+// stop shuts the watcher and the transport down, once.
+func (e *Engine) stop() {
+	e.teardown.Do(func() {
+		close(e.done)
+		e.watcher.Wait()
+		if e.fab != nil {
+			e.fab.Stop()
+		}
+		if e.cluster != nil {
+			e.cluster.Close()
+		}
+	})
+}
+
+// Metrics returns the transport's merged per-node metrics. Call it only
+// after Close or Abort.
+func (e *Engine) Metrics() *simnet.Metrics {
+	if e.cluster != nil {
+		return e.cluster.Metrics()
+	}
+	if e.fab != nil {
+		return e.fab.Metrics()
+	}
+	return nil
+}

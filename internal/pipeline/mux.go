@@ -1,0 +1,260 @@
+// Package pipeline chains agreement instances into a decision log: a
+// sequence of AER executions multiplexed over one long-lived transport
+// (the loopback Fabric or the netrun TCP cluster), with batched values,
+// bounded instance pipelining and in-order commits.
+//
+// The paper's protocol decides a single value; a replicated log runs it as
+// a service. This package supplies the machinery the one-shot runners do
+// not have: per-node multiplexers (MuxNode) that demultiplex
+// instance-tagged traffic (simnet.InstMsg) onto per-instance core.Node
+// children recycled through a pool (core.Node.Reset), and an Engine that
+// opens instances as client batches arrive, detects decisions, commits
+// instances strictly in sequence order and retires them.
+//
+// Determinism contract: the committed log — the sequence of (Seq, Value)
+// pairs — is a pure function of (seed, batch contents) whenever the value
+// digest decides every instance (the lossless-fault envelope): corruption,
+// per-instance knowledge and junk derive from the seed alone, and a
+// correct node's decision success depends only on which poll-list members
+// are correct, not on delivery order. The cross-runtime conformance test
+// locks this: the same seed and workload produce byte-identical committed
+// logs on the in-process Fabric and over real TCP sockets.
+package pipeline
+
+import (
+	"github.com/fastba/fastba/internal/bitstring"
+	"github.com/fastba/fastba/internal/core"
+	"github.com/fastba/fastba/internal/prng"
+	"github.com/fastba/fastba/internal/simnet"
+)
+
+// maxPendingPerInstance bounds the early-arrival queue of one instance: a
+// correct engine opens every instance on every node, so queued messages
+// are a short-lived race artifact; an unbounded queue would hand a
+// flooding adversary a memory lever.
+const maxPendingPerInstance = 1 << 14
+
+// MsgOpen is the engine→node control message opening instance Seq on the
+// receiving node with the given initial candidate (the zero String for a
+// node that starts with no candidate). It is injected locally into each
+// node's mailbox and never crosses the wire, so it has no codec in
+// internal/wire.
+type MsgOpen struct {
+	Seq     uint64
+	Initial bitstring.String
+}
+
+// WireSize returns the metered payload size.
+func (m MsgOpen) WireSize() int { return 8 + m.Initial.WireSize() }
+
+// Kind returns the metric kind tag.
+func (m MsgOpen) Kind() string { return "log-open" }
+
+// MsgClose retires instance Seq on the receiving node: its child returns
+// to the reuse pool and later traffic for the instance is dropped. Like
+// MsgOpen it is local-only.
+type MsgClose struct {
+	Seq uint64
+}
+
+// WireSize returns the metered payload size.
+func (m MsgClose) WireSize() int { return 8 }
+
+// Kind returns the metric kind tag.
+func (m MsgClose) Kind() string { return "log-close" }
+
+// DecisionFunc receives one node's decision for one instance, with the
+// certificate re-derived by the deciding node's own delivery goroutine
+// (the only context in which reading core.Node protocol state is
+// race-free).
+type DecisionFunc func(node int, seq uint64, value bitstring.String, support, need int)
+
+// pendingEnv is a message that arrived for an instance the node has not
+// opened yet (the open control message races protocol traffic from nodes
+// that opened earlier).
+type pendingEnv struct {
+	from int
+	msg  simnet.Message
+}
+
+// MuxNode is one physical node of the decision log: a simnet.Node that
+// demultiplexes instance-tagged traffic onto per-instance core.Node
+// children. All state is owned by the node's delivery goroutine (runners
+// never activate one node concurrently), so MuxNode takes no locks;
+// decisions leave the goroutine only through the DecisionFunc callback.
+type MuxNode struct {
+	id      int
+	corrupt bool
+	params  core.Params
+	smp     *core.Samplers
+	seed    uint64
+	// disablePool forces NewNode per instance instead of Reset on a pooled
+	// child — the naive-rebuild arm of BenchmarkLogInstanceReuse.
+	disablePool bool
+	onDecision  DecisionFunc
+
+	children map[uint64]*muxChild
+	pool     []*core.Node
+	pending  map[uint64][]pendingEnv
+	// retired is the retirement watermark: instances below it are closed
+	// and their traffic is dropped. Closes arrive in commit order, so a
+	// single watermark suffices.
+	retired uint64
+
+	// ictx is the reusable instance-tagging Context wrapper (one per node,
+	// re-pointed per delivery, so the hot path allocates nothing).
+	ictx instCtx
+}
+
+type muxChild struct {
+	node    *core.Node
+	decided bool
+}
+
+// NewMuxNode builds the multiplexer for node id. Corrupt nodes are
+// fail-silent for the whole log (the log's Byzantine model; richer
+// per-instance adversaries stay with the one-shot runners).
+func NewMuxNode(id int, corrupt bool, params core.Params, smp *core.Samplers, seed uint64, onDecision DecisionFunc) *MuxNode {
+	return &MuxNode{
+		id:         id,
+		corrupt:    corrupt,
+		params:     params,
+		smp:        smp,
+		seed:       seed,
+		onDecision: onDecision,
+		children:   make(map[uint64]*muxChild),
+		pending:    make(map[uint64][]pendingEnv),
+	}
+}
+
+// Init implements simnet.Node. Instances open on demand via MsgOpen, so
+// there is nothing to do at fabric start.
+func (m *MuxNode) Init(simnet.Context) {}
+
+// Deliver implements simnet.Node: control messages manage the instance
+// table; instance-tagged messages arriving as InstMsg wrappers (runners
+// without envelope-header tags) route to their child.
+func (m *MuxNode) Deliver(ctx simnet.Context, from simnet.NodeID, msg simnet.Message) {
+	switch t := msg.(type) {
+	case MsgOpen:
+		m.open(ctx, t)
+	case MsgClose:
+		m.close(t.Seq)
+	case simnet.InstMsg:
+		m.route(ctx, from, t.Inner, t.Inst)
+	}
+}
+
+// DeliverTagged implements simnet.TaggedNode: the Fabric hands over the
+// instance tag from the envelope header, wrapper-free.
+func (m *MuxNode) DeliverTagged(ctx simnet.Context, from simnet.NodeID, msg simnet.Message, inst uint32) {
+	m.route(ctx, from, msg, inst)
+}
+
+// open starts instance t.Seq on this node: a pooled child is rewound via
+// Reset, or a fresh one is built, and its Init runs under the
+// instance-tagging context. Early-arrived traffic replays in arrival
+// order.
+func (m *MuxNode) open(ctx simnet.Context, t MsgOpen) {
+	if m.corrupt || t.Seq < m.retired || m.children[t.Seq] != nil {
+		return
+	}
+	rng := prng.New(prng.DeriveKey(m.seed, "log/node", prng.Hash2(t.Seq, uint64(m.id))))
+	var node *core.Node
+	if n := len(m.pool); n > 0 && !m.disablePool {
+		node = m.pool[n-1]
+		m.pool = m.pool[:n-1]
+		node.Reset(t.Initial, rng)
+	} else {
+		node = core.NewNode(m.id, t.Initial, m.params, m.smp, rng)
+	}
+	child := &muxChild{node: node}
+	m.children[t.Seq] = child
+	ictx := m.tag(ctx, t.Seq)
+	node.Init(ictx)
+	if queued := m.pending[t.Seq]; queued != nil {
+		delete(m.pending, t.Seq)
+		for _, p := range queued {
+			node.Deliver(ictx, p.from, p.msg)
+		}
+	}
+	m.checkDecided(child, t.Seq)
+}
+
+// close retires instance seq: the child returns to the pool and the
+// watermark advances so stragglers are dropped.
+func (m *MuxNode) close(seq uint64) {
+	if child, ok := m.children[seq]; ok {
+		delete(m.children, seq)
+		if !m.disablePool {
+			m.pool = append(m.pool, child.node)
+		}
+	}
+	delete(m.pending, seq)
+	if seq+1 > m.retired {
+		m.retired = seq + 1
+	}
+}
+
+// route delivers one instance-tagged message, queueing it when the
+// instance is not open here yet and dropping it when the instance is
+// already retired.
+func (m *MuxNode) route(ctx simnet.Context, from int, inner simnet.Message, inst uint32) {
+	seq := uint64(inst)
+	if m.corrupt || seq < m.retired {
+		return
+	}
+	child, ok := m.children[seq]
+	if !ok {
+		if q := m.pending[seq]; len(q) < maxPendingPerInstance {
+			m.pending[seq] = append(q, pendingEnv{from: from, msg: inner})
+		}
+		return
+	}
+	child.node.Deliver(m.tag(ctx, seq), from, inner)
+	m.checkDecided(child, seq)
+}
+
+// checkDecided publishes a child's decision exactly once, with the quorum
+// certificate re-derived here — on the delivery goroutine that owns the
+// child's state — so the engine never reads racy protocol internals.
+func (m *MuxNode) checkDecided(child *muxChild, seq uint64) {
+	if child.decided || child.node.DecidedAt() < 0 {
+		return
+	}
+	child.decided = true
+	value, _ := child.node.Decided()
+	support, need, _ := child.node.DecisionCert()
+	if m.onDecision != nil {
+		m.onDecision(m.id, seq, value, support, need)
+	}
+}
+
+// tag re-points the reusable instance context at the current delivery.
+func (m *MuxNode) tag(ctx simnet.Context, seq uint64) *instCtx {
+	m.ictx.inner = ctx
+	m.ictx.tagger, _ = ctx.(simnet.TaggedSender)
+	m.ictx.inst = uint32(seq)
+	return &m.ictx
+}
+
+// instCtx wraps a runner Context so every send is instance-tagged: through
+// the envelope header when the runner supports it (the Fabric — no
+// per-send wrapper allocation), through an InstMsg wrapper otherwise.
+type instCtx struct {
+	inner  simnet.Context
+	tagger simnet.TaggedSender
+	inst   uint32
+}
+
+// Now returns the underlying runner clock.
+func (c *instCtx) Now() int { return c.inner.Now() }
+
+// Send stamps the instance tag onto the outgoing message.
+func (c *instCtx) Send(to simnet.NodeID, msg simnet.Message) {
+	if c.tagger != nil {
+		c.tagger.SendTagged(to, msg, c.inst)
+		return
+	}
+	c.inner.Send(to, simnet.InstMsg{Inst: c.inst, Inner: msg})
+}

@@ -29,6 +29,14 @@ const feistelRounds = 4
 // NewPerm returns a PRP on [0, n) keyed by key. It panics if n <= 0 (domain
 // construction is a programming error, not a runtime condition).
 func NewPerm(n int, key uint64) *Perm {
+	p := MakePerm(n, key)
+	return &p
+}
+
+// MakePerm is NewPerm by value: callers that build a Perm per query (the
+// poll-list sampler, once per delivery on the protocol hot path) keep it
+// on the stack instead of allocating.
+func MakePerm(n int, key uint64) Perm {
 	if n <= 0 {
 		panic("prng: NewPerm with non-positive domain")
 	}
@@ -38,7 +46,7 @@ func NewPerm(n int, key uint64) *Perm {
 	for uint64(1)<<(2*h) < uint64(n) {
 		h++
 	}
-	p := &Perm{
+	p := Perm{
 		n:        uint64(n),
 		halfBits: h,
 		halfMask: (uint64(1) << h) - 1,

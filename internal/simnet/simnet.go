@@ -45,6 +45,29 @@ type Message interface {
 // framing. The paper counts bits exchanged; we charge header + payload.
 const envelopeOverhead = 9
 
+// InstMsg is an instance-tagged message: the multiplexing envelope of the
+// decision-log pipeline (internal/pipeline), which runs several agreement
+// instances concurrently over one shared transport. The tag travels inside
+// the message payload — 4 bytes of instance sequence plus the inner kind
+// byte — so every existing transport (loopback Fabric, TCP frames) carries
+// multiplexed traffic unchanged, and the wire codec (internal/wire) gives
+// it a stable on-the-wire encoding.
+type InstMsg struct {
+	// Inst is the agreement-instance sequence number the inner message
+	// belongs to.
+	Inst uint32
+	// Inner is the wrapped protocol message.
+	Inner Message
+}
+
+// WireSize returns the encoded payload size: the 4-byte instance tag, the
+// inner kind byte and the inner payload.
+func (m InstMsg) WireSize() int { return 5 + m.Inner.WireSize() }
+
+// Kind returns the inner message's kind, so per-kind metrics stay
+// meaningful across a multiplexed run.
+func (m InstMsg) Kind() string { return m.Inner.Kind() }
+
 // Envelope is a message in flight.
 type Envelope struct {
 	From, To NodeID
@@ -53,6 +76,13 @@ type Envelope struct {
 	// 1 + the depth of the delivery during which it was sent (initial sends
 	// have depth 1). The SyncRunner uses Depth as the delivery round.
 	Depth int
+	// Inst is the agreement-instance tag of a multiplexed decision-log
+	// envelope, valid when Tagged is set. Carrying the tag in the envelope
+	// header keeps the send path free of wrapper allocations; InstMsg is
+	// the equivalent in-message representation (the wire format, and the
+	// fallback for runners without tagged-send support).
+	Inst   uint32
+	Tagged bool
 	// seq is the global send sequence number; schedulers use it for
 	// deterministic tie-breaking and the age bound.
 	seq uint64
@@ -77,6 +107,32 @@ type Node interface {
 	// Deliver handles one message from an authenticated sender.
 	Deliver(ctx Context, from NodeID, m Message)
 }
+
+// TaggedSender is implemented by runner contexts that can stamp an
+// instance tag into the envelope header itself (the Fabric). Multiplexing
+// senders probe for it and fall back to wrapping in InstMsg.
+type TaggedSender interface {
+	// SendTagged enqueues m with the instance tag, metered exactly like
+	// Send(to, InstMsg{Inst: inst, Inner: m}) but without the wrapper
+	// allocation.
+	SendTagged(to NodeID, m Message, inst uint32)
+}
+
+// TaggedNode is a Node that consumes envelope instance tags. Runners that
+// carry tags in the envelope header (the Fabric) route tagged deliveries
+// to DeliverTagged; other runners deliver the InstMsg wrapper through
+// plain Deliver.
+type TaggedNode interface {
+	Node
+	// DeliverTagged handles one instance-tagged message.
+	DeliverTagged(ctx Context, from NodeID, m Message, inst uint32)
+}
+
+// instTagOverhead is the extra metered bytes of a tagged envelope: the
+// 4-byte instance tag plus the inner kind byte — identical to the InstMsg
+// wire representation, so metering does not depend on which form carried
+// the tag.
+const instTagOverhead = 5
 
 // Rusher is implemented by Byzantine nodes that exploit a rushing adversary
 // model. After the correct nodes of a synchronous round have produced their

@@ -24,12 +24,12 @@ type Transport interface {
 }
 
 // loopback is the in-process Transport: envelopes go straight into the
-// destination mailbox.
+// destination mailbox. A send into a closed mailbox (fabric stopping)
+// reports rejection so the sender's in-flight count stays exact.
 type loopback struct{ f *Fabric }
 
 func (l loopback) Send(e Envelope) bool {
-	l.f.boxes[e.To].Put(e)
-	return true
+	return l.f.boxes[e.To].Put(e)
 }
 
 // Clock selects how a Fabric stamps delivery time (Context.Now).
@@ -70,18 +70,21 @@ func NewMailbox() *Mailbox {
 	return m
 }
 
-// Put enqueues an envelope. Envelopes put after Close are dropped.
-func (m *Mailbox) Put(e Envelope) {
+// Put enqueues an envelope, reporting acceptance: envelopes put after
+// Close are dropped and report false so in-flight accounting can uncount
+// them.
+func (m *Mailbox) Put(e Envelope) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return
+		return false
 	}
 	if m.queue == nil {
 		m.queue = (*batchPool.Get().(*[]Envelope))[:0]
 	}
 	m.queue = append(m.queue, e)
 	m.cond.Signal()
+	return true
 }
 
 // Drain blocks until at least one envelope is pending (or the mailbox is
@@ -222,7 +225,28 @@ func (f *Fabric) Observe(o Observer) { f.observer = o }
 // the process that counted them on Send.
 func (f *Fabric) Inject(e Envelope) {
 	validateEnvelope(len(f.nodes), e)
-	f.boxes[e.To].Put(e)
+	if !f.boxes[e.To].Put(e) && f.track {
+		// The mailbox closed under the injector (teardown mid-run); the
+		// sender's count for this envelope must be returned or quiescence
+		// never comes.
+		f.inflight.Add(-1)
+	}
+}
+
+// InjectLocal feeds a locally originated envelope — one no fabricCtx.Send
+// ever counted, e.g. a pipeline control message from outside the node
+// goroutines — into the destination mailbox, incrementing the in-flight
+// counter so quiescence accounting stays exact (the delivery loop
+// decrements per handled message regardless of origin). Envelopes
+// rejected by a closed mailbox are uncounted again.
+func (f *Fabric) InjectLocal(e Envelope) {
+	validateEnvelope(len(f.nodes), e)
+	if f.track {
+		f.inflight.Add(1)
+	}
+	if !f.boxes[e.To].Put(e) && f.track {
+		f.inflight.Add(-1)
+	}
 }
 
 // Start initializes every node sequentially — preserving the runner
@@ -329,6 +353,10 @@ func (f *Fabric) nodeLoop(id NodeID) {
 	sh := &f.shards[id]
 	box := f.boxes[id]
 	ctx := &fabricCtx{f: f, self: id}
+	node := f.nodes[id]
+	// Tagged envelopes dispatch through DeliverTagged when the node
+	// consumes instance tags (resolved once, outside the loop).
+	tagged, _ := node.(TaggedNode)
 	for {
 		batch, ok := box.Drain()
 		if !ok {
@@ -353,10 +381,18 @@ func (f *Fabric) nodeLoop(id NodeID) {
 			if now > sh.maxDepth {
 				sh.maxDepth = now
 			}
+			size := e.Msg.WireSize() + envelopeOverhead
+			if e.Tagged {
+				size += instTagOverhead
+			}
 			sh.nm.RecvMsgs++
-			sh.nm.RecvBytes += int64(e.Msg.WireSize() + envelopeOverhead)
+			sh.nm.RecvBytes += int64(size)
 			ctx.now = now
-			f.nodes[id].Deliver(ctx, e.From, e.Msg)
+			if e.Tagged && tagged != nil {
+				tagged.DeliverTagged(ctx, e.From, e.Msg, e.Inst)
+			} else {
+				node.Deliver(ctx, e.From, e.Msg)
+			}
 			if f.observer != nil {
 				sh.obs = append(sh.obs, obsEvent{seq: f.obsSeq.Add(1), env: e})
 			}
@@ -383,9 +419,21 @@ type fabricCtx struct {
 func (c *fabricCtx) Now() int { return c.now }
 
 func (c *fabricCtx) Send(to NodeID, m Message) {
-	e := Envelope{From: c.self, To: to, Msg: m, Depth: c.now + 1}
+	c.send(Envelope{From: c.self, To: to, Msg: m, Depth: c.now + 1}, m.WireSize()+envelopeOverhead)
+}
+
+// SendTagged implements TaggedSender: the instance tag travels in the
+// envelope header, metered exactly like the InstMsg wrapper it replaces
+// (inner payload + tag overhead), with no wrapper allocation on the send
+// path.
+func (c *fabricCtx) SendTagged(to NodeID, m Message, inst uint32) {
+	e := Envelope{From: c.self, To: to, Msg: m, Depth: c.now + 1, Inst: inst, Tagged: true}
+	c.send(e, m.WireSize()+envelopeOverhead+instTagOverhead)
+}
+
+func (c *fabricCtx) send(e Envelope, size int) {
 	if c.f.lenient {
-		if to < 0 || to >= len(c.f.nodes) || m == nil {
+		if e.To < 0 || e.To >= len(c.f.nodes) || e.Msg == nil {
 			return
 		}
 	} else {
@@ -393,8 +441,8 @@ func (c *fabricCtx) Send(to NodeID, m Message) {
 	}
 	sh := &c.f.shards[c.self]
 	sh.nm.SentMsgs++
-	sh.nm.SentBytes += int64(m.WireSize() + envelopeOverhead)
-	sh.byKind[m.Kind()]++
+	sh.nm.SentBytes += int64(size)
+	sh.byKind[e.Msg.Kind()]++
 	copies := 1
 	if c.f.faults != nil {
 		v := c.f.faults.Judge(e, c.now)

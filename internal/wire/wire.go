@@ -41,6 +41,10 @@ const (
 	kindReply  byte = 0x21
 	kindBcast  byte = 0x22
 	kindVote   byte = 0x23
+	// kindInst is the decision-log multiplexing envelope: a 4-byte instance
+	// tag followed by the inner message's own kind byte and payload
+	// (simnet.InstMsg). Nesting InstMsg inside InstMsg is rejected.
+	kindInst byte = 0x30
 )
 
 // ErrUnknownMessage reports a message type without a codec.
@@ -73,6 +77,8 @@ func KindByte(m simnet.Message) (byte, error) {
 		return kindBcast, nil
 	case baseline.MsgVote:
 		return kindVote, nil
+	case simnet.InstMsg:
+		return kindInst, nil
 	default:
 		return 0, fmt.Errorf("%w: %T", ErrUnknownMessage, m)
 	}
@@ -125,6 +131,19 @@ func appendMessage(buf []byte, m simnet.Message) ([]byte, error) {
 	case baseline.MsgVote:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(msg.Round))
 		buf = appendString(buf, msg.S)
+	case simnet.InstMsg:
+		if _, nested := msg.Inner.(simnet.InstMsg); nested {
+			return nil, fmt.Errorf("wire: nested InstMsg")
+		}
+		innerKind, err := KindByte(msg.Inner)
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, msg.Inst)
+		buf = append(buf, innerKind)
+		if buf, err = appendMessage(buf, msg.Inner); err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnknownMessage, m)
 	}
@@ -176,6 +195,20 @@ func Unmarshal(kind byte, payload []byte) (simnet.Message, error) {
 	case kindVote:
 		round := int32(d.u32())
 		m = baseline.MsgVote{Round: round, S: d.str()}
+	case kindInst:
+		inst := d.u32()
+		innerKind := d.u8()
+		if d.err != nil {
+			return nil, fmt.Errorf("wire: decode kind %#x: %w", kind, d.err)
+		}
+		if innerKind == kindInst {
+			return nil, fmt.Errorf("wire: nested InstMsg")
+		}
+		inner, err := Unmarshal(innerKind, payload[d.pos:])
+		if err != nil {
+			return nil, err
+		}
+		return simnet.InstMsg{Inst: inst, Inner: inner}, nil
 	default:
 		return nil, fmt.Errorf("%w: kind %#x", ErrUnknownMessage, kind)
 	}
@@ -207,6 +240,28 @@ func EncodeEnvelope(from, to int, m simnet.Message) ([]byte, error) {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(to))
 	buf = append(buf, kind)
 	return append(buf, payload...), nil
+}
+
+// AppendTaggedFrame appends the transport frame of an instance-tagged
+// envelope: the kindInst layout (inst u32, inner kind, inner payload)
+// without materializing the InstMsg wrapper the frame represents.
+// Decoding a tagged frame yields InstMsg, which the TCP cluster maps back
+// onto the envelope header.
+func AppendTaggedFrame(buf []byte, from, to int, inst uint32, m simnet.Message) ([]byte, error) {
+	innerKind, err := KindByte(m)
+	if err != nil {
+		return buf, err
+	}
+	if innerKind == kindInst {
+		return buf, fmt.Errorf("wire: nested InstMsg")
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(EnvelopeOverhead+5+m.WireSize()))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(from))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(to))
+	buf = append(buf, kindInst)
+	buf = binary.LittleEndian.AppendUint32(buf, inst)
+	buf = append(buf, innerKind)
+	return appendMessage(buf, m)
 }
 
 // AppendFrame appends the length-prefixed transport frame for one message

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -32,6 +33,31 @@ func allMessages(t *testing.T) []simnet.Message {
 		baseline.MsgReply{S: s},
 		baseline.MsgBcast{S: s},
 		baseline.MsgVote{Round: 4, S: s},
+		simnet.InstMsg{Inst: 0, Inner: core.MsgPush{S: s}},
+		simnet.InstMsg{Inst: 0xDEADBEEF, Inner: core.MsgFw1{X: 7, S: s, R: 99, W: 12}},
+		simnet.InstMsg{Inst: 3, Inner: baseline.MsgQuery{}},
+	}
+}
+
+// TestNestedInstMsgRejected: the multiplexing envelope must not nest —
+// a nested tag would silently shadow the outer instance.
+func TestNestedInstMsgRejected(t *testing.T) {
+	src := prng.New(2)
+	s := bitstring.Random(src, 16)
+	nested := simnet.InstMsg{Inst: 1, Inner: simnet.InstMsg{Inst: 2, Inner: core.MsgPush{S: s}}}
+	if _, err := Marshal(nested); err == nil {
+		t.Fatal("Marshal accepted a nested InstMsg")
+	}
+	// And on the decode side: an inner kind byte naming the envelope
+	// itself is rejected.
+	inner, err := Marshal(core.MsgPush{S: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte{1, 0, 0, 0, 0x30}
+	payload = append(payload, inner...)
+	if _, err := Unmarshal(0x30, payload); err == nil {
+		t.Fatal("Unmarshal accepted a nested InstMsg")
 	}
 }
 
@@ -189,15 +215,18 @@ func TestQuickFw1RoundTrip(t *testing.T) {
 }
 
 func TestKindBytesDistinct(t *testing.T) {
+	// One kind byte per message TYPE (allMessages may carry several
+	// instances of one type, e.g. InstMsg variants).
 	seen := map[byte]string{}
 	for _, m := range allMessages(t) {
 		k, err := KindByte(m)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if prev, dup := seen[k]; dup {
-			t.Fatalf("kind byte %#x shared by %s and %T", k, prev, m)
+		typ := fmt.Sprintf("%T", m)
+		if prev, dup := seen[k]; dup && prev != typ {
+			t.Fatalf("kind byte %#x shared by %s and %s", k, prev, typ)
 		}
-		seen[k] = m.Kind()
+		seen[k] = typ
 	}
 }

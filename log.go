@@ -1,0 +1,549 @@
+package fastba
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/fastba/fastba/internal/pipeline"
+)
+
+// The decision log: agreement as a service. RunAER decides one value; a
+// DecisionLog runs an unbounded sequence of AER instances back-to-back
+// over one long-lived transport, folding client proposals into per-
+// instance batch values, pipelining up to Depth instances over
+// instance-tagged envelopes, and committing instances strictly in
+// sequence order. See DESIGN.md §7 for what the paper's single-shot
+// guarantees do and do not promise across instances.
+
+// LogRuntime selects the transport a DecisionLog runs on.
+type LogRuntime int
+
+// Decision-log runtimes.
+const (
+	// RuntimeFabric is the in-process loopback fabric: one goroutine per
+	// node over batched mailboxes (the Goroutines model's substrate).
+	RuntimeFabric LogRuntime = iota + 1
+	// RuntimeTCP runs the same nodes over real loopback TCP sockets
+	// (internal/netrun): one listener per node, lazily dialed mesh.
+	RuntimeTCP
+)
+
+// String implements fmt.Stringer.
+func (r LogRuntime) String() string {
+	switch r {
+	case RuntimeFabric:
+		return "fabric"
+	case RuntimeTCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("LogRuntime(%d)", int(r))
+	}
+}
+
+// ParseLogRuntime maps a runtime's String name back to its value.
+func ParseLogRuntime(s string) (LogRuntime, error) {
+	for _, r := range []LogRuntime{RuntimeFabric, RuntimeTCP} {
+		if s == r.String() {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("fastba: unknown log runtime %q", s)
+}
+
+// LogEntry is one committed decision-log record.
+type LogEntry struct {
+	// Seq is the instance sequence number; a gap-free log commits
+	// contiguous seqs from 0.
+	Seq uint64 `json:"seq"`
+	// Value is the hex encoding of the decided value — the digest of the
+	// batch the instance agreed on.
+	Value string `json:"value"`
+	// Payloads are the client payloads folded into the instance.
+	Payloads [][]byte `json:"-"`
+	// PayloadCount is len(Payloads) (serialized in place of the payload
+	// bytes).
+	PayloadCount int `json:"payloads"`
+	// Deciders of Correct correct nodes had decided when the instance
+	// committed.
+	Deciders int `json:"deciders"`
+	Correct  int `json:"correct"`
+	// DistinctValues counts distinct decided values among the deciders
+	// (> 1 is a log-agreement violation); CertDeficits counts deciders
+	// without a re-derivable quorum certificate (must stay 0);
+	// MatchesProposal reports that the decided value is the proposed batch
+	// digest (the validity probe).
+	DistinctValues  int  `json:"distinctValues"`
+	CertDeficits    int  `json:"certDeficits,omitempty"`
+	MatchesProposal bool `json:"matchesProposal"`
+	// Latency is the open-to-commit duration of the instance.
+	Latency time.Duration `json:"latencyNs"`
+}
+
+// logEntry converts the engine's record to the public form.
+func logEntry(e pipeline.Entry) LogEntry {
+	return LogEntry{
+		Seq:             e.Seq,
+		Value:           hex.EncodeToString(e.Value.Bytes()),
+		Payloads:        e.Payloads,
+		PayloadCount:    len(e.Payloads),
+		Deciders:        e.Deciders,
+		Correct:         e.Correct,
+		DistinctValues:  e.DistinctValues,
+		CertDeficits:    e.CertDeficits,
+		MatchesProposal: e.MatchesProposal,
+		Latency:         e.Committed.Sub(e.Opened),
+	}
+}
+
+// Ticket tracks one proposed payload through batching and commit.
+type Ticket struct {
+	submitted  time.Time
+	resolvedAt time.Time
+	done       chan struct{}
+	entry      LogEntry
+	err        error
+}
+
+// Wait blocks until the payload's instance commits (or the log fails) and
+// returns the committed entry.
+func (t *Ticket) Wait(ctx context.Context) (LogEntry, error) {
+	select {
+	case <-t.done:
+		return t.entry, t.err
+	case <-ctx.Done():
+		return LogEntry{}, ctx.Err()
+	}
+}
+
+// resolved reports the commit non-blockingly: the entry, the submit-to-
+// commit latency, and whether the ticket resolved successfully.
+func (t *Ticket) resolved() (LogEntry, time.Duration, bool) {
+	select {
+	case <-t.done:
+	default:
+		return LogEntry{}, 0, false
+	}
+	if t.err != nil {
+		return LogEntry{}, 0, false
+	}
+	return t.entry, t.resolvedAt.Sub(t.submitted), true
+}
+
+// failed reports non-blockingly that the ticket resolved with an error.
+func (t *Ticket) failed() bool {
+	select {
+	case <-t.done:
+	default:
+		return false
+	}
+	return t.err != nil
+}
+
+// proposal is one queued client payload.
+type proposal struct {
+	payload []byte
+	ticket  *Ticket
+}
+
+// DecisionLog is a pipelined multi-instance decision log. Open one with
+// OpenLog, feed it with Propose (batched client ingest) or Append
+// (explicit deterministic batches), and Close it to flush and tear the
+// transport down.
+//
+// Byzantine model: the log's corrupt nodes are fail-silent for its whole
+// lifetime (the registry adversaries target single-shot runs); hostility
+// beyond silence comes from the fault plan (WithFaults), which applies to
+// every instance's traffic on the shared transport.
+type DecisionLog struct {
+	cfg     Config
+	eng     *pipeline.Engine
+	runtime LogRuntime
+	batch   int
+	linger  time.Duration
+
+	ingest chan proposal
+	// closeCh tells the batcher (and blocked Propose calls) that Close
+	// started; the ingest channel itself is never closed, so a racing
+	// Propose can never panic on a closed send.
+	closeCh     chan struct{}
+	batcherDone chan struct{}
+	// shutdown releases the failure watcher once Close has resolved every
+	// ticket itself.
+	shutdown  chan struct{}
+	stopWatch func() bool
+
+	mu        sync.Mutex
+	tickets   map[uint64][]*Ticket // per-seq tickets awaiting commit
+	closed    bool
+	proposers sync.WaitGroup // in-flight Propose calls (entered before closed flips)
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// OpenLog builds and starts a decision log for the configuration: n,
+// seed, corruption, knowledge fraction and fault plan come from the usual
+// options; the log-specific knobs are WithLogRuntime, WithLogDepth,
+// WithLogBatch, WithLogLinger, WithLogCommitFraction and
+// WithLogInstanceTimeout. Cancelling ctx aborts the log promptly: open
+// instances are abandoned and the transport (including a TCP cluster's
+// goroutines) tears down without waiting for Close.
+func OpenLog(ctx context.Context, cfg Config, opts ...Option) (*DecisionLog, error) {
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	// Population and fault-plan validation happens once, in pipeline.New.
+	runtime := cfg.logRuntime
+	if runtime == 0 {
+		runtime = RuntimeFabric
+	}
+	if runtime != RuntimeFabric && runtime != RuntimeTCP {
+		return nil, fmt.Errorf("fastba: unknown log runtime %v", runtime)
+	}
+	batch := cfg.logBatch
+	if batch <= 0 {
+		batch = 64
+	}
+	linger := cfg.logLinger
+	if linger <= 0 {
+		linger = 2 * time.Millisecond
+	}
+
+	l := &DecisionLog{
+		cfg:         cfg,
+		runtime:     runtime,
+		batch:       batch,
+		linger:      linger,
+		ingest:      make(chan proposal, 4*batch),
+		closeCh:     make(chan struct{}),
+		batcherDone: make(chan struct{}),
+		shutdown:    make(chan struct{}),
+		tickets:     make(map[uint64][]*Ticket),
+	}
+	eng, err := pipeline.New(pipeline.Config{
+		N:               cfg.n,
+		Params:          cfg.params,
+		Seed:            cfg.seed,
+		CorruptFrac:     cfg.corruptFrac,
+		KnowFrac:        cfg.knowFrac,
+		Depth:           cfg.logDepth,
+		CommitFraction:  cfg.logCommitFrac,
+		InstanceTimeout: cfg.logTimeout,
+		Faults:          cfg.faults,
+		DisablePool:     cfg.logNaive,
+		OnCommit:        l.onCommit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	l.eng = eng
+	switch runtime {
+	case RuntimeFabric:
+		eng.StartFabric()
+	case RuntimeTCP:
+		if err := eng.StartTCP(); err != nil {
+			return nil, err
+		}
+	}
+	// Propagate cancellation into transport teardown: a cancelled
+	// long-lived run must not leave netrun accept/read goroutines behind.
+	l.stopWatch = context.AfterFunc(ctx, eng.Abort)
+	go l.batcher()
+	// Resolve outstanding tickets promptly when the engine fails (an
+	// instance timeout, a cancellation) instead of leaving Ticket.Wait
+	// blocked until Close.
+	go func() {
+		select {
+		case <-eng.Failed():
+			l.failTickets(eng.Err())
+		case <-l.shutdown:
+		}
+	}()
+	return l, nil
+}
+
+// Runtime returns the transport the log runs on.
+func (l *DecisionLog) Runtime() LogRuntime { return l.runtime }
+
+// Correct returns the number of correct nodes in the log's population.
+func (l *DecisionLog) Correct() int { return l.eng.Correct() }
+
+// Propose submits one client payload: it joins the batcher's pending set
+// and is folded into the next instance's value. Propose blocks for
+// backpressure when the ingest buffer is full (the pipeline is at Depth
+// and a full batch is already waiting). The returned Ticket resolves when
+// the payload's instance commits, or with an error when the log fails or
+// closes first.
+func (l *DecisionLog) Propose(ctx context.Context, payload []byte) (*Ticket, error) {
+	// Enter the proposer set under the lock: once Close flips the flag no
+	// new proposer starts, and Close waits out everyone already inside —
+	// so the batcher keeps consuming until every blocked send below has
+	// finished, and the ingest channel never needs closing.
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, l.appendErr()
+	}
+	l.proposers.Add(1)
+	l.mu.Unlock()
+	defer l.proposers.Done()
+
+	t := &Ticket{submitted: time.Now(), done: make(chan struct{})}
+	select {
+	case l.ingest <- proposal{payload: payload, ticket: t}:
+		return t, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-l.closeCh:
+		return nil, l.appendErr()
+	case <-l.batcherDone:
+		return nil, l.appendErr()
+	}
+}
+
+// Append opens one instance with exactly the given batch, bypassing the
+// batcher — the deterministic ingest path: with a fixed seed and fixed
+// batches, the committed log is identical across runtimes (the
+// conformance contract). It blocks while the pipeline is at Depth and
+// returns the assigned sequence number.
+func (l *DecisionLog) Append(ctx context.Context, payloads [][]byte) (uint64, error) {
+	return l.eng.Append(ctx, payloads)
+}
+
+// WaitSeq blocks until instance seq commits and returns its entry.
+func (l *DecisionLog) WaitSeq(ctx context.Context, seq uint64) (LogEntry, error) {
+	e, err := l.eng.WaitSeq(ctx, seq)
+	if err != nil {
+		return LogEntry{}, err
+	}
+	return logEntry(e), nil
+}
+
+// Committed snapshots the committed log in sequence order.
+func (l *DecisionLog) Committed() []LogEntry {
+	raw := l.eng.Entries()
+	out := make([]LogEntry, len(raw))
+	for i, e := range raw {
+		out[i] = logEntry(e)
+	}
+	return out
+}
+
+// Err returns the log's fatal error, if any.
+func (l *DecisionLog) Err() error { return l.eng.Err() }
+
+// Close flushes the batcher's pending payloads, waits for every open
+// instance to commit (bounded by the instance timeout), tears the
+// transport down and returns the log's fatal error, if any.
+func (l *DecisionLog) Close() error {
+	l.closeOnce.Do(func() {
+		l.mu.Lock()
+		l.closed = true
+		l.mu.Unlock()
+		// No new proposers can start; wait out the in-flight ones (the
+		// batcher is still consuming, so blocked sends finish), then tell
+		// the batcher to drain what reached the buffer and stop.
+		l.proposers.Wait()
+		close(l.closeCh)
+		<-l.batcherDone
+		l.closeErr = l.eng.Close()
+		if l.stopWatch != nil {
+			l.stopWatch()
+		}
+		l.failTickets(l.closeErr)
+		close(l.shutdown)
+	})
+	return l.closeErr
+}
+
+// appendErr describes why ingestion stopped.
+func (l *DecisionLog) appendErr() error {
+	if err := l.eng.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("fastba: decision log closed")
+}
+
+// batcher folds queued proposals into instances: a batch opens when it
+// reaches the batch size or when the linger timer expires with at least
+// one payload pending. Slot backpressure happens inside Append.
+func (l *DecisionLog) batcher() {
+	defer close(l.batcherDone)
+	var (
+		payloads [][]byte
+		tickets  []*Ticket
+		timer    *time.Timer
+		timerC   <-chan time.Time
+	)
+	ship := func() {
+		if len(payloads) == 0 {
+			return
+		}
+		batch, batchTickets := payloads, tickets
+		payloads, tickets = nil, nil
+		if timerC != nil {
+			// The linger tick is unconsumed: if Stop loses the race with
+			// the firing, drain the tick so the next Reset does not fire
+			// instantly and cut a premature one-payload batch.
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timerC = nil
+		}
+		seq, err := l.eng.Append(context.Background(), batch)
+		if err != nil {
+			for _, t := range batchTickets {
+				t.err = err
+				close(t.done)
+			}
+			return
+		}
+		l.mu.Lock()
+		l.tickets[seq] = batchTickets
+		l.mu.Unlock()
+		// The instance may have committed between Append returning and the
+		// registration above, in which case onCommit found nothing to
+		// resolve; re-check so the tickets never dangle. resolveSeq pulls
+		// tickets out of the map under the lock, so the commit callback
+		// and this re-check resolve each ticket exactly once.
+		if e, ok := l.eng.CommittedSeq(seq); ok {
+			l.resolveSeq(seq, logEntry(e))
+		} else if err := l.eng.Err(); err != nil {
+			// Same window on the failure side: the engine may have failed
+			// between Append and registration, before the failure watcher
+			// could see these tickets.
+			l.failTickets(err)
+		}
+	}
+	collect := func(p proposal) {
+		payloads = append(payloads, p.payload)
+		tickets = append(tickets, p.ticket)
+		if len(payloads) >= l.batch {
+			ship()
+		} else if timerC == nil {
+			if timer == nil {
+				timer = time.NewTimer(l.linger)
+			} else {
+				timer.Reset(l.linger)
+			}
+			timerC = timer.C
+		}
+	}
+	for {
+		select {
+		case p := <-l.ingest:
+			collect(p)
+		case <-timerC:
+			timerC = nil
+			ship()
+		case <-l.closeCh:
+			// Close has waited out every in-flight Propose, so the buffer
+			// holds everything that will ever arrive: drain it, ship the
+			// final batch and stop.
+			for {
+				select {
+				case p := <-l.ingest:
+					collect(p)
+					continue
+				default:
+				}
+				break
+			}
+			ship()
+			return
+		}
+	}
+}
+
+// onCommit resolves the committed instance's tickets and streams the
+// commit through the configured Observer.
+func (l *DecisionLog) onCommit(e pipeline.Entry) {
+	l.resolveSeq(e.Seq, logEntry(e))
+	if l.cfg.observer != nil {
+		size := 0
+		for _, p := range e.Payloads {
+			size += len(p)
+		}
+		l.cfg.observer(Event{Type: EventCommit, Time: int(e.Seq), From: -1, To: -1, Kind: "commit", Size: size})
+	}
+}
+
+// resolveSeq resolves the tickets registered for one committed seq,
+// exactly once: whoever pulls them out of the map under the lock (the
+// commit callback, or the batcher's post-registration re-check) owns
+// their resolution.
+func (l *DecisionLog) resolveSeq(seq uint64, entry LogEntry) {
+	l.mu.Lock()
+	tickets := l.tickets[seq]
+	delete(l.tickets, seq)
+	l.mu.Unlock()
+	now := time.Now()
+	for _, t := range tickets {
+		t.entry = entry
+		t.resolvedAt = now
+		close(t.done)
+	}
+}
+
+// failTickets resolves every unresolved ticket with err (nil: a clean
+// close that still left tickets means their instances never committed).
+func (l *DecisionLog) failTickets(err error) {
+	if err == nil {
+		err = fmt.Errorf("fastba: decision log closed before the payload committed")
+	}
+	l.mu.Lock()
+	pending := l.tickets
+	l.tickets = make(map[uint64][]*Ticket)
+	l.mu.Unlock()
+	for _, batch := range pending {
+		for _, t := range batch {
+			t.err = err
+			close(t.done)
+		}
+	}
+}
+
+// Log-specific options.
+
+// WithLogRuntime selects the decision log's transport (default
+// RuntimeFabric).
+func WithLogRuntime(r LogRuntime) Option {
+	return optionFunc(func(c *Config) { c.logRuntime = r })
+}
+
+// WithLogDepth bounds concurrently open instances (default 1 — strictly
+// sequential; raising it pipelines instances over the shared transport).
+func WithLogDepth(d int) Option {
+	return optionFunc(func(c *Config) { c.logDepth = d })
+}
+
+// WithLogBatch sets the ingest batch size: a pending batch ships as soon
+// as it holds this many payloads (default 64).
+func WithLogBatch(n int) Option {
+	return optionFunc(func(c *Config) { c.logBatch = n })
+}
+
+// WithLogLinger bounds how long a non-empty, non-full batch waits for
+// more payloads before shipping (default 2ms).
+func WithLogLinger(d time.Duration) Option {
+	return optionFunc(func(c *Config) { c.logLinger = d })
+}
+
+// WithLogCommitFraction sets the fraction of correct nodes that must
+// decide before an instance commits (default 1). Lowering it lets the log
+// make progress when a lossy fault plan silences part of the population.
+func WithLogCommitFraction(f float64) Option {
+	return optionFunc(func(c *Config) { c.logCommitFrac = f })
+}
+
+// WithLogInstanceTimeout bounds how long the head instance may stay
+// uncommitted before the log fails (default 30s).
+func WithLogInstanceTimeout(d time.Duration) Option {
+	return optionFunc(func(c *Config) { c.logTimeout = d })
+}

@@ -20,6 +20,10 @@ const (
 	// EventDecision fires when a correct node decides (AER runs; the To
 	// field names the decider).
 	EventDecision
+	// EventCommit fires when a decision log commits an entry: Time is the
+	// entry's sequence number, Size the total payload bytes folded into
+	// it. Full entries are available through DecisionLog.Committed.
+	EventCommit
 )
 
 // String implements fmt.Stringer.
@@ -31,6 +35,8 @@ func (t EventType) String() string {
 		return "round"
 	case EventDecision:
 		return "decision"
+	case EventCommit:
+		return "commit"
 	default:
 		return "event"
 	}

@@ -46,6 +46,27 @@ const (
 	// execution at MaxRounds by construction, so full decision within the
 	// run is the bound.)
 	OracleTermination = "termination"
+
+	// Cross-instance decision-log oracles (CheckLogInvariants). Like the
+	// single-shot safety oracles they hold under EVERY fault plan: faults
+	// can stall instances or silence nodes, but a committed entry must
+	// still be gap-free in sequence, agreed by its deciders, and backed by
+	// re-derivable certificates.
+
+	// OracleLogGapFree: committed sequence numbers are contiguous from 0 —
+	// the in-order commit rule admits no holes.
+	OracleLogGapFree = "log-gap-free"
+	// OracleLogAgreement: within every committed instance, all correct
+	// deciders decided the same value (the per-instance agreement
+	// guarantee, lifted to the log).
+	OracleLogAgreement = "log-agreement"
+	// OracleLogCertificates: every decider of every committed instance
+	// holds a re-derived strict poll-list majority certificate.
+	OracleLogCertificates = "log-certificates"
+	// OracleLogValidity: every committed value is the proposed batch
+	// digest. Sound under the a.e. precondition (knowFrac ≥ 3/4);
+	// skipped below it.
+	OracleLogValidity = "log-validity"
 )
 
 // Violation is one oracle finding on one run.
@@ -231,4 +252,51 @@ func (o *Oracles) Report(res *AERResult) OracleReport {
 // and the scenario fuzzer's corpus replays.
 func CheckInvariants(cfg Config, res *AERResult) OracleReport {
 	return NewOracles(cfg).Report(res)
+}
+
+// CheckLogInvariants evaluates the cross-instance oracles on a committed
+// decision log: sequence contiguity, per-instance decider agreement,
+// certificate re-derivability and (under the a.e. precondition) batch-
+// digest validity. knowFrac is the log's configured knowledge fraction,
+// which gates the validity oracle exactly as in single-shot runs.
+func CheckLogInvariants(entries []LogEntry, knowFrac float64) OracleReport {
+	rep := OracleReport{Skipped: map[string]string{}}
+	checked := map[string]bool{}
+	check := func(name string, violated bool, detail string, args ...any) {
+		checked[name] = true
+		if violated {
+			rep.Violations = append(rep.Violations, Violation{Oracle: name, Detail: fmt.Sprintf(detail, args...)})
+		}
+	}
+
+	checked[OracleLogGapFree] = true
+	checked[OracleLogAgreement] = true
+	checked[OracleLogCertificates] = true
+	validity := knowFrac >= 0.75
+	if validity {
+		checked[OracleLogValidity] = true
+	} else {
+		rep.Skipped[OracleLogValidity] = fmt.Sprintf("knowFrac %.2f below the 3/4 a.e. precondition", knowFrac)
+	}
+	for i, e := range entries {
+		check(OracleLogGapFree, e.Seq != uint64(i),
+			"entry %d carries seq %d — the committed sequence has a gap or a reorder", i, e.Seq)
+		check(OracleLogAgreement, e.DistinctValues > 1,
+			"seq %d committed with %d distinct decided values among %d deciders", e.Seq, e.DistinctValues, e.Deciders)
+		check(OracleLogCertificates, e.CertDeficits > 0,
+			"seq %d has %d deciders without a strict poll-list majority certificate", e.Seq, e.CertDeficits)
+		if validity {
+			check(OracleLogValidity, !e.MatchesProposal,
+				"seq %d committed a value that is not the proposed batch digest", e.Seq)
+		}
+	}
+
+	for name := range checked {
+		rep.Checked = append(rep.Checked, name)
+	}
+	sort.Strings(rep.Checked)
+	if len(rep.Skipped) == 0 {
+		rep.Skipped = nil
+	}
+	return rep
 }

@@ -56,6 +56,8 @@ type CellReport struct {
 	MeanBits Stat `json:"meanBits"`
 	MaxBits  Stat `json:"maxBits"`
 	Deferred Stat `json:"deferred"`
+	// Load summarizes sustained-load metrics (KindLog cells only).
+	Load *LoadCellStats `json:"load,omitempty"`
 	// Records holds the raw per-seed outcomes for custom post-processing
 	// (growth fits, decision-time percentiles, coverage counts, ...).
 	Records []RunRecord `json:"records"`
@@ -69,6 +71,35 @@ func (c *CellReport) Record(seed uint64) RunRecord {
 		}
 	}
 	return RunRecord{}
+}
+
+// LoadCellStats aggregates one KindLog cell's sustained-load metrics over
+// its seeds: committed-entry and payload throughput, commit-latency
+// percentiles-of-percentiles, and the merged latency histogram.
+type LoadCellStats struct {
+	Committed      Stat         `json:"committed"`
+	EntriesPerSec  Stat         `json:"entriesPerSec"`
+	PayloadsPerSec Stat         `json:"payloadsPerSec"`
+	CommitP50Ms    Stat         `json:"commitP50Ms"`
+	CommitP99Ms    Stat         `json:"commitP99Ms"`
+	Hist           []HistBucket `json:"hist,omitempty"`
+}
+
+// mergeHist accumulates one run's latency histogram into the cell's
+// (bucket edges are fixed, so merging is positional).
+func mergeHist(into []HistBucket, h []HistBucket) []HistBucket {
+	if len(h) == 0 {
+		return into
+	}
+	if len(into) == 0 {
+		return append([]HistBucket(nil), h...)
+	}
+	for i := range into {
+		if i < len(h) {
+			into[i].Count += h[i].Count
+		}
+	}
+	return into
 }
 
 // Report is the aggregated outcome of RunSuite: one CellReport per sweep
@@ -95,11 +126,21 @@ func aggregate(s Suite, runs []plannedRun, records []RunRecord) *Report {
 	}
 	for _, cr := range rep.Cells {
 		var times, bits, maxBits, deferred []float64
+		var committed, eps, pps, p50, p99 []float64
+		var hist []HistBucket
 		for _, rec := range cr.Records {
 			cr.Runs++
 			if rec.Err != "" {
 				cr.Failures++
 				continue
+			}
+			if s.Kind == KindLog {
+				committed = append(committed, float64(rec.Committed))
+				eps = append(eps, rec.EntriesPerSec)
+				pps = append(pps, rec.PayloadsPerSec)
+				p50 = append(p50, rec.CommitP50Ms)
+				p99 = append(p99, rec.CommitP99Ms)
+				hist = mergeHist(hist, rec.LatencyHist)
 			}
 			if rec.Agreement {
 				cr.AgreeRuns++
@@ -127,6 +168,16 @@ func aggregate(s Suite, runs []plannedRun, records []RunRecord) *Report {
 		cr.MeanBits = newStat(bits)
 		cr.MaxBits = newStat(maxBits)
 		cr.Deferred = newStat(deferred)
+		if s.Kind == KindLog && len(committed) > 0 {
+			cr.Load = &LoadCellStats{
+				Committed:      newStat(committed),
+				EntriesPerSec:  newStat(eps),
+				PayloadsPerSec: newStat(pps),
+				CommitP50Ms:    newStat(p50),
+				CommitP99Ms:    newStat(p99),
+				Hist:           hist,
+			}
+		}
 	}
 	return rep
 }
@@ -173,6 +224,10 @@ func (r *Report) Render(w io.Writer) {
 	if title == "" {
 		title = "suite"
 	}
+	if r.Kind == KindLog.String() {
+		r.renderLoad(w, title)
+		return
+	}
 	timeCol := "time μ/max"
 	if r.Kind == KindTCP.String() {
 		timeCol = "wall ms μ/max"
@@ -199,6 +254,37 @@ func (r *Report) Render(w io.Writer) {
 			c.Cell.Fault, c.Cell.Variant, fmt.Sprint(c.Runs), agree,
 			fmt.Sprintf("%.0f/%.0f", c.Time.Mean, c.Time.Max),
 			metrics.Bits(c.MeanBits.Mean), metrics.Bits(c.MaxBits.Mean), ratio)
+	}
+	tb.Render(w)
+}
+
+// renderLoad renders a KindLog report: sustained-load throughput and
+// commit-latency statistics per cell.
+func (r *Report) renderLoad(w io.Writer, title string) {
+	tb := metrics.NewTable(
+		fmt.Sprintf("%s (%s)", title, r.Kind),
+		"n", "workload", "fault", "variant", "runs", "ok",
+		"commits μ", "entries/s μ", "payloads/s μ", "p50 ms", "p99 ms")
+	for _, c := range r.Cells {
+		ok := fmt.Sprintf("%d/%d", c.AgreeRuns, c.Runs)
+		if c.Failures > 0 {
+			ok += fmt.Sprintf(" (%d err)", c.Failures)
+		}
+		if c.OracleViolations > 0 {
+			ok += fmt.Sprintf(" (%d VIOL)", c.OracleViolations)
+		}
+		load := c.Load
+		if load == nil {
+			load = &LoadCellStats{}
+		}
+		tb.Add(
+			fmt.Sprint(c.Cell.N), c.Cell.Workload, c.Cell.Fault, c.Cell.Variant,
+			fmt.Sprint(c.Runs), ok,
+			fmt.Sprintf("%.1f", load.Committed.Mean),
+			fmt.Sprintf("%.1f", load.EntriesPerSec.Mean),
+			fmt.Sprintf("%.1f", load.PayloadsPerSec.Mean),
+			fmt.Sprintf("%.1f", load.CommitP50Ms.Mean),
+			fmt.Sprintf("%.1f", load.CommitP99Ms.Mean))
 	}
 	tb.Render(w)
 }

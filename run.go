@@ -282,10 +282,15 @@ func RunBA(cfg Config) (*BAResult, error) {
 	return RunBAContext(context.Background(), cfg)
 }
 
-// RunBAContext is RunBA with cancellation, checked between phases and
-// inside the AER phase's runner.
+// RunBAContext is RunBA with cancellation, checked before and between
+// phases and inside the AER phase's runner.
 func RunBAContext(ctx context.Context, cfg Config) (*BAResult, error) {
 	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	// An already-cancelled context must not pay for the committee phase,
+	// which has no internal cancellation probe.
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 

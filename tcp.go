@@ -81,6 +81,12 @@ func RunTCP(ctx context.Context, cfg Config, timeout time.Duration) (*TCPResult,
 		return nil, err
 	}
 	defer cluster.Close()
+	// Propagate cancellation into cluster shutdown directly: closing the
+	// listeners and connections unblocks dials and read loops immediately,
+	// so a cancelled long-lived run tears its goroutines down promptly
+	// instead of waiting out RunUntil's next poll.
+	stopWatch := context.AfterFunc(ctx, cluster.Close)
+	defer stopWatch()
 	if !cfg.faults.IsZero() {
 		cluster.InjectFaults(cfg.faults)
 	}
