@@ -50,6 +50,7 @@ func run(args []string) (int, error) {
 		models   = fs.String("models", "", "comma-separated candidate models (default all deterministic models)")
 		advs     = fs.String("adversaries", "", "comma-separated adversary registry names (default built-ins)")
 		logFrac  = fs.Float64("logfrac", 0, "fraction of campaign cases drawn from the pipelined decision-log family (0 = off)")
+		restFrac = fs.Float64("restartfrac", 0, "fraction of log-family cases that crash and recover a durable log mid-run (0 = off; needs -logfrac)")
 		out      = fs.String("out", "", "directory receiving shrunk JSON reproducers for failing cases")
 		selftest = fs.Bool("selftest", false, "also run a deliberately broken quorum threshold and require the agreement oracle to catch it")
 		verbose  = fs.Bool("v", false, "log every executed case")
@@ -76,11 +77,12 @@ func run(args []string) (int, error) {
 
 	if *budget > 0 || *runs > 0 {
 		fc := fastba.FuzzConfig{
-			Seed:       *seed,
-			Runs:       *runs,
-			Budget:     *budget,
-			PersistDir: *out,
-			LogFrac:    *logFrac,
+			Seed:        *seed,
+			Runs:        *runs,
+			Budget:      *budget,
+			PersistDir:  *out,
+			LogFrac:     *logFrac,
+			RestartFrac: *restFrac,
 		}
 		var err error
 		if fc.Ns, err = parseInts(*ns); err != nil {

@@ -11,11 +11,14 @@
 //	loadba -n 64 -clients 256 -duration 5s -runtime tcp
 //	loadba -n 32 -depth 4 -rate 200 -payload 128 -duration 10s
 //	loadba -n 32 -duration 5s -dup 0.2 -delay 0.3 -maxdelay 3
+//	loadba -n 32 -duration 6s -store /tmp/balog -restart 2
 //
 // Exit status 0 means the run committed at least one entry and every
 // cross-instance oracle (gap-free sequence, per-instance agreement,
-// certificates, validity) held; 1 means a violation, a stalled log or an
-// empty one; 2 means the harness itself failed.
+// certificates, validity — and, on restart runs, durability: no
+// committed entry regressed across any crash/recover cycle) held; 1
+// means a violation, a stalled log or an empty one; 2 means the harness
+// itself failed.
 package main
 
 import (
@@ -62,6 +65,9 @@ func run(args []string) (int, error) {
 		delay    = fs.Float64("delay", 0, "fault plan: per-message delay probability")
 		maxDelay = fs.Int("maxdelay", 0, "fault plan: maximum injected delay (logical time)")
 		planSeed = fs.Uint64("faultseed", 1, "fault plan schedule seed")
+		store    = fs.String("store", "", "durable store directory: persist committed entries to a write-ahead log and recover them on reopen")
+		restart  = fs.Int("restart", 0, "crash-and-recover the log this many times during the run (requires -store)")
+		syncWin  = fs.Duration("syncwindow", 0, "store group-commit window (0 = fsync every append)")
 		jsonOut  = fs.Bool("json", false, "emit the full LoadResult as JSON on stdout")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -87,7 +93,14 @@ func run(args []string) (int, error) {
 			Rate:         *rate,
 			PayloadBytes: *payload,
 			Duration:     *duration,
+			Restarts:     *restart,
 		}),
+	}
+	if *restart > 0 && *store == "" {
+		return 2, fmt.Errorf("-restart requires -store (crash recovery needs a durable log)")
+	}
+	if *store != "" {
+		opts = append(opts, fastba.WithLogStore(*store), fastba.WithLogStoreSync(*syncWin))
 	}
 	if *drop > 0 || *dup > 0 || *delay > 0 {
 		opts = append(opts, fastba.WithFaults(fastba.FaultPlan{
@@ -132,6 +145,9 @@ func render(res *fastba.LoadResult) {
 		res.Committed, res.CommittedPayloads, res.Proposed, res.Elapsed.Round(time.Millisecond))
 	fmt.Printf("  throughput %.1f entries/s, %.1f payloads/s\n", res.EntriesPerSec, res.PayloadsPerSec)
 	fmt.Printf("  latency    p50 %v, p99 %v\n", res.CommitP50.Round(time.Microsecond), res.CommitP99.Round(time.Microsecond))
+	if res.Restarts > 0 {
+		fmt.Printf("  durability %d crash/recover cycles, %d entries recovered from the store\n", res.Restarts, res.Recovered)
+	}
 	if len(res.Hist) > 0 {
 		fmt.Printf("  histogram  ")
 		for _, b := range res.Hist {

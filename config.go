@@ -176,6 +176,14 @@ type Config struct {
 	// arm of BenchmarkLogInstanceReuse (no public option on purpose).
 	logNaive bool
 	workload Workload
+
+	// Durable-store knobs (WithLogStore and friends) and the catch-up
+	// source a restarted log fetches its missing committed prefix from.
+	storeDir       string
+	storeSync      time.Duration
+	storeSnapEvery int
+	catchupAddr    string
+	catchupPeer    *DecisionLog
 }
 
 // Option customizes a Config (functional options).

@@ -33,6 +33,19 @@ type Partition = simnet.Partition
 // Crash makes a node fail-silent for a window of logical time; a recovery
 // models a process restart with protocol state intact (see
 // FaultPlan.Crashes).
+//
+// A Crash window is a *transport* fault: the node's in-memory protocol
+// state survives the window untouched, which models a stall or a brief
+// disconnect, not a process death. Real restart scenarios — the process
+// killed mid-run, its memory gone, its durable state reopened from disk
+// — are a property of the decision log, not of a single run's fault
+// plan: give the log a store (WithLogStore / OpenLogAt), hard-crash it
+// (DecisionLog.Crash — no final fsync, kill -9 semantics), and reopen
+// it from the same directory. Workload.Restarts drives that cycle under
+// sustained load, LogFuzz.RestartAfter fuzzes it under fault plans, and
+// OracleLogDurability (CheckLogDurability) is the invariant that holds
+// across every such boundary: the recovered log extends everything that
+// had committed before the crash.
 type Crash = simnet.Crash
 
 // WithFaults installs a fault plan on the run's delivery path. The plan

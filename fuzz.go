@@ -68,6 +68,13 @@ type LogFuzz struct {
 	// payload.
 	Batch        int `json:"batch"`
 	PayloadBytes int `json:"payloadBytes"`
+	// RestartAfter, when positive (and < Entries), makes this a durable
+	// restart-under-faults case: the log runs with a store, the first
+	// RestartAfter entries are appended and awaited, the log hard-crashes
+	// and reopens from its store directory (checked by the log-durability
+	// oracle), and the remaining entries are appended to the recovered
+	// log.
+	RestartAfter int `json:"restartAfter,omitempty"`
 }
 
 // String renders a compact case label.
@@ -77,8 +84,12 @@ func (c FuzzCase) String() string {
 		fault = "none"
 	}
 	if c.Log != nil {
-		return fmt.Sprintf("n=%d seed=%d log[e=%d,d=%d,b=%d] corrupt=%.2f know=%.2f faults=%s",
-			c.N, c.Seed, c.Log.Entries, c.Log.Depth, c.Log.Batch, c.CorruptFrac, c.KnowFrac, fault)
+		shape := fmt.Sprintf("e=%d,d=%d,b=%d", c.Log.Entries, c.Log.Depth, c.Log.Batch)
+		if c.Log.RestartAfter > 0 {
+			shape += fmt.Sprintf(",r@%d", c.Log.RestartAfter)
+		}
+		return fmt.Sprintf("n=%d seed=%d log[%s] corrupt=%.2f know=%.2f faults=%s",
+			c.N, c.Seed, shape, c.CorruptFrac, c.KnowFrac, fault)
 	}
 	return fmt.Sprintf("n=%d seed=%d %s/%s corrupt=%.2f know=%.2f faults=%s",
 		c.N, c.Seed, c.Model, c.Adversary, c.CorruptFrac, c.KnowFrac, fault)
@@ -152,15 +163,11 @@ func replayLogCase(c FuzzCase) (FuzzRun, error) {
 	if lf.Entries <= 0 || lf.Depth <= 0 || lf.Batch <= 0 || lf.PayloadBytes <= 0 {
 		return FuzzRun{}, fmt.Errorf("fastba: malformed log fuzz case: %+v", lf)
 	}
-	cfg := NewConfig(c.N,
-		WithSeed(c.Seed),
-		WithCorruptFrac(c.CorruptFrac),
-		WithKnowFrac(c.KnowFrac),
-		WithFaults(c.Plan),
-		WithLogDepth(lf.Depth),
-		WithLogInstanceTimeout(30*time.Second),
-	)
-	if err := cfg.validate(); err != nil {
+	if lf.RestartAfter > 0 {
+		return replayLogRestartCase(c)
+	}
+	cfg, err := logFuzzConfig(c, lf)
+	if err != nil {
 		return FuzzRun{}, err
 	}
 	ctx := context.Background()
@@ -170,16 +177,7 @@ func replayLogCase(c FuzzCase) (FuzzRun, error) {
 	}
 	var appendErr error
 	for k := 0; k < lf.Entries; k++ {
-		batch := make([][]byte, lf.Batch)
-		for i := range batch {
-			src := prng.New(prng.DeriveKey(c.Seed, "fuzz/log/payload", uint64(k)<<16|uint64(i)))
-			p := make([]byte, lf.PayloadBytes)
-			for j := range p {
-				p[j] = byte(src.Uint64())
-			}
-			batch[i] = p
-		}
-		if _, err := log.Append(ctx, batch); err != nil {
+		if _, err := log.Append(ctx, logFuzzBatch(c.Seed, lf, k)); err != nil {
 			appendErr = err
 			break
 		}
@@ -187,6 +185,116 @@ func replayLogCase(c FuzzCase) (FuzzRun, error) {
 	closeErr := log.Close()
 	entries := log.Committed()
 	report := CheckLogInvariants(entries, cfg.knowFrac)
+	logTerminationCheck(&report, c, lf, entries, closeErr, appendErr)
+	return FuzzRun{Case: c, Digest: logDigest(entries, report), Report: report}, nil
+}
+
+// replayLogRestartCase executes a durable restart-under-faults log case:
+// the log runs with a write-ahead store in a temporary directory, the
+// first RestartAfter entries are appended and awaited (pinning the
+// committed — and therefore persisted — frontier deterministically),
+// the log hard-crashes (no final fsync) and reopens from the store, the
+// recovered prefix is judged by the log-durability oracle, and the
+// remaining entries are appended to the recovered log. The committed
+// (seq, value) sequence is byte-identical to the restart-free case's for
+// lossless plans — recovery must be invisible in the digest basis.
+func replayLogRestartCase(c FuzzCase) (FuzzRun, error) {
+	lf := *c.Log
+	if lf.RestartAfter >= lf.Entries {
+		return FuzzRun{}, fmt.Errorf("fastba: log fuzz case restarts after entry %d of %d — nothing left to append", lf.RestartAfter, lf.Entries)
+	}
+	dir, err := os.MkdirTemp("", "bastore-fuzz-*")
+	if err != nil {
+		return FuzzRun{}, err
+	}
+	defer os.RemoveAll(dir)
+	cfg, err := logFuzzConfig(c, lf, WithLogStore(dir))
+	if err != nil {
+		return FuzzRun{}, err
+	}
+	ctx := context.Background()
+	log, err := OpenLog(ctx, cfg)
+	if err != nil {
+		return FuzzRun{}, err
+	}
+	var appendErr error
+	var lastSeq uint64
+	for k := 0; k < lf.RestartAfter; k++ {
+		seq, err := log.Append(ctx, logFuzzBatch(c.Seed, lf, k))
+		if err != nil {
+			appendErr = err
+			break
+		}
+		lastSeq = seq
+	}
+	if appendErr == nil {
+		// Await the whole first phase so the crash frontier is exactly
+		// RestartAfter — the determinism the digest contract needs.
+		if _, err := log.WaitSeq(ctx, lastSeq); err != nil {
+			appendErr = err
+		}
+	}
+	before := log.Committed()
+	log.Crash()
+	log, err = OpenLog(ctx, cfg)
+	if err != nil {
+		return FuzzRun{}, fmt.Errorf("fastba: log fuzz reopen after crash: %w", err)
+	}
+	durability := CheckLogDurability(before, log.Committed())
+	if appendErr == nil {
+		for k := lf.RestartAfter; k < lf.Entries; k++ {
+			if _, err := log.Append(ctx, logFuzzBatch(c.Seed, lf, k)); err != nil {
+				appendErr = err
+				break
+			}
+		}
+	}
+	closeErr := log.Close()
+	entries := log.Committed()
+	report := CheckLogInvariants(entries, cfg.knowFrac)
+	report.Checked = append(report.Checked, OracleLogDurability)
+	report.Violations = append(report.Violations, durability.Violations...)
+	logTerminationCheck(&report, c, lf, entries, closeErr, appendErr)
+	sort.Strings(report.Checked)
+	return FuzzRun{Case: c, Digest: logDigest(entries, report), Report: report}, nil
+}
+
+// logFuzzConfig builds the validated Config a pipelined-log case runs
+// under.
+func logFuzzConfig(c FuzzCase, lf LogFuzz, extra ...Option) (Config, error) {
+	opts := append([]Option{
+		WithSeed(c.Seed),
+		WithCorruptFrac(c.CorruptFrac),
+		WithKnowFrac(c.KnowFrac),
+		WithFaults(c.Plan),
+		WithLogDepth(lf.Depth),
+		WithLogInstanceTimeout(30 * time.Second),
+	}, extra...)
+	cfg := NewConfig(c.N, opts...)
+	if err := cfg.validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// logFuzzBatch derives batch k of a log case — a pure function of
+// (seed, k), identical across restarts and runtimes.
+func logFuzzBatch(seed uint64, lf LogFuzz, k int) [][]byte {
+	batch := make([][]byte, lf.Batch)
+	for i := range batch {
+		src := prng.New(prng.DeriveKey(seed, "fuzz/log/payload", uint64(k)<<16|uint64(i)))
+		p := make([]byte, lf.PayloadBytes)
+		for j := range p {
+			p[j] = byte(src.Uint64())
+		}
+		batch[i] = p
+	}
+	return batch
+}
+
+// logTerminationCheck applies the log termination oracle (lossless plans
+// only) to a finished log-case report, keeping Checked sorted.
+func logTerminationCheck(report *OracleReport, c FuzzCase, lf LogFuzz, entries []LogEntry, closeErr, appendErr error) {
 	if c.Plan.Lossless() {
 		report.Checked = append(report.Checked, OracleTermination)
 		sort.Strings(report.Checked)
@@ -205,7 +313,6 @@ func replayLogCase(c FuzzCase) (FuzzRun, error) {
 		}
 		report.Skipped[OracleTermination] = "fault plan can destroy messages (drops, partitions or crashes)"
 	}
-	return FuzzRun{Case: c, Digest: logDigest(entries, report), Report: report}, nil
 }
 
 // logDigest canonically summarizes a committed log and its verdicts.
@@ -293,6 +400,11 @@ type FuzzConfig struct {
 	// is a pure function of the case), judged by the cross-instance
 	// oracles.
 	LogFrac float64
+	// RestartFrac is the fraction of log-family cases that run durable
+	// with a mid-log crash and restart (LogFuzz.RestartAfter; default 0 —
+	// off, keeping existing campaign digests stable). Only meaningful
+	// when LogFrac > 0.
+	RestartFrac float64
 	// PersistDir, when set, receives one JSON FuzzFailure file per failing
 	// case (after shrinking), named fail_<digest prefix>.json.
 	PersistDir string
@@ -330,6 +442,9 @@ func (fc *FuzzConfig) defaults() error {
 	}
 	if fc.LogFrac < 0 || fc.LogFrac > 1 {
 		return fmt.Errorf("fastba: fuzz LogFrac %v outside [0, 1]", fc.LogFrac)
+	}
+	if fc.RestartFrac < 0 || fc.RestartFrac > 1 {
+		return fmt.Errorf("fastba: fuzz RestartFrac %v outside [0, 1]", fc.RestartFrac)
 	}
 	return nil
 }
@@ -472,19 +587,29 @@ func sampleLogCase(fc FuzzConfig, src *prng.Source, n, i int) FuzzCase {
 	if src.Bool() {
 		corrupt = 0.1
 	}
+	seed := src.Uint64()>>1 | 1
+	lf := &LogFuzz{
+		Entries:      2 + src.Intn(4),
+		Depth:        1 + src.Intn(4),
+		Batch:        1 + src.Intn(3),
+		PayloadBytes: 8 << src.Intn(4),
+	}
+	note := fmt.Sprintf("sampled: campaign seed %d, case %d (log family)", fc.Seed, i)
+	// The RestartFrac draw only happens when the family is enabled, so
+	// RestartFrac 0 campaigns consume exactly the historical PRNG stream
+	// and keep sampling the same cases.
+	if fc.RestartFrac > 0 && src.Float64() < fc.RestartFrac {
+		lf.RestartAfter = 1 + src.Intn(lf.Entries-1)
+		note = fmt.Sprintf("sampled: campaign seed %d, case %d (log restart family)", fc.Seed, i)
+	}
 	return FuzzCase{
 		N:           n,
-		Seed:        src.Uint64()>>1 | 1,
+		Seed:        seed,
 		CorruptFrac: corrupt,
 		KnowFrac:    1,
 		Plan:        plan,
-		Log: &LogFuzz{
-			Entries:      2 + src.Intn(4),
-			Depth:        1 + src.Intn(4),
-			Batch:        1 + src.Intn(3),
-			PayloadBytes: 8 << src.Intn(4),
-		},
-		Note: fmt.Sprintf("sampled: campaign seed %d, case %d (log family)", fc.Seed, i),
+		Log:         lf,
+		Note:        note,
 	}
 }
 
@@ -574,10 +699,21 @@ func shrinkCandidates(c FuzzCase) []FuzzCase {
 			mut(v.Log)
 			out = append(out, v)
 		}
+		// clampRestart keeps RestartAfter < Entries when Entries shrinks
+		// (0 degrades the candidate to the restart-free family, which is
+		// strictly simpler).
+		clampRestart := func(l *LogFuzz) {
+			if l.RestartAfter >= l.Entries {
+				l.RestartAfter = l.Entries - 1
+			}
+		}
+		if c.Log.RestartAfter > 0 {
+			addLog(func(l *LogFuzz) { l.RestartAfter = 0 })
+		}
 		if c.Log.Entries > 1 {
-			addLog(func(l *LogFuzz) { l.Entries = 1 })
+			addLog(func(l *LogFuzz) { l.Entries = 1; clampRestart(l) })
 			if c.Log.Entries > 2 {
-				addLog(func(l *LogFuzz) { l.Entries /= 2 })
+				addLog(func(l *LogFuzz) { l.Entries /= 2; clampRestart(l) })
 			}
 		}
 		if c.Log.Depth > 1 {

@@ -55,6 +55,11 @@ type Cluster struct {
 	mu    sync.Mutex
 	conns map[connKey]net.Conn
 	sent  []int64 // wire-frame bytes sent per node; read only after Close
+	// catchupLns are dedicated catch-up listeners (ServeCatchup), and
+	// catchupConns their accepted connections; both close with the
+	// cluster.
+	catchupLns   []net.Listener
+	catchupConns []net.Conn
 
 	wg      sync.WaitGroup
 	closing chan struct{}
@@ -188,6 +193,12 @@ func (c *Cluster) Close() {
 		}
 		c.mu.Lock()
 		for _, conn := range c.conns {
+			_ = conn.Close()
+		}
+		for _, ln := range c.catchupLns {
+			_ = ln.Close()
+		}
+		for _, conn := range c.catchupConns {
 			_ = conn.Close()
 		}
 		c.mu.Unlock()

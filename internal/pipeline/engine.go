@@ -14,7 +14,13 @@ import (
 	"github.com/fastba/fastba/internal/netrun"
 	"github.com/fastba/fastba/internal/prng"
 	"github.com/fastba/fastba/internal/simnet"
+	"github.com/fastba/fastba/internal/store"
 )
+
+// ErrClosed reports an append on a cleanly closed log — as opposed to a
+// log that failed (instance timeout) or was aborted by context
+// cancellation, whose appends return the recorded fatal error.
+var ErrClosed = fmt.Errorf("pipeline: log closed")
 
 // Config parameterizes one decision log.
 type Config struct {
@@ -49,6 +55,12 @@ type Config struct {
 	// OnCommit, when set, observes every committed entry, in sequence
 	// order, from the engine's commit goroutine.
 	OnCommit func(Entry)
+	// Store, when set, makes the log durable: the engine seeds its
+	// committed prefix from the store's recovered records (new instances
+	// open at the recovered frontier) and persists every in-order commit
+	// to the store BEFORE surfacing it through WaitSeq/OnCommit — a
+	// surfaced commit is always already durable.
+	Store *store.Store
 }
 
 // Entry is one committed decision-log record.
@@ -110,6 +122,11 @@ type Engine struct {
 	fab     *simnet.Fabric
 	cluster *netrun.Cluster
 	inject  func(simnet.Envelope)
+	// recovered counts entries seeded from the store at construction;
+	// catchupAddr is the TCP catch-up listener's address (StartTCP with a
+	// store).
+	recovered   int
+	catchupAddr string
 
 	slots   chan struct{} // Depth tokens: held while an instance is open
 	wake    chan struct{} // commit-watcher kick (capacity 1)
@@ -191,6 +208,19 @@ func New(cfg Config) (*Engine, error) {
 		e.need = 1
 	}
 
+	// A durable log resumes where its store's recovered prefix ends: the
+	// recovered entries seed the committed log (never re-surfaced through
+	// OnCommit — their commits were surfaced in a previous life) and new
+	// instances open at the recovered frontier.
+	if cfg.Store != nil {
+		for _, r := range cfg.Store.Records() {
+			e.entries = append(e.entries, entryOf(r))
+		}
+		e.commitSeq = cfg.Store.Frontier()
+		e.nextSeq = e.commitSeq
+		e.recovered = len(e.entries)
+	}
+
 	smp := core.NewSamplers(cfg.Params)
 	e.mux = make([]*MuxNode, cfg.N)
 	e.nodes = make([]simnet.Node, cfg.N)
@@ -203,8 +233,44 @@ func New(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// recordOf converts a committed entry to its durable form.
+func recordOf(en Entry) store.Record {
+	return store.Record{
+		Seq:             en.Seq,
+		Value:           en.Value,
+		Payloads:        en.Payloads,
+		Deciders:        en.Deciders,
+		Correct:         en.Correct,
+		DistinctValues:  en.DistinctValues,
+		CertDeficits:    en.CertDeficits,
+		MatchesProposal: en.MatchesProposal,
+		OpenedNs:        en.Opened.UnixNano(),
+		CommittedNs:     en.Committed.UnixNano(),
+	}
+}
+
+// entryOf reverses recordOf for recovered records.
+func entryOf(r store.Record) Entry {
+	return Entry{
+		Seq:             r.Seq,
+		Value:           r.Value,
+		Payloads:        r.Payloads,
+		Deciders:        r.Deciders,
+		Correct:         r.Correct,
+		DistinctValues:  r.DistinctValues,
+		CertDeficits:    r.CertDeficits,
+		MatchesProposal: r.MatchesProposal,
+		Opened:          time.Unix(0, r.OpenedNs),
+		Committed:       time.Unix(0, r.CommittedNs),
+	}
+}
+
 // Correct returns the number of correct nodes.
 func (e *Engine) Correct() int { return e.correct }
+
+// Recovered returns how many committed entries were seeded from the
+// store's recovered prefix at construction.
+func (e *Engine) Recovered() int { return e.recovered }
 
 // StartFabric runs the log over the in-process loopback Fabric
 // (CounterClock: fault windows and decision times are per-node delivery
@@ -214,6 +280,7 @@ func (e *Engine) StartFabric() {
 	if !e.cfg.Faults.IsZero() {
 		e.fab.SetFaults(e.cfg.Faults)
 	}
+	e.fab.ServeCatchup(e.CatchupRecords)
 	e.fab.Start()
 	e.inject = e.fab.InjectLocal
 	e.watcher.Add(1)
@@ -230,12 +297,59 @@ func (e *Engine) StartTCP() error {
 	if !e.cfg.Faults.IsZero() {
 		cluster.InjectFaults(e.cfg.Faults)
 	}
+	addr, err := cluster.ServeCatchup(e.CatchupRecords)
+	if err != nil {
+		cluster.Close()
+		return err
+	}
+	e.catchupAddr = addr
 	cluster.Start()
 	e.cluster = cluster
 	e.inject = cluster.Inject
 	e.watcher.Add(1)
 	go e.watch()
 	return nil
+}
+
+// CatchupAddr returns the TCP catch-up listener's address ("" on the
+// fabric runtime, whose surface is Catchup).
+func (e *Engine) CatchupAddr() string { return e.catchupAddr }
+
+// CatchupRecords serves one catch-up chunk: the committed entries
+// [from, from+max), encoded as store records. It is the handler behind
+// both transports' catch-up surfaces.
+func (e *Engine) CatchupRecords(from uint64, max int) [][]byte {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if from >= e.commitSeq || max <= 0 {
+		return nil
+	}
+	end := from + uint64(max)
+	if end > e.commitSeq {
+		end = e.commitSeq
+	}
+	out := make([][]byte, 0, end-from)
+	for seq := from; seq < end; seq++ {
+		out = append(out, store.AppendRecord(nil, recordOf(e.entries[seq])))
+	}
+	return out
+}
+
+// Catchup fetches one chunk through the running fabric's catch-up
+// surface (the in-process analogue of netrun.FetchCatchup against
+// CatchupAddr). ok reports whether a fabric is serving — a stopped or
+// failed engine no longer is, exactly like a dead TCP listener.
+func (e *Engine) Catchup(from uint64, max int) ([][]byte, bool) {
+	if e.fab == nil {
+		return nil, false
+	}
+	e.mu.Lock()
+	live := !e.closed && e.failed == nil
+	e.mu.Unlock()
+	if !live {
+		return nil, false
+	}
+	return e.fab.Catchup(from, max)
 }
 
 // Value derives instance seq's proposal digest from the batch: the first
@@ -311,7 +425,7 @@ func (e *Engine) appendBlocked() error {
 		return e.failed
 	}
 	if e.closed {
-		return fmt.Errorf("pipeline: log closed")
+		return ErrClosed
 	}
 	return nil
 }
@@ -413,6 +527,33 @@ func (e *Engine) advance() {
 			Opened:          inst.opened,
 			Committed:       time.Now(),
 		}
+		e.mu.Unlock()
+
+		// Persist before surfacing: the entry reaches the store — durably —
+		// before anything observable (WaitSeq, OnCommit, Entries) can see
+		// it. The instance stays in e.open across the unlocked append, so a
+		// concurrent failLocked (Abort, timeout) still finds and releases
+		// it; late decisions mutate counters the snapshot above no longer
+		// reads.
+		if st := e.cfg.Store; st != nil {
+			if err := st.Append(recordOf(entry)); err != nil {
+				e.mu.Lock()
+				e.failLocked(fmt.Errorf("pipeline: persist seq %d: %w", entry.Seq, err))
+				e.mu.Unlock()
+				return
+			}
+		}
+
+		e.mu.Lock()
+		if e.failed != nil {
+			// failLocked ran during the persist: it already closed every
+			// open instance's commit channel (ours included) and cleared
+			// e.open. The entry is durable but never surfaced — recovery
+			// replays it, which is exactly what the durability oracle's
+			// prefix-extension rule permits.
+			e.mu.Unlock()
+			return
+		}
 		delete(e.open, e.commitSeq)
 		e.commitSeq++
 		e.entries = append(e.entries, entry)
@@ -452,7 +593,7 @@ func (e *Engine) runError() error {
 	if e.failed != nil {
 		return e.failed
 	}
-	return fmt.Errorf("pipeline: log closed")
+	return ErrClosed
 }
 
 // WaitSeq blocks until instance seq commits and returns its entry.

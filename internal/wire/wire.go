@@ -45,6 +45,12 @@ const (
 	// tag followed by the inner message's own kind byte and payload
 	// (simnet.InstMsg). Nesting InstMsg inside InstMsg is rejected.
 	kindInst byte = 0x30
+	// kindCatchupReq/kindCatchupResp are the committed-prefix state
+	// transfer of the durable decision log (internal/store): a restarted
+	// node requests records from its recovered frontier; the serving peer
+	// answers with chunks of opaque encoded records, empty chunk = done.
+	kindCatchupReq  byte = 0x40
+	kindCatchupResp byte = 0x41
 )
 
 // ErrUnknownMessage reports a message type without a codec.
@@ -79,6 +85,10 @@ func KindByte(m simnet.Message) (byte, error) {
 		return kindVote, nil
 	case simnet.InstMsg:
 		return kindInst, nil
+	case simnet.CatchupReq:
+		return kindCatchupReq, nil
+	case simnet.CatchupResp:
+		return kindCatchupResp, nil
 	default:
 		return 0, fmt.Errorf("%w: %T", ErrUnknownMessage, m)
 	}
@@ -131,6 +141,15 @@ func appendMessage(buf []byte, m simnet.Message) ([]byte, error) {
 	case baseline.MsgVote:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(msg.Round))
 		buf = appendString(buf, msg.S)
+	case simnet.CatchupReq:
+		buf = binary.LittleEndian.AppendUint64(buf, msg.From)
+		buf = binary.LittleEndian.AppendUint32(buf, msg.Max)
+	case simnet.CatchupResp:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(msg.Records)))
+		for _, r := range msg.Records {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r)))
+			buf = append(buf, r...)
+		}
 	case simnet.InstMsg:
 		if _, nested := msg.Inner.(simnet.InstMsg); nested {
 			return nil, fmt.Errorf("wire: nested InstMsg")
@@ -195,6 +214,22 @@ func Unmarshal(kind byte, payload []byte) (simnet.Message, error) {
 	case kindVote:
 		round := int32(d.u32())
 		m = baseline.MsgVote{Round: round, S: d.str()}
+	case kindCatchupReq:
+		from := d.u64()
+		m = simnet.CatchupReq{From: from, Max: d.u32()}
+	case kindCatchupResp:
+		count := int(d.u32())
+		var records [][]byte
+		if d.err == nil && count > 0 {
+			if count > len(payload) {
+				return nil, fmt.Errorf("wire: catchup response claims %d records in %d bytes", count, len(payload))
+			}
+			records = make([][]byte, 0, count)
+			for i := 0; i < count; i++ {
+				records = append(records, d.bytes())
+			}
+		}
+		m = simnet.CatchupResp{Records: records}
 	case kindInst:
 		inst := d.u32()
 		innerKind := d.u8()
@@ -297,6 +332,25 @@ func appendString(buf []byte, s bitstring.String) []byte {
 	return append(buf, s.Bytes()...)
 }
 
+// AppendBitString appends the wire encoding of a bit string — uint16 bit
+// length + packed bytes, the same layout every protocol message uses —
+// for external codecs built on this package's formats (internal/store's
+// record encoding).
+func AppendBitString(buf []byte, s bitstring.String) []byte {
+	return appendString(buf, s)
+}
+
+// DecodeBitString decodes a wire-encoded bit string from the front of
+// buf, returning the string and the number of bytes consumed.
+func DecodeBitString(buf []byte) (bitstring.String, int, error) {
+	d := decoder{buf: buf}
+	s := d.str()
+	if d.err != nil {
+		return bitstring.String{}, 0, d.err
+	}
+	return s, d.pos, nil
+}
+
 // decoder is a cursor with sticky errors.
 type decoder struct {
 	buf []byte
@@ -339,6 +393,17 @@ func (d *decoder) u64() uint64 {
 		return 0
 	}
 	return binary.LittleEndian.Uint64(b)
+}
+
+// bytes decodes a u32-length-prefixed byte slice, copying it out of the
+// frame buffer (transports reuse frame buffers across messages).
+func (d *decoder) bytes() []byte {
+	n := int(d.u32())
+	b := d.take(n)
+	if d.err != nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
 }
 
 func (d *decoder) str() bitstring.String {

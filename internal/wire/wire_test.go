@@ -36,6 +36,9 @@ func allMessages(t *testing.T) []simnet.Message {
 		simnet.InstMsg{Inst: 0, Inner: core.MsgPush{S: s}},
 		simnet.InstMsg{Inst: 0xDEADBEEF, Inner: core.MsgFw1{X: 7, S: s, R: 99, W: 12}},
 		simnet.InstMsg{Inst: 3, Inner: baseline.MsgQuery{}},
+		simnet.CatchupReq{From: 0x1020304050607080, Max: 256},
+		simnet.CatchupResp{},
+		simnet.CatchupResp{Records: [][]byte{{0xab}, {}, {1, 2, 3, 4, 5}}},
 	}
 }
 

@@ -3,6 +3,7 @@ package fastba
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -29,6 +30,12 @@ type Workload struct {
 	// Duration bounds the proposing phase (default 2s); commits still in
 	// the pipeline when it ends are drained by the log's Close.
 	Duration time.Duration `json:"durationNs"`
+	// Restarts crash-and-recovers the log this many times during the run,
+	// splitting Duration into Restarts+1 equal legs: at each boundary the
+	// log is hard-crashed (no final fsync), reopened from its store
+	// directory, and the recovered log is checked against the pre-crash
+	// committed prefix (OracleLogDurability). Requires WithLogStore.
+	Restarts int `json:"restarts,omitempty"`
 }
 
 // withDefaults fills the zero fields.
@@ -52,7 +59,11 @@ func (w Workload) Label() string {
 	if w.Rate > 0 {
 		rate = fmt.Sprintf("%g/s", w.Rate)
 	}
-	return fmt.Sprintf("c%d·%s·%dB·%s", w.Clients, rate, w.PayloadBytes, w.Duration)
+	label := fmt.Sprintf("c%d·%s·%dB·%s", w.Clients, rate, w.PayloadBytes, w.Duration)
+	if w.Restarts > 0 {
+		label += fmt.Sprintf("·r%d", w.Restarts)
+	}
+	return label
 }
 
 // WithWorkload sets the load-harness workload (RunLoad, Sweep.Workloads).
@@ -128,8 +139,13 @@ type LoadResult struct {
 	CommitP50 time.Duration `json:"commitP50Ns"`
 	CommitP99 time.Duration `json:"commitP99Ns"`
 	Hist      []HistBucket  `json:"hist,omitempty"`
+	// Restarts counts the crash/recover cycles performed; Recovered is the
+	// total number of committed entries seeded back from the store across
+	// all reopens. Zero for in-memory runs.
+	Restarts  int `json:"restarts,omitempty"`
+	Recovered int `json:"recovered,omitempty"`
 	// Oracles is the cross-instance invariant verdict on the committed
-	// log.
+	// log, including the durability oracle when the run restarted.
 	Oracles OracleReport `json:"oracles"`
 	// Err carries the log's fatal error, if any (e.g. a lossy plan
 	// stalling the head instance past the timeout). A run with Err can
@@ -141,9 +157,19 @@ type LoadResult struct {
 // concurrent proposers for Duration, then a draining Close, then
 // invariant checking. The log's shape (runtime, depth, batch, linger,
 // faults, population) comes from the same options every other entry
-// point uses.
+// point uses. With Workload.Restarts > 0 (and a log store configured)
+// the run is split into restart legs: at each boundary the log hard-
+// crashes, reopens from its store directory, and the recovered prefix
+// is checked for durability before the next leg's clients start.
 func RunLoad(ctx context.Context, cfg Config) (*LoadResult, error) {
 	w := cfg.workload.withDefaults()
+	legs := 1
+	if w.Restarts > 0 {
+		if cfg.storeDir == "" {
+			return nil, fmt.Errorf("fastba: Workload.Restarts requires a durable log (WithLogStore)")
+		}
+		legs = w.Restarts + 1
+	}
 	log, err := OpenLog(ctx, cfg)
 	if err != nil {
 		return nil, err
@@ -154,8 +180,6 @@ func RunLoad(ctx context.Context, cfg Config) (*LoadResult, error) {
 	}
 	res := &LoadResult{Workload: w, Runtime: log.Runtime().String(), Depth: depth}
 
-	clientCtx, stopClients := context.WithTimeout(ctx, w.Duration)
-	defer stopClients()
 	var (
 		wg        sync.WaitGroup
 		mu        sync.Mutex
@@ -164,76 +188,110 @@ func RunLoad(ctx context.Context, cfg Config) (*LoadResult, error) {
 		committed int
 		proposed  int
 	)
-	start := time.Now()
-	for c := 0; c < w.Clients; c++ {
-		wg.Add(1)
-		go func(client int) {
-			defer wg.Done()
-			src := prng.New(prng.DeriveKey(cfg.seed, "load/client", uint64(client)))
-			payload := make([]byte, w.PayloadBytes)
-			var pacer *time.Timer
-			if w.Rate > 0 {
-				// One reused timer per client: a fresh time.After per
-				// proposal would churn the timer heap inside the very
-				// harness that measures latency.
-				pacer = time.NewTimer(time.Duration(float64(time.Second) / w.Rate))
-				defer pacer.Stop()
-			}
-			// Tickets are harvested as they resolve, so the client retains
-			// only its in-flight window (bounded by depth × batch plus the
-			// ingest buffer) instead of one Ticket per payload for the
-			// whole run — the harness must not let measurement state
-			// perturb the latencies it measures.
-			var mine []*Ticket
-			var lats []float64
-			resolvedHits := 0
-			harvest := func() {
-				kept := mine[:0]
-				for _, t := range mine {
-					if _, lat, ok := t.resolved(); ok {
-						lats = append(lats, float64(lat)/float64(time.Millisecond))
-						resolvedHits++
-					} else if t.failed() {
-						// resolved with an error: drop it
-					} else {
-						kept = append(kept, t)
+	legDur := w.Duration / time.Duration(legs)
+	runLeg := func(clientCtx context.Context, log *DecisionLog, leg int) {
+		for c := 0; c < w.Clients; c++ {
+			wg.Add(1)
+			go func(client int) {
+				defer wg.Done()
+				// Leg 0 keeps the original per-client key so durable runs
+				// replay the same leading proposal stream as in-memory ones;
+				// later legs derive fresh streams.
+				key := uint64(client)
+				if leg > 0 {
+					key = uint64(leg)<<32 | uint64(client)
+				}
+				src := prng.New(prng.DeriveKey(cfg.seed, "load/client", key))
+				payload := make([]byte, w.PayloadBytes)
+				var pacer *time.Timer
+				if w.Rate > 0 {
+					// One reused timer per client: a fresh time.After per
+					// proposal would churn the timer heap inside the very
+					// harness that measures latency.
+					pacer = time.NewTimer(time.Duration(float64(time.Second) / w.Rate))
+					defer pacer.Stop()
+				}
+				// Tickets are harvested as they resolve, so the client retains
+				// only its in-flight window (bounded by depth × batch plus the
+				// ingest buffer) instead of one Ticket per payload for the
+				// whole run — the harness must not let measurement state
+				// perturb the latencies it measures.
+				var mine []*Ticket
+				var lats []float64
+				resolvedHits := 0
+				harvest := func() {
+					kept := mine[:0]
+					for _, t := range mine {
+						if _, lat, ok := t.resolved(); ok {
+							lats = append(lats, float64(lat)/float64(time.Millisecond))
+							resolvedHits++
+						} else if t.failed() {
+							// resolved with an error: drop it
+						} else {
+							kept = append(kept, t)
+						}
+					}
+					mine = kept
+				}
+				count := 0
+				for clientCtx.Err() == nil {
+					for i := range payload {
+						payload[i] = byte(src.Uint64())
+					}
+					t, err := log.Propose(clientCtx, append([]byte(nil), payload...))
+					if err != nil {
+						break
+					}
+					mine = append(mine, t)
+					count++
+					if len(mine) >= 64 {
+						harvest()
+					}
+					if pacer != nil {
+						select {
+						case <-clientCtx.Done():
+						case <-pacer.C:
+							pacer.Reset(time.Duration(float64(time.Second) / w.Rate))
+						}
 					}
 				}
-				mine = kept
-			}
-			count := 0
-			for clientCtx.Err() == nil {
-				for i := range payload {
-					payload[i] = byte(src.Uint64())
-				}
-				t, err := log.Propose(clientCtx, append([]byte(nil), payload...))
-				if err != nil {
-					break
-				}
-				mine = append(mine, t)
-				count++
-				if len(mine) >= 64 {
-					harvest()
-				}
-				if pacer != nil {
-					select {
-					case <-clientCtx.Done():
-					case <-pacer.C:
-						pacer.Reset(time.Duration(float64(time.Second) / w.Rate))
-					}
-				}
-			}
-			harvest()
-			mu.Lock()
-			pending = append(pending, mine...)
-			latencies = append(latencies, lats...)
-			committed += resolvedHits
-			proposed += count
-			mu.Unlock()
-		}(c)
+				harvest()
+				mu.Lock()
+				pending = append(pending, mine...)
+				latencies = append(latencies, lats...)
+				committed += resolvedHits
+				proposed += count
+				mu.Unlock()
+			}(c)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
-	stopClients()
+
+	start := time.Now()
+	var durability []Violation
+	for leg := 0; leg < legs; leg++ {
+		clientCtx, stopClients := context.WithTimeout(ctx, legDur)
+		runLeg(clientCtx, log, leg)
+		stopClients()
+		if leg == legs-1 {
+			break
+		}
+		// Restart boundary: hard-crash (no final fsync — kill -9
+		// semantics), reopen from the same store directory, and require
+		// the recovered log to extend everything committed before the
+		// crash.
+		before := log.Committed()
+		log.Crash()
+		log, err = OpenLog(ctx, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fastba: reopen after restart %d: %w", leg+1, err)
+		}
+		res.Restarts++
+		res.Recovered += log.Recovered()
+		if rep := CheckLogDurability(before, log.Committed()); !rep.OK() {
+			durability = append(durability, rep.Violations...)
+		}
+	}
 	closeErr := log.Close()
 	res.Elapsed = time.Since(start)
 	res.Proposed = proposed
@@ -265,5 +323,10 @@ func RunLoad(ctx context.Context, cfg Config) (*LoadResult, error) {
 		res.Hist = latencyHistogram(latencies)
 	}
 	res.Oracles = CheckLogInvariants(entries, cfg.knowFrac)
+	if res.Restarts > 0 {
+		res.Oracles.Checked = append(res.Oracles.Checked, OracleLogDurability)
+		sort.Strings(res.Oracles.Checked)
+		res.Oracles.Violations = append(res.Oracles.Violations, durability...)
+	}
 	return res, nil
 }

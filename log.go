@@ -3,12 +3,22 @@ package fastba
 import (
 	"context"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"github.com/fastba/fastba/internal/netrun"
 	"github.com/fastba/fastba/internal/pipeline"
+	"github.com/fastba/fastba/internal/store"
 )
+
+// ErrLogClosed reports an operation on a cleanly closed decision log.
+// It is distinct from the error of a log that failed or was aborted:
+// cancelling OpenLog's context surfaces the context's error
+// (context.Canceled / DeadlineExceeded), never this sentinel — so
+// callers can tell "we closed it" from "it was torn down under us".
+var ErrLogClosed = errors.New("fastba: decision log closed")
 
 // The decision log: agreement as a service. RunAER decides one value; a
 // DecisionLog runs an unbounded sequence of AER instances back-to-back
@@ -163,6 +173,8 @@ type DecisionLog struct {
 	runtime LogRuntime
 	batch   int
 	linger  time.Duration
+	// st is the durable commit store (WithLogStore); nil runs in-memory.
+	st *store.Store
 
 	ingest chan proposal
 	// closeCh tells the batcher (and blocked Propose calls) that Close
@@ -223,6 +235,24 @@ func OpenLog(ctx context.Context, cfg Config, opts ...Option) (*DecisionLog, err
 		shutdown:    make(chan struct{}),
 		tickets:     make(map[uint64][]*Ticket),
 	}
+	if cfg.storeDir != "" {
+		st, err := store.Open(cfg.storeDir, store.Options{
+			SyncWindow:    cfg.storeSync,
+			SnapshotEvery: cfg.storeSnapEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Catch-up before the engine exists: fetch the committed prefix
+		// the WAL is missing from the configured peer and persist it, so
+		// the engine seeds from a complete prefix and new instances open
+		// past it.
+		if err := catchUp(st, cfg); err != nil {
+			st.Close()
+			return nil, err
+		}
+		l.st = st
+	}
 	eng, err := pipeline.New(pipeline.Config{
 		N:               cfg.n,
 		Params:          cfg.params,
@@ -235,8 +265,12 @@ func OpenLog(ctx context.Context, cfg Config, opts ...Option) (*DecisionLog, err
 		Faults:          cfg.faults,
 		DisablePool:     cfg.logNaive,
 		OnCommit:        l.onCommit,
+		Store:           l.st,
 	})
 	if err != nil {
+		if l.st != nil {
+			l.st.Close()
+		}
 		return nil, err
 	}
 	l.eng = eng
@@ -245,6 +279,9 @@ func OpenLog(ctx context.Context, cfg Config, opts ...Option) (*DecisionLog, err
 		eng.StartFabric()
 	case RuntimeTCP:
 		if err := eng.StartTCP(); err != nil {
+			if l.st != nil {
+				l.st.Close()
+			}
 			return nil, err
 		}
 	}
@@ -310,7 +347,11 @@ func (l *DecisionLog) Propose(ctx context.Context, payload []byte) (*Ticket, err
 // conformance contract). It blocks while the pipeline is at Depth and
 // returns the assigned sequence number.
 func (l *DecisionLog) Append(ctx context.Context, payloads [][]byte) (uint64, error) {
-	return l.eng.Append(ctx, payloads)
+	seq, err := l.eng.Append(ctx, payloads)
+	if errors.Is(err, pipeline.ErrClosed) {
+		err = ErrLogClosed
+	}
+	return seq, err
 }
 
 // WaitSeq blocks until instance seq commits and returns its entry.
@@ -350,6 +391,14 @@ func (l *DecisionLog) Close() error {
 		close(l.closeCh)
 		<-l.batcherDone
 		l.closeErr = l.eng.Close()
+		if l.st != nil {
+			// The engine is drained: no commit can still be persisting.
+			// (After a Crash the store is already closed and this is a
+			// no-op.)
+			if serr := l.st.Close(); l.closeErr == nil {
+				l.closeErr = serr
+			}
+		}
 		if l.stopWatch != nil {
 			l.stopWatch()
 		}
@@ -359,12 +408,95 @@ func (l *DecisionLog) Close() error {
 	return l.closeErr
 }
 
-// appendErr describes why ingestion stopped.
+// Crash hard-stops the log, simulating a process kill: the transport
+// aborts mid-flight and the store closes WITHOUT its final fsync —
+// whatever the OS already holds of the WAL is what a restart
+// (OpenLogAt on the same directory) recovers. Outstanding tickets
+// resolve with an error; the durable committed prefix may run ahead of
+// what this process surfaced (persist-before-surface), which the
+// log-durability oracle's prefix-extension rule accepts.
+func (l *DecisionLog) Crash() {
+	l.eng.Abort()
+	if l.st != nil {
+		l.st.Crash()
+	}
+	l.Close()
+}
+
+// Recovered returns how many committed entries were seeded from the
+// store's recovered prefix (WAL replay plus catch-up) when the log
+// opened; 0 for in-memory or fresh logs.
+func (l *DecisionLog) Recovered() int { return l.eng.Recovered() }
+
+// CatchupAddr returns the log's TCP catch-up listener address — the
+// value a restarting peer passes to WithCatchupPeer — or "" on the
+// fabric runtime (in-process peers use WithCatchupFrom instead).
+func (l *DecisionLog) CatchupAddr() string { return l.eng.CatchupAddr() }
+
+// StoreDir returns the durable store's directory ("" when in-memory).
+func (l *DecisionLog) StoreDir() string { return l.cfg.storeDir }
+
+// catchupRecords is the in-process catch-up surface behind
+// WithCatchupFrom: one chunk of encoded committed records, served
+// through the peer's running transport fabric.
+func (l *DecisionLog) catchupRecords(from uint64, max int) ([][]byte, bool) {
+	return l.eng.Catchup(from, max)
+}
+
+// catchUp fetches the committed records past the store's recovered
+// frontier from the configured peer — over TCP (WithCatchupPeer) or
+// in-process (WithCatchupFrom) — validates their contiguity, and
+// persists them.
+func catchUp(st *store.Store, cfg Config) error {
+	ingest := func(encoded [][]byte) error {
+		recs := make([]store.Record, 0, len(encoded))
+		next := st.Frontier()
+		for _, b := range encoded {
+			r, err := store.DecodeRecord(b)
+			if err != nil {
+				return fmt.Errorf("fastba: catch-up record: %w", err)
+			}
+			if r.Seq != next {
+				return fmt.Errorf("fastba: catch-up peer sent seq %d, expected %d", r.Seq, next)
+			}
+			recs = append(recs, r)
+			next++
+		}
+		return st.AppendBatch(recs)
+	}
+	switch {
+	case cfg.catchupAddr != "":
+		encoded, err := netrun.FetchCatchup(cfg.catchupAddr, st.Frontier())
+		if err != nil {
+			return err
+		}
+		return ingest(encoded)
+	case cfg.catchupPeer != nil:
+		for {
+			chunk, ok := cfg.catchupPeer.catchupRecords(st.Frontier(), 256)
+			if !ok {
+				return fmt.Errorf("fastba: catch-up peer is not serving (no running fabric)")
+			}
+			if len(chunk) == 0 {
+				return nil
+			}
+			if err := ingest(chunk); err != nil {
+				return err
+			}
+		}
+	default:
+		return nil
+	}
+}
+
+// appendErr describes why ingestion stopped: the engine's fatal error
+// when it failed or was aborted (context cancellation surfaces the
+// context's error here), ErrLogClosed after a clean Close.
 func (l *DecisionLog) appendErr() error {
 	if err := l.eng.Err(); err != nil {
 		return err
 	}
-	return fmt.Errorf("fastba: decision log closed")
+	return ErrLogClosed
 }
 
 // batcher folds queued proposals into instances: a batch opens when it
@@ -495,7 +627,7 @@ func (l *DecisionLog) resolveSeq(seq uint64, entry LogEntry) {
 // close that still left tickets means their instances never committed).
 func (l *DecisionLog) failTickets(err error) {
 	if err == nil {
-		err = fmt.Errorf("fastba: decision log closed before the payload committed")
+		err = fmt.Errorf("%w before the payload committed", ErrLogClosed)
 	}
 	l.mu.Lock()
 	pending := l.tickets
@@ -546,4 +678,54 @@ func WithLogCommitFraction(f float64) Option {
 // uncommitted before the log fails (default 30s).
 func WithLogInstanceTimeout(d time.Duration) Option {
 	return optionFunc(func(c *Config) { c.logTimeout = d })
+}
+
+// WithLogStore makes the log durable: committed entries are persisted
+// to a segmented write-ahead log under dir — before they are surfaced
+// through WaitSeq or ticket resolution — and recovered on reopen
+// (OpenLogAt). The empty string returns to in-memory operation.
+func WithLogStore(dir string) Option {
+	return optionFunc(func(c *Config) { c.storeDir = dir })
+}
+
+// WithLogStoreSync sets the store's group-commit window: an append is
+// durable at the window's shared fsync instead of one fsync per append
+// (default 0 — fsync every append). Larger windows trade commit latency
+// for fsync amortization; crash durability of *surfaced* commits is
+// unaffected, because commits surface only after their append returns.
+func WithLogStoreSync(window time.Duration) Option {
+	return optionFunc(func(c *Config) { c.storeSync = window })
+}
+
+// WithLogSnapshotEvery sets the store's compaction cadence: after this
+// many appended records the committed prefix is rewritten as one
+// snapshot and the WAL segments it covers are deleted (default 512;
+// negative disables compaction).
+func WithLogSnapshotEvery(n int) Option {
+	return optionFunc(func(c *Config) { c.storeSnapEvery = n })
+}
+
+// WithCatchupPeer points a (re)starting durable log at a peer's TCP
+// catch-up listener (DecisionLog.CatchupAddr): before the engine
+// starts, the committed prefix missing past the recovered WAL frontier
+// is fetched from the peer and persisted. Requires WithLogStore.
+func WithCatchupPeer(addr string) Option {
+	return optionFunc(func(c *Config) { c.catchupAddr = addr })
+}
+
+// WithCatchupFrom is the in-process form of WithCatchupPeer: the
+// missing committed prefix is fetched from a peer DecisionLog in this
+// process through its transport fabric's catch-up surface. Requires
+// WithLogStore.
+func WithCatchupFrom(peer *DecisionLog) Option {
+	return optionFunc(func(c *Config) { c.catchupPeer = peer })
+}
+
+// OpenLogAt opens a durable decision log rooted at dir: OpenLog with
+// WithLogStore(dir) applied last. On a fresh directory it starts empty;
+// on an existing one it recovers the committed prefix (WAL replay,
+// torn-tail truncation, optional catch-up) and resumes appending after
+// it.
+func OpenLogAt(ctx context.Context, dir string, cfg Config, opts ...Option) (*DecisionLog, error) {
+	return OpenLog(ctx, cfg, append(append([]Option(nil), opts...), WithLogStore(dir))...)
 }

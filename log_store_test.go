@@ -1,0 +1,458 @@
+package fastba
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// Durable decision-log tests: crash-restart recovery, catch-up state
+// transfer, the close/abort sentinels and the durability oracle.
+
+// durableConformanceConfig mirrors runConformanceLog's configuration with
+// a store attached.
+func durableConformanceConfig(runtime LogRuntime, dir string, opts ...Option) Config {
+	return NewConfig(16,
+		append([]Option{
+			WithSeed(7),
+			WithKnowFrac(1),
+			WithCorruptFrac(0),
+			WithLogRuntime(runtime),
+			WithLogDepth(2),
+			WithLogStore(dir),
+		}, opts...)...)
+}
+
+// entriesIdentical requires two committed logs to match byte for byte:
+// sequence numbers, decided values and payload bytes.
+func entriesIdentical(t *testing.T, label string, a, b []LogEntry) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d entries", label, len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Seq != y.Seq || x.Value != y.Value {
+			t.Errorf("%s: entry %d diverges: (seq=%d value=%s) vs (seq=%d value=%s)",
+				label, i, x.Seq, x.Value, y.Seq, y.Value)
+		}
+		if len(x.Payloads) != len(y.Payloads) {
+			t.Errorf("%s: entry %d payload count diverges: %d vs %d", label, i, len(x.Payloads), len(y.Payloads))
+			continue
+		}
+		for j := range x.Payloads {
+			if string(x.Payloads[j]) != string(y.Payloads[j]) {
+				t.Errorf("%s: entry %d payload %d diverges: %q vs %q", label, i, j, x.Payloads[j], y.Payloads[j])
+			}
+		}
+	}
+}
+
+// runRestartConformance crashes a durable log mid-run, restarts it from
+// its store directory, finishes the workload and returns the committed
+// log. The crash frontier is pinned by WaitSeq so the scenario is
+// deterministic.
+func runRestartConformance(t *testing.T, runtime LogRuntime, entries, crashAfter int) []LogEntry {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	dir := t.TempDir()
+	batches := conformancePayloads(7, entries)
+
+	log, err := OpenLog(ctx, durableConformanceConfig(runtime, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range batches[:crashAfter] {
+		if _, err := log.Append(ctx, batch); err != nil {
+			t.Fatalf("append on %v: %v", runtime, err)
+		}
+	}
+	if _, err := log.WaitSeq(ctx, uint64(crashAfter-1)); err != nil {
+		t.Fatalf("wait on %v: %v", runtime, err)
+	}
+	before := log.Committed()
+	log.Crash()
+
+	log, err = OpenLog(ctx, durableConformanceConfig(runtime, dir))
+	if err != nil {
+		t.Fatalf("reopen on %v: %v", runtime, err)
+	}
+	if got := log.Recovered(); got != crashAfter {
+		t.Fatalf("recovered %d entries on %v, want %d", got, runtime, crashAfter)
+	}
+	if rep := CheckLogDurability(before, log.Committed()); !rep.OK() {
+		t.Fatalf("durability violated across restart on %v: %s", runtime, rep)
+	}
+	for _, batch := range batches[crashAfter:] {
+		if _, err := log.Append(ctx, batch); err != nil {
+			t.Fatalf("post-restart append on %v: %v", runtime, err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatalf("close on %v: %v", runtime, err)
+	}
+	return log.Committed()
+}
+
+// TestDurableLogRestartByteIdentical: a log node killed mid-run (no
+// final fsync) and restarted from its store directory converges to a
+// committed log byte-identical to an uninterrupted in-memory run's — on
+// the in-process fabric AND over real TCP sockets. Recovery must be
+// invisible in committed state.
+func TestDurableLogRestartByteIdentical(t *testing.T) {
+	const entries, crashAfter = 6, 3
+	reference := runConformanceLog(t, RuntimeFabric, entries)
+	for _, runtime := range []LogRuntime{RuntimeFabric, RuntimeTCP} {
+		restarted := runRestartConformance(t, runtime, entries, crashAfter)
+		entriesIdentical(t, runtime.String()+" vs reference", restarted, reference)
+		if rep := CheckLogInvariants(restarted, 1); !rep.OK() {
+			t.Errorf("oracle violations on %v: %s", runtime, rep)
+		}
+	}
+}
+
+// TestDurableLogDoubleRestart: two crash/recover cycles compound — each
+// restart extends the previous prefix and the final log is complete.
+func TestDurableLogDoubleRestart(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	dir := t.TempDir()
+	const entries = 6
+	batches := conformancePayloads(7, entries)
+	bounds := []int{2, 4, entries}
+	from := 0
+	var prev []LogEntry
+	for _, until := range bounds {
+		log, err := OpenLog(ctx, durableConformanceConfig(RuntimeFabric, dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := log.Recovered(); got != from {
+			t.Fatalf("recovered %d entries, want %d", got, from)
+		}
+		if rep := CheckLogDurability(prev, log.Committed()); !rep.OK() {
+			t.Fatalf("durability violated: %s", rep)
+		}
+		for _, batch := range batches[from:until] {
+			if _, err := log.Append(ctx, batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := log.WaitSeq(ctx, uint64(until-1)); err != nil {
+			t.Fatal(err)
+		}
+		prev = log.Committed()
+		from = until
+		if until == entries {
+			if err := log.Close(); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			log.Crash()
+		}
+	}
+	entriesIdentical(t, "double restart vs reference", prev, runConformanceLog(t, RuntimeFabric, entries))
+}
+
+// TestDurableLogCatchupTCP: a restarted node whose WAL is behind fetches
+// the missing committed prefix from a live peer over the peer's TCP
+// catch-up listener.
+func TestDurableLogCatchupTCP(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	const entries = 4
+	batches := conformancePayloads(7, entries)
+
+	// Survivor: an in-memory TCP log that stays up, serving catch-up.
+	survivor, err := OpenLog(ctx, NewConfig(16,
+		WithSeed(7), WithKnowFrac(1), WithCorruptFrac(0),
+		WithLogRuntime(RuntimeTCP), WithLogDepth(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer survivor.Close()
+	for _, batch := range batches {
+		if _, err := survivor.Append(ctx, batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := survivor.WaitSeq(ctx, entries-1); err != nil {
+		t.Fatal(err)
+	}
+	addr := survivor.CatchupAddr()
+	if addr == "" {
+		t.Fatal("TCP log has no catch-up listener address")
+	}
+
+	// Restarter: an empty store directory — everything must come from the
+	// peer before the engine starts.
+	restarter, err := OpenLog(ctx, NewConfig(16,
+		WithSeed(7), WithKnowFrac(1), WithCorruptFrac(0),
+		WithLogRuntime(RuntimeTCP), WithLogDepth(2),
+		WithLogStore(t.TempDir()), WithCatchupPeer(addr)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restarter.Recovered(); got != entries {
+		t.Fatalf("recovered %d entries via TCP catch-up, want %d", got, entries)
+	}
+	caught := restarter.Committed()
+	if err := restarter.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entriesIdentical(t, "tcp catch-up vs survivor", caught, survivor.Committed())
+}
+
+// TestDurableLogCatchupFabric: the in-process form — a durable log seeds
+// its store from a running peer DecisionLog through the fabric's
+// catch-up surface (WithCatchupFrom).
+func TestDurableLogCatchupFabric(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	const entries = 3
+	batches := conformancePayloads(7, entries)
+
+	survivor, err := OpenLog(ctx, NewConfig(16,
+		WithSeed(7), WithKnowFrac(1), WithCorruptFrac(0), WithLogDepth(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range batches {
+		if _, err := survivor.Append(ctx, batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := survivor.WaitSeq(ctx, entries-1); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	restarter, err := OpenLog(ctx, NewConfig(16,
+		WithSeed(7), WithKnowFrac(1), WithCorruptFrac(0), WithLogDepth(2),
+		WithLogStore(dir), WithCatchupFrom(survivor)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restarter.Recovered(); got != entries {
+		t.Fatalf("recovered %d entries via fabric catch-up, want %d", got, entries)
+	}
+	caught := restarter.Committed()
+	if err := restarter.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entriesIdentical(t, "fabric catch-up vs survivor", caught, survivor.Committed())
+	if err := survivor.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A closed peer no longer serves catch-up: opening against it must
+	// fail loudly, not hang or silently start empty.
+	if _, err := OpenLog(ctx, NewConfig(16,
+		WithSeed(7), WithKnowFrac(1), WithCorruptFrac(0), WithLogDepth(2),
+		WithLogStore(t.TempDir()), WithCatchupFrom(survivor))); err == nil {
+		t.Fatal("catch-up from a closed peer succeeded")
+	}
+}
+
+// TestLogClosedSentinel: a cleanly closed log reports ErrLogClosed on
+// further appends — distinguishable from a context abort.
+func TestLogClosedSentinel(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	log, err := OpenLog(ctx, NewConfig(16, WithSeed(7), WithKnowFrac(1), WithCorruptFrac(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Append(ctx, [][]byte{[]byte("one")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = log.Append(ctx, [][]byte{[]byte("late")})
+	if !errors.Is(err, ErrLogClosed) {
+		t.Fatalf("append after clean close: %v, want ErrLogClosed", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("clean close misreported as a context abort: %v", err)
+	}
+	if _, err := log.Propose(ctx, []byte("late")); !errors.Is(err, ErrLogClosed) {
+		t.Fatalf("propose after clean close: %v, want ErrLogClosed", err)
+	}
+}
+
+// TestLogCanceledSentinel: cancelling the log's context surfaces
+// context.Canceled — NOT ErrLogClosed — on further appends.
+func TestLogCanceledSentinel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	log, err := OpenLog(ctx, NewConfig(16, WithSeed(7), WithKnowFrac(1), WithCorruptFrac(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	cancel()
+	deadline := time.Now().Add(30 * time.Second)
+	for log.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("cancellation never reached the log")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// A fresh context isolates the append from the cancelled one: the
+	// error below is the log's own verdict, not the caller's ctx.
+	_, err = log.Append(context.Background(), [][]byte{[]byte("late")})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("append after abort: %v, want context.Canceled", err)
+	}
+	if errors.Is(err, ErrLogClosed) {
+		t.Fatalf("context abort misreported as a clean close: %v", err)
+	}
+}
+
+// TestCheckLogDurability: unit coverage of the durability oracle's
+// prefix-extension rule.
+func TestCheckLogDurability(t *testing.T) {
+	mk := func(n int) []LogEntry {
+		out := make([]LogEntry, n)
+		for i := range out {
+			out[i] = LogEntry{Seq: uint64(i), Value: "abcd", PayloadCount: 2}
+		}
+		return out
+	}
+
+	if rep := CheckLogDurability(mk(3), mk(5)); !rep.OK() {
+		t.Fatalf("extension flagged: %s", rep)
+	}
+	if rep := CheckLogDurability(mk(3), mk(3)); !rep.OK() {
+		t.Fatalf("identity flagged: %s", rep)
+	}
+	if rep := CheckLogDurability(nil, mk(2)); !rep.OK() {
+		t.Fatalf("growth from empty flagged: %s", rep)
+	}
+
+	if rep := CheckLogDurability(mk(5), mk(3)); rep.OK() {
+		t.Fatal("regression not flagged")
+	}
+	changed := mk(4)
+	changed[2].Value = "eeee"
+	if rep := CheckLogDurability(mk(4), changed); rep.OK() {
+		t.Fatal("changed value not flagged")
+	}
+	fewer := mk(4)
+	fewer[1].PayloadCount = 1
+	if rep := CheckLogDurability(mk(4), fewer); rep.OK() {
+		t.Fatal("changed payload count not flagged")
+	}
+	for _, rep := range []OracleReport{CheckLogDurability(mk(1), mk(1))} {
+		if len(rep.Checked) != 1 || rep.Checked[0] != OracleLogDurability {
+			t.Fatalf("unexpected checked set: %v", rep.Checked)
+		}
+	}
+}
+
+// TestRunLoadRestarts: the load harness's restart legs crash and recover
+// a durable log under sustained client load, and the durability oracle
+// joins the run's verdict.
+func TestRunLoadRestarts(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := RunLoad(ctx, NewConfig(16,
+		WithSeed(3),
+		WithKnowFrac(1),
+		WithCorruptFrac(0),
+		WithLogDepth(2),
+		WithLogBatch(8),
+		WithLogStore(t.TempDir()),
+		WithWorkload(Workload{Clients: 4, PayloadBytes: 16, Duration: 1200 * time.Millisecond, Restarts: 2}),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts != 2 {
+		t.Fatalf("performed %d restarts, want 2", res.Restarts)
+	}
+	if !res.Oracles.OK() {
+		t.Fatalf("oracle violations under restarts: %s", res.Oracles)
+	}
+	found := false
+	for _, name := range res.Oracles.Checked {
+		if name == OracleLogDurability {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("durability oracle not in the checked set: %v", res.Oracles.Checked)
+	}
+	if res.Err != "" {
+		t.Fatalf("load run failed: %s", res.Err)
+	}
+
+	// Restarts without a store are rejected up front.
+	if _, err := RunLoad(ctx, NewConfig(16,
+		WithWorkload(Workload{Restarts: 1, Duration: 100 * time.Millisecond}))); err == nil {
+		t.Fatal("RunLoad accepted restarts without a store")
+	}
+}
+
+// TestFuzzLogRestartCase: the fuzzer's restart family replays
+// deterministically and its digest matches the restart-free twin's
+// committed sequence basis (same entries, same values).
+func TestFuzzLogRestartCase(t *testing.T) {
+	c := FuzzCase{
+		N: 16, Seed: 11, CorruptFrac: 0, KnowFrac: 1,
+		Plan: FaultPlan{Seed: 31, DupProb: 0.2},
+		Log:  &LogFuzz{Entries: 4, Depth: 2, Batch: 2, PayloadBytes: 16, RestartAfter: 2},
+	}
+	a, err := ReplayCase(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Report.OK() {
+		t.Fatalf("restart case violates: %s", a.Report)
+	}
+	found := false
+	for _, name := range a.Report.Checked {
+		if name == OracleLogDurability {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("restart case skipped the durability oracle: %v", a.Report.Checked)
+	}
+	b, err := ReplayCase(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("restart case replays unstably: %s vs %s", a.Digest, b.Digest)
+	}
+}
+
+// TestFuzzRestartCampaign: a campaign with the restart family enabled
+// samples, executes and passes restart cases.
+func TestFuzzRestartCampaign(t *testing.T) {
+	restartCases := 0
+	res, err := SimFuzz(context.Background(), FuzzConfig{
+		Seed:        13,
+		Runs:        4,
+		Ns:          []int{16},
+		LogFrac:     1,
+		RestartFrac: 1,
+		OnRun: func(r FuzzRun) {
+			if r.Case.Log != nil && r.Case.Log.RestartAfter > 0 {
+				restartCases++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 4 || restartCases != 4 {
+		t.Fatalf("executed %d cases, %d restart cases; want 4/4", res.Executed, restartCases)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("restart campaign failure: %s: %v", f.Case, f.Violations)
+	}
+}

@@ -67,6 +67,12 @@ const (
 	// digest. Sound under the a.e. precondition (knowFrac ≥ 3/4);
 	// skipped below it.
 	OracleLogValidity = "log-validity"
+	// OracleLogDurability: across a crash and restart, no committed entry
+	// may regress — the post-restart log must extend the pre-crash
+	// committed prefix, entry for entry (CheckLogDurability). This is the
+	// store's contract: an entry surfaces only after it is persisted, so a
+	// restart recovers at least everything any client observed.
+	OracleLogDurability = "log-durability"
 )
 
 // Violation is one oracle finding on one run.
@@ -243,6 +249,38 @@ func (o *Oracles) Report(res *AERResult) OracleReport {
 	sort.Strings(rep.Checked)
 	if len(rep.Skipped) == 0 {
 		rep.Skipped = nil
+	}
+	return rep
+}
+
+// CheckLogDurability evaluates the log-durability oracle across a crash
+// boundary: before is the committed log observed before the crash (any
+// prefix a client saw), after the log recovered on restart. The oracle
+// holds iff after extends before — same length or longer, and identical
+// on the common prefix (sequence, value, payload count). Violations mean
+// the store surfaced a commit it had not made durable.
+func CheckLogDurability(before, after []LogEntry) OracleReport {
+	rep := OracleReport{Checked: []string{OracleLogDurability}}
+	violate := func(detail string, args ...any) {
+		rep.Violations = append(rep.Violations, Violation{Oracle: OracleLogDurability, Detail: fmt.Sprintf(detail, args...)})
+	}
+
+	if len(after) < len(before) {
+		violate("restart regressed the committed log from %d to %d entries", len(before), len(after))
+	}
+	for i := range before {
+		if i >= len(after) {
+			break
+		}
+		b, a := before[i], after[i]
+		switch {
+		case a.Seq != b.Seq:
+			violate("entry %d changed seq across restart: %d before, %d after", i, b.Seq, a.Seq)
+		case a.Value != b.Value:
+			violate("seq %d changed value across restart: %s before, %s after", b.Seq, b.Value, a.Value)
+		case a.PayloadCount != b.PayloadCount:
+			violate("seq %d changed payload count across restart: %d before, %d after", b.Seq, b.PayloadCount, a.PayloadCount)
+		}
 	}
 	return rep
 }
