@@ -42,18 +42,19 @@ func main() {
 func run(args []string) (int, error) {
 	fs := flag.NewFlagSet("fuzzba", flag.ContinueOnError)
 	var (
-		corpus   = fs.String("seeds", "", "corpus directory of *.json cases to replay (all must pass their oracles)")
-		budget   = fs.Duration("budget", 0, "wall-clock bound for the random campaign (0 = no campaign unless -runs is set)")
-		runs     = fs.Int("runs", 0, "number of random campaign cases (0 = bounded by -budget)")
-		seed     = fs.Uint64("seed", 1, "campaign seed: case i is a pure function of (seed, i)")
-		ns       = fs.String("n", "", "comma-separated candidate system sizes (default 16,24,32)")
-		models   = fs.String("models", "", "comma-separated candidate models (default all deterministic models)")
-		advs     = fs.String("adversaries", "", "comma-separated adversary registry names (default built-ins)")
-		logFrac  = fs.Float64("logfrac", 0, "fraction of campaign cases drawn from the pipelined decision-log family (0 = off)")
-		restFrac = fs.Float64("restartfrac", 0, "fraction of log-family cases that crash and recover a durable log mid-run (0 = off; needs -logfrac)")
-		out      = fs.String("out", "", "directory receiving shrunk JSON reproducers for failing cases")
-		selftest = fs.Bool("selftest", false, "also run a deliberately broken quorum threshold and require the agreement oracle to catch it")
-		verbose  = fs.Bool("v", false, "log every executed case")
+		corpus    = fs.String("seeds", "", "corpus directory of *.json cases to replay (all must pass their oracles)")
+		budget    = fs.Duration("budget", 0, "wall-clock bound for the random campaign (0 = no campaign unless -runs is set)")
+		runs      = fs.Int("runs", 0, "number of random campaign cases (0 = bounded by -budget)")
+		seed      = fs.Uint64("seed", 1, "campaign seed: case i is a pure function of (seed, i)")
+		ns        = fs.String("n", "", "comma-separated candidate system sizes (default 16,24,32)")
+		models    = fs.String("models", "", "comma-separated candidate models (default all deterministic models)")
+		advs      = fs.String("adversaries", "", "comma-separated adversary registry names (default built-ins)")
+		logFrac   = fs.Float64("logfrac", 0, "fraction of campaign cases drawn from the pipelined decision-log family (0 = off)")
+		restFrac  = fs.Float64("restartfrac", 0, "fraction of log-family cases that crash and recover a durable log mid-run (0 = off; needs -logfrac)")
+		chaosFrac = fs.Float64("chaosfrac", 0, "fraction of log-family cases that run over TCP under a seeded live-socket chaos plan (0 = off; needs -logfrac)")
+		out       = fs.String("out", "", "directory receiving shrunk JSON reproducers for failing cases")
+		selftest  = fs.Bool("selftest", false, "also run a deliberately broken quorum threshold and require the agreement oracle to catch it")
+		verbose   = fs.Bool("v", false, "log every executed case")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
@@ -83,6 +84,7 @@ func run(args []string) (int, error) {
 			PersistDir:  *out,
 			LogFrac:     *logFrac,
 			RestartFrac: *restFrac,
+			ChaosFrac:   *chaosFrac,
 		}
 		var err error
 		if fc.Ns, err = parseInts(*ns); err != nil {

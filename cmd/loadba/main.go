@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/fastba/fastba"
@@ -46,29 +47,34 @@ func main() {
 func run(args []string) (int, error) {
 	fs := flag.NewFlagSet("loadba", flag.ContinueOnError)
 	var (
-		n        = fs.Int("n", 64, "system size")
-		seed     = fs.Uint64("seed", 1, "master seed (corruption, knowledge, junk, client payloads)")
-		clients  = fs.Int("clients", 256, "concurrent proposer goroutines")
-		rate     = fs.Float64("rate", 0, "per-client proposal rate in payloads/second (0 = closed loop)")
-		payload  = fs.Int("payload", 32, "payload size in bytes")
-		duration = fs.Duration("duration", 5*time.Second, "proposing phase duration")
-		depth    = fs.Int("depth", 4, "instance pipelining depth")
-		batch    = fs.Int("batch", 64, "ingest batch size")
-		linger   = fs.Duration("linger", 2*time.Millisecond, "batch linger")
-		runtime  = fs.String("runtime", "fabric", "transport: fabric (in-process) or tcp (loopback sockets)")
-		corrupt  = fs.Float64("corrupt", 0.10, "fail-silent Byzantine fraction")
-		know     = fs.Float64("know", 1.0, "per-instance knowledgeable fraction of correct nodes")
-		frac     = fs.Float64("commitfrac", 1.0, "fraction of correct nodes that must decide before commit")
-		timeout  = fs.Duration("timeout", 30*time.Second, "head-instance commit timeout")
-		drop     = fs.Float64("drop", 0, "fault plan: per-message drop probability")
-		dup      = fs.Float64("dup", 0, "fault plan: per-message duplication probability")
-		delay    = fs.Float64("delay", 0, "fault plan: per-message delay probability")
-		maxDelay = fs.Int("maxdelay", 0, "fault plan: maximum injected delay (logical time)")
-		planSeed = fs.Uint64("faultseed", 1, "fault plan schedule seed")
-		store    = fs.String("store", "", "durable store directory: persist committed entries to a write-ahead log and recover them on reopen")
-		restart  = fs.Int("restart", 0, "crash-and-recover the log this many times during the run (requires -store)")
-		syncWin  = fs.Duration("syncwindow", 0, "store group-commit window (0 = fsync every append)")
-		jsonOut  = fs.Bool("json", false, "emit the full LoadResult as JSON on stdout")
+		n             = fs.Int("n", 64, "system size")
+		seed          = fs.Uint64("seed", 1, "master seed (corruption, knowledge, junk, client payloads)")
+		clients       = fs.Int("clients", 256, "concurrent proposer goroutines")
+		rate          = fs.Float64("rate", 0, "per-client proposal rate in payloads/second (0 = closed loop)")
+		payload       = fs.Int("payload", 32, "payload size in bytes")
+		duration      = fs.Duration("duration", 5*time.Second, "proposing phase duration")
+		depth         = fs.Int("depth", 4, "instance pipelining depth")
+		batch         = fs.Int("batch", 64, "ingest batch size")
+		linger        = fs.Duration("linger", 2*time.Millisecond, "batch linger")
+		runtime       = fs.String("runtime", "fabric", "transport: fabric (in-process) or tcp (loopback sockets)")
+		corrupt       = fs.Float64("corrupt", 0.10, "fail-silent Byzantine fraction")
+		know          = fs.Float64("know", 1.0, "per-instance knowledgeable fraction of correct nodes")
+		frac          = fs.Float64("commitfrac", 1.0, "fraction of correct nodes that must decide before commit")
+		timeout       = fs.Duration("timeout", 30*time.Second, "head-instance commit timeout")
+		drop          = fs.Float64("drop", 0, "fault plan: per-message drop probability")
+		dup           = fs.Float64("dup", 0, "fault plan: per-message duplication probability")
+		delay         = fs.Float64("delay", 0, "fault plan: per-message delay probability")
+		maxDelay      = fs.Int("maxdelay", 0, "fault plan: maximum injected delay (logical time)")
+		planSeed      = fs.Uint64("faultseed", 1, "fault plan schedule seed")
+		store         = fs.String("store", "", "durable store directory: persist committed entries to a write-ahead log and recover them on reopen")
+		restart       = fs.Int("restart", 0, "crash-and-recover the log this many times during the run (requires -store)")
+		syncWin       = fs.Duration("syncwindow", 0, "store group-commit window (0 = fsync every append)")
+		chaos         = fs.String("chaos", "", "live-socket chaos mode: sweep (sever every link at least once) or random (requires -runtime tcp)")
+		chaosSeed     = fs.Uint64("chaosseed", 1, "chaos strike schedule seed")
+		chaosInterval = fs.Duration("chaosinterval", 50*time.Millisecond, "interval between chaos strikes")
+		chaosStrikes  = fs.Int("chaosstrikes", 0, "chaos strike budget (0 with -chaos random = unbounded; ignored by sweep)")
+		chaosKinds    = fs.String("chaoskinds", "", "comma-separated strike kinds: close, halfclose, blackhole (default all)")
+		jsonOut       = fs.Bool("json", false, "emit the full LoadResult as JSON on stdout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
@@ -111,6 +117,36 @@ func run(args []string) (int, error) {
 			MaxDelay:  *maxDelay,
 		}))
 	}
+	if *chaos != "" {
+		if rt != fastba.RuntimeTCP {
+			return 2, fmt.Errorf("-chaos severs real sockets; it requires -runtime tcp")
+		}
+		plan := fastba.ChaosPlan{
+			Seed:     *chaosSeed,
+			Strikes:  *chaosStrikes,
+			Interval: *chaosInterval,
+		}
+		switch *chaos {
+		case "sweep":
+			plan.Sweep = true
+		case "random":
+			if plan.Strikes == 0 {
+				plan.Interval = *chaosInterval // unbounded: strike every interval until the run ends
+			}
+		default:
+			return 2, fmt.Errorf("-chaos must be sweep or random, got %q", *chaos)
+		}
+		if *chaosKinds != "" {
+			for _, name := range strings.Split(*chaosKinds, ",") {
+				k, err := fastba.ParseChaosKind(strings.TrimSpace(name))
+				if err != nil {
+					return 2, err
+				}
+				plan.Kinds = append(plan.Kinds, k)
+			}
+		}
+		opts = append(opts, fastba.WithChaos(plan))
+	}
 
 	res, err := fastba.RunLoad(context.Background(), fastba.NewConfig(*n, opts...))
 	if err != nil {
@@ -147,6 +183,14 @@ func render(res *fastba.LoadResult) {
 	fmt.Printf("  latency    p50 %v, p99 %v\n", res.CommitP50.Round(time.Microsecond), res.CommitP99.Round(time.Microsecond))
 	if res.Restarts > 0 {
 		fmt.Printf("  durability %d crash/recover cycles, %d entries recovered from the store\n", res.Restarts, res.Recovered)
+	}
+	if n := res.Net; n.Dials > 0 {
+		fmt.Printf("  net        %d dials, %d redials (%d failed), %d suspects, %d recoveries, %d dead links, %d shed, %d dropped-down\n",
+			n.Dials, n.Redials, n.FailedDials, n.Suspects, n.Recoveries, n.DeadLinks, n.Shed, n.DroppedDown)
+		if n.ChaosStrikes > 0 || n.LinksSevered > 0 {
+			fmt.Printf("  chaos      %d strikes (%d skipped), %d distinct links severed\n",
+				n.ChaosStrikes, n.ChaosSkips, n.LinksSevered)
+		}
 	}
 	if len(res.Hist) > 0 {
 		fmt.Printf("  histogram  ")

@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"github.com/fastba/fastba/internal/core"
+	"github.com/fastba/fastba/internal/netrun"
 )
 
 // Model selects the network/adversary timing model of §2.1.
@@ -184,6 +185,11 @@ type Config struct {
 	storeSnapEvery int
 	catchupAddr    string
 	catchupPeer    *DecisionLog
+
+	// TCP transport supervision knobs (net.go): dial/write deadlines,
+	// redial policy, heartbeat detector, send-queue bounds and the chaos
+	// plan. Zero values select the netrun defaults.
+	net netrun.Options
 }
 
 // Option customizes a Config (functional options).
@@ -359,6 +365,9 @@ func (c Config) validate() error {
 		return fmt.Errorf("fastba: WithScheduler requires the async or async-adversarial model, have %v", c.model)
 	}
 	if err := c.faults.Validate(c.n); err != nil {
+		return err
+	}
+	if err := c.net.Validate(); err != nil {
 		return err
 	}
 	return c.params.Validate()

@@ -53,6 +53,12 @@ type FuzzCase struct {
 	// log with deterministic batches replayed under the plan, judged by
 	// the cross-instance oracles.
 	Log *LogFuzz `json:"log,omitempty"`
+	// Chaos, when set (log cases only), runs the log over the TCP runtime
+	// with a live-socket chaos plan severing its real connections. Safety
+	// oracles must hold; termination is skipped (chaos is lossy), and the
+	// digest basis is the deterministic strike schedule plus the verdicts —
+	// never entry counts, which real sockets under chaos do not reproduce.
+	Chaos *ChaosFuzz `json:"chaos,omitempty"`
 	// Note is free-form provenance ("sampled by campaign seed 7, case 42";
 	// "shrunk from ...").
 	Note string `json:"note,omitempty"`
@@ -77,6 +83,40 @@ type LogFuzz struct {
 	RestartAfter int `json:"restartAfter,omitempty"`
 }
 
+// ChaosFuzz is the corpus form of a ChaosPlan: the live-socket chaos
+// dimension of a log fuzz case.
+type ChaosFuzz struct {
+	// Seed keys the deterministic strike schedule (ChaosSchedule).
+	Seed uint64 `json:"seed"`
+	// Strikes bounds landed strikes; 0 with Sweep runs until every link
+	// has been severed once.
+	Strikes int `json:"strikes,omitempty"`
+	// IntervalMs is the strike cadence in milliseconds (0: the plan
+	// default).
+	IntervalMs int `json:"intervalMs,omitempty"`
+	// Kinds restricts the strike kinds ("close", "halfclose",
+	// "blackhole"); empty allows all.
+	Kinds []string `json:"kinds,omitempty"`
+	// Sweep prioritizes live not-yet-severed links until full coverage.
+	Sweep bool `json:"sweep,omitempty"`
+}
+
+// plan materializes the corpus form into a runnable ChaosPlan.
+func (cf ChaosFuzz) plan() (ChaosPlan, error) {
+	p := ChaosPlan{Seed: cf.Seed, Strikes: cf.Strikes, Sweep: cf.Sweep}
+	if cf.IntervalMs > 0 {
+		p.Interval = time.Duration(cf.IntervalMs) * time.Millisecond
+	}
+	for _, name := range cf.Kinds {
+		k, err := ParseChaosKind(name)
+		if err != nil {
+			return ChaosPlan{}, err
+		}
+		p.Kinds = append(p.Kinds, k)
+	}
+	return p, nil
+}
+
 // String renders a compact case label.
 func (c FuzzCase) String() string {
 	fault := c.Plan.Label()
@@ -87,6 +127,9 @@ func (c FuzzCase) String() string {
 		shape := fmt.Sprintf("e=%d,d=%d,b=%d", c.Log.Entries, c.Log.Depth, c.Log.Batch)
 		if c.Log.RestartAfter > 0 {
 			shape += fmt.Sprintf(",r@%d", c.Log.RestartAfter)
+		}
+		if c.Chaos != nil {
+			shape += fmt.Sprintf(",chaos=%d", c.Chaos.Seed)
 		}
 		return fmt.Sprintf("n=%d seed=%d log[%s] corrupt=%.2f know=%.2f faults=%s",
 			c.N, c.Seed, shape, c.CorruptFrac, c.KnowFrac, fault)
@@ -133,6 +176,9 @@ type FuzzRun struct {
 // shrinker all share. Pipelined-log cases replay through the decision log
 // instead of a single-shot run.
 func ReplayCase(c FuzzCase) (FuzzRun, error) {
+	if c.Chaos != nil && c.Log == nil {
+		return FuzzRun{}, fmt.Errorf("fastba: chaos fuzz dimension requires a log case (single-shot runs have no long-lived connections)")
+	}
 	if c.Log != nil {
 		return replayLogCase(c)
 	}
@@ -162,6 +208,12 @@ func replayLogCase(c FuzzCase) (FuzzRun, error) {
 	lf := *c.Log
 	if lf.Entries <= 0 || lf.Depth <= 0 || lf.Batch <= 0 || lf.PayloadBytes <= 0 {
 		return FuzzRun{}, fmt.Errorf("fastba: malformed log fuzz case: %+v", lf)
+	}
+	if c.Chaos != nil {
+		if lf.RestartAfter > 0 {
+			return FuzzRun{}, fmt.Errorf("fastba: log fuzz case mixes chaos with restart — one hostile dimension per case")
+		}
+		return replayChaosLogCase(c)
 	}
 	if lf.RestartAfter > 0 {
 		return replayLogRestartCase(c)
@@ -257,6 +309,71 @@ func replayLogRestartCase(c FuzzCase) (FuzzRun, error) {
 	logTerminationCheck(&report, c, lf, entries, closeErr, appendErr)
 	sort.Strings(report.Checked)
 	return FuzzRun{Case: c, Digest: logDigest(entries, report), Report: report}, nil
+}
+
+// replayChaosLogCase executes a chaos log case: the same deterministic
+// batches, appended over the TCP runtime while the chaos controller
+// severs the cluster's real connections on the case's seeded schedule.
+// The supervisors must heal the mesh (aggressive redial, fast heartbeat)
+// and the safety oracles must hold on whatever committed; termination is
+// skipped — frames buffered in a severed socket die with it, so entry
+// counts are not reproducible and stay out of the digest. What IS
+// reproducible — the strike schedule and the safety verdicts — is the
+// digest basis, locked by the determinism test and the corpus.
+func replayChaosLogCase(c FuzzCase) (FuzzRun, error) {
+	lf := *c.Log
+	plan, err := c.Chaos.plan()
+	if err != nil {
+		return FuzzRun{}, err
+	}
+	cfg, err := logFuzzConfig(c, lf,
+		WithLogRuntime(RuntimeTCP),
+		// Commit below full attendance: a node behind a blackholed link
+		// must not stall the head instance for the detector's whole window.
+		WithLogCommitFraction(0.7),
+		// Heal fast at fuzz scale — and never give up: every severed link
+		// must come back, or the case wedges until the instance timeout.
+		WithReconnect(ReconnectPolicy{Base: 2 * time.Millisecond, Cap: 50 * time.Millisecond, MaxAttempts: -1}),
+		WithHeartbeat(HeartbeatPolicy{Every: 20 * time.Millisecond, SuspectAfter: 80 * time.Millisecond}),
+		WithChaos(plan),
+	)
+	if err != nil {
+		return FuzzRun{}, err
+	}
+	ctx := context.Background()
+	log, err := OpenLog(ctx, cfg)
+	if err != nil {
+		return FuzzRun{}, err
+	}
+	// Append and close errors are liveness outcomes, which chaos is
+	// allowed to destroy; the oracles judge whatever committed.
+	for k := 0; k < lf.Entries; k++ {
+		if _, err := log.Append(ctx, logFuzzBatch(c.Seed, lf, k)); err != nil {
+			break
+		}
+	}
+	log.Close()
+	entries := log.Committed()
+	report := CheckLogInvariants(entries, cfg.knowFrac)
+	if report.Skipped == nil {
+		report.Skipped = map[string]string{}
+	}
+	report.Skipped[OracleTermination] = "chaos plan severs live sockets (lossy by construction)"
+	return FuzzRun{Case: c, Digest: chaosDigest(c, plan, report), Report: report}, nil
+}
+
+// chaosDigest summarizes a chaos log case: the deterministic strike
+// schedule and the oracle verdicts. Committed entry counts are excluded
+// by design — real sockets under chaos do not reproduce them — so equal
+// digests across replays mean "same schedule, same safety verdict".
+func chaosDigest(c FuzzCase, plan ChaosPlan, report OracleReport) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "chaos seed=%d sweep=%t strikes=%d\n", plan.Seed, plan.Sweep, plan.Strikes)
+	for _, s := range ChaosSchedule(plan, c.N) {
+		fmt.Fprintf(h, "strike kind=%s from=%d to=%d\n", s.Kind, s.From, s.To)
+	}
+	fmt.Fprintf(h, "oracles checked=%v violations=%v\n", report.Checked, report.Strings())
+	return fmt.Sprintf("%x", h.Sum(nil))
 }
 
 // logFuzzConfig builds the validated Config a pipelined-log case runs
@@ -405,6 +522,11 @@ type FuzzConfig struct {
 	// off, keeping existing campaign digests stable). Only meaningful
 	// when LogFrac > 0.
 	RestartFrac float64
+	// ChaosFrac is the fraction of non-restart log-family cases that run
+	// over the TCP runtime under a seeded live-socket chaos plan (default
+	// 0 — off, keeping existing campaign digests stable). Only meaningful
+	// when LogFrac > 0.
+	ChaosFrac float64
 	// PersistDir, when set, receives one JSON FuzzFailure file per failing
 	// case (after shrinking), named fail_<digest prefix>.json.
 	PersistDir string
@@ -445,6 +567,9 @@ func (fc *FuzzConfig) defaults() error {
 	}
 	if fc.RestartFrac < 0 || fc.RestartFrac > 1 {
 		return fmt.Errorf("fastba: fuzz RestartFrac %v outside [0, 1]", fc.RestartFrac)
+	}
+	if fc.ChaosFrac < 0 || fc.ChaosFrac > 1 {
+		return fmt.Errorf("fastba: fuzz ChaosFrac %v outside [0, 1]", fc.ChaosFrac)
 	}
 	return nil
 }
@@ -602,6 +727,18 @@ func sampleLogCase(fc FuzzConfig, src *prng.Source, n, i int) FuzzCase {
 		lf.RestartAfter = 1 + src.Intn(lf.Entries-1)
 		note = fmt.Sprintf("sampled: campaign seed %d, case %d (log restart family)", fc.Seed, i)
 	}
+	// Same guard for the chaos draw: ChaosFrac 0 campaigns keep the
+	// historical stream untouched. Chaos and restart stay disjoint — one
+	// hostile dimension per case keeps shrinking meaningful.
+	var chaos *ChaosFuzz
+	if fc.ChaosFrac > 0 && lf.RestartAfter == 0 && src.Float64() < fc.ChaosFrac {
+		chaos = &ChaosFuzz{
+			Seed:       src.Uint64(),
+			Strikes:    1 + src.Intn(8),
+			IntervalMs: 5 + src.Intn(16),
+		}
+		note = fmt.Sprintf("sampled: campaign seed %d, case %d (log chaos family)", fc.Seed, i)
+	}
 	return FuzzCase{
 		N:           n,
 		Seed:        seed,
@@ -609,6 +746,7 @@ func sampleLogCase(fc FuzzConfig, src *prng.Source, n, i int) FuzzCase {
 		KnowFrac:    1,
 		Plan:        plan,
 		Log:         lf,
+		Chaos:       chaos,
 		Note:        note,
 	}
 }
@@ -723,6 +861,29 @@ func shrinkCandidates(c FuzzCase) []FuzzCase {
 			addLog(func(l *LogFuzz) { l.Batch = 1 })
 		}
 	}
+	// Chaos-dimension shrinks: no chaos at all (degrading to the fabric
+	// family) is strictly simpler; then fewer strikes, then the least
+	// exotic strike kind only.
+	if c.Chaos != nil {
+		addChaos := func(mut func(*FuzzCase)) {
+			v := c
+			v.Plan = clonePlan(c.Plan)
+			v.Log = cloneLog(c.Log)
+			v.Chaos = cloneChaos(c.Chaos)
+			mut(&v)
+			out = append(out, v)
+		}
+		addChaos(func(v *FuzzCase) { v.Chaos = nil })
+		if c.Chaos.Sweep {
+			addChaos(func(v *FuzzCase) { v.Chaos.Sweep = false; v.Chaos.Strikes = 4 })
+		}
+		if c.Chaos.Strikes > 1 {
+			addChaos(func(v *FuzzCase) { v.Chaos.Strikes /= 2 })
+		}
+		if len(c.Chaos.Kinds) != 1 || c.Chaos.Kinds[0] != "close" {
+			addChaos(func(v *FuzzCase) { v.Chaos.Kinds = []string{"close"} })
+		}
+	}
 	if c.Plan.DropProb > 0 {
 		add(func(p *FaultPlan) { p.DropProb = 0 })
 	}
@@ -796,6 +957,15 @@ func cloneLog(l *LogFuzz) *LogFuzz {
 		return nil
 	}
 	v := *l
+	return &v
+}
+
+func cloneChaos(cf *ChaosFuzz) *ChaosFuzz {
+	if cf == nil {
+		return nil
+	}
+	v := *cf
+	v.Kinds = append([]string(nil), cf.Kinds...)
 	return &v
 }
 

@@ -115,9 +115,13 @@ func serveCatchupConn(conn net.Conn, handler simnet.CatchupHandler) {
 }
 
 // FetchCatchup dials a peer's catch-up listener and fetches every
-// committed record from seq from onward, in order.
-func FetchCatchup(addr string, from uint64) ([][]byte, error) {
-	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+// committed record from seq from onward, in order. dialTimeout bounds the
+// connect attempt; 0 or negative selects the default (2s).
+func FetchCatchup(addr string, from uint64, dialTimeout time.Duration) ([][]byte, error) {
+	if dialTimeout <= 0 {
+		dialTimeout = 2 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("netrun: catchup dial: %w", err)
 	}

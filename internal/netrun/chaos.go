@@ -1,0 +1,283 @@
+package netrun
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/fastba/fastba/internal/prng"
+)
+
+// Live-socket chaos: a ChaosPlan severs *real* TCP connections mid-run —
+// full close, half-close (the dialer stops reading, so heartbeat answers
+// die while data still flows), and blackhole (the accepting side stops
+// draining the socket, so writes back up into kernel buffers) — on a
+// deterministic seeded schedule. What is deterministic is the strike
+// *sequence*: ChaosSchedule(plan, n) is a pure function of (Seed, n),
+// replayed identically on every run (the fuzzer's chaos digests lock this
+// in). What is not deterministic is wall-clock placement — strikes land
+// on whatever sockets are live when their tick fires, like every other
+// timing property of the TCP runtime. Safety oracles must hold under any
+// placement; termination is checked only against the run's own commit
+// path (chaos runs are lossy: frames buffered in a severed socket die
+// with it).
+
+// ChaosKind enumerates the ways a strike severs a connection.
+type ChaosKind uint8
+
+const (
+	// ChaosClose closes both endpoints' sockets outright.
+	ChaosClose ChaosKind = iota + 1
+	// ChaosHalfClose shuts the read side of the dialer's socket: data
+	// keeps flowing, but pongs can no longer be read, so the failure
+	// detector must notice and recycle the link.
+	ChaosHalfClose
+	// ChaosBlackhole pauses the accepting side's read loop for
+	// BlackholeFor: frames back up into kernel buffers and either the
+	// pause expires (delayed delivery, no loss) or the detector suspects
+	// the link and recycles it.
+	ChaosBlackhole
+)
+
+func (k ChaosKind) String() string {
+	switch k {
+	case ChaosClose:
+		return "close"
+	case ChaosHalfClose:
+		return "halfclose"
+	case ChaosBlackhole:
+		return "blackhole"
+	default:
+		return fmt.Sprintf("ChaosKind(%d)", int(k))
+	}
+}
+
+// ParseChaosKind parses a ChaosKind name (close, halfclose, blackhole).
+func ParseChaosKind(s string) (ChaosKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "close":
+		return ChaosClose, nil
+	case "halfclose", "half-close":
+		return ChaosHalfClose, nil
+	case "blackhole":
+		return ChaosBlackhole, nil
+	default:
+		return 0, fmt.Errorf("netrun: unknown chaos kind %q", s)
+	}
+}
+
+// ChaosPlan is a seeded schedule of connection strikes. The zero value is
+// inactive; any of Sweep, Strikes or Interval being set activates it.
+type ChaosPlan struct {
+	// Seed keys the strike sequence (see ChaosSchedule).
+	Seed uint64 `json:"seed"`
+	// Strikes bounds the number of landed strikes (0 = keep striking until
+	// the cluster closes).
+	Strikes int `json:"strikes,omitempty"`
+	// Interval is the wall-clock delay between strike attempts (default
+	// 50ms).
+	Interval time.Duration `json:"intervalNs,omitempty"`
+	// Kinds restricts the strike kinds drawn by the schedule (default: all
+	// three).
+	Kinds []ChaosKind `json:"kinds,omitempty"`
+	// BlackholeFor is the read-pause window of a blackhole strike (default
+	// 3×Interval).
+	BlackholeFor time.Duration `json:"blackholeForNs,omitempty"`
+	// Sweep prioritizes live links never severed so far, in schedule
+	// order, until every link that ever carried traffic has been severed
+	// at least once (NetStats.LinksSevered == NetStats.Dials); it then
+	// continues with the cyclic schedule.
+	Sweep bool `json:"sweep,omitempty"`
+}
+
+// Active reports whether the plan schedules any strikes.
+func (p ChaosPlan) Active() bool {
+	return p.Sweep || p.Strikes > 0 || p.Interval > 0
+}
+
+func (p ChaosPlan) withDefaults() ChaosPlan {
+	if p.Interval <= 0 {
+		p.Interval = 50 * time.Millisecond
+	}
+	if p.BlackholeFor <= 0 {
+		p.BlackholeFor = 3 * p.Interval
+	}
+	if len(p.Kinds) == 0 {
+		p.Kinds = []ChaosKind{ChaosClose, ChaosHalfClose, ChaosBlackhole}
+	}
+	return p
+}
+
+// Validate rejects malformed plans.
+func (p ChaosPlan) Validate() error {
+	if p.Strikes < 0 {
+		return fmt.Errorf("netrun: negative chaos strike count")
+	}
+	if p.Interval < 0 || p.BlackholeFor < 0 {
+		return fmt.Errorf("netrun: negative chaos window")
+	}
+	for _, k := range p.Kinds {
+		switch k {
+		case ChaosClose, ChaosHalfClose, ChaosBlackhole:
+		default:
+			return fmt.Errorf("netrun: unknown chaos kind %d", int(k))
+		}
+	}
+	return nil
+}
+
+// ChaosStrike is one scheduled strike on the directed link from → to.
+type ChaosStrike struct {
+	Kind ChaosKind `json:"kind"`
+	From int       `json:"from"`
+	To   int       `json:"to"`
+}
+
+// ChaosSchedule returns the plan's first strike round for an n-node
+// cluster: every directed link exactly once, in a seeded permutation,
+// each with a seeded kind draw. It is a pure function of (plan, n) — the
+// deterministic artifact that seeded chaos replays and the fuzzer's
+// digests are built on. The controller cycles through successive rounds
+// (round r reseeds with DeriveKey) until the strike budget or the run
+// ends.
+func ChaosSchedule(p ChaosPlan, n int) []ChaosStrike {
+	return chaosRound(p.withDefaults(), n, 0)
+}
+
+func chaosRound(p ChaosPlan, n, round int) []ChaosStrike {
+	src := prng.New(prng.DeriveKey(p.Seed, "netrun/chaos", uint64(round)))
+	pairs := make([]connKey, 0, n*(n-1))
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			if from != to {
+				pairs = append(pairs, connKey{from: from, to: to})
+			}
+		}
+	}
+	src.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+	out := make([]ChaosStrike, len(pairs))
+	for i, pr := range pairs {
+		out[i] = ChaosStrike{Kind: p.Kinds[src.Intn(len(p.Kinds))], From: pr.from, To: pr.to}
+	}
+	return out
+}
+
+// chaosLoop is the strike controller: one attempt per interval tick,
+// following the seeded schedule (sweep mode first targets live links not
+// yet severed). Attempts that find no socket count as skips, not strikes.
+func (c *Cluster) chaosLoop() {
+	defer c.wg.Done()
+	plan := c.opts.Chaos
+	n := len(c.addrs)
+	ticker := time.NewTicker(plan.Interval)
+	defer ticker.Stop()
+	struck := make(map[connKey]bool)
+	sched := chaosRound(plan, n, 0)
+	round, idx, landed := 0, 0, 0
+	for {
+		select {
+		case <-c.closing:
+			return
+		case <-ticker.C:
+		}
+		if plan.Strikes > 0 && landed >= plan.Strikes {
+			return
+		}
+		s, ok := ChaosStrike{}, false
+		if plan.Sweep {
+			s, ok = c.sweepTarget(sched, struck)
+		}
+		if !ok {
+			s = sched[idx]
+			if idx++; idx == len(sched) {
+				idx = 0
+				round++
+				sched = chaosRound(plan, n, round)
+			}
+		}
+		if c.applyStrike(s, struck) {
+			landed++
+			c.stats.chaosStrikes.Add(1)
+		} else {
+			c.stats.chaosSkips.Add(1)
+		}
+	}
+}
+
+// sweepTarget picks the first schedule entry whose link is live and not
+// yet severed.
+func (c *Cluster) sweepTarget(sched []ChaosStrike, struck map[connKey]bool) (ChaosStrike, bool) {
+	for _, s := range sched {
+		key := connKey{from: s.From, to: s.To}
+		if struck[key] {
+			continue
+		}
+		if c.linkLive(key) {
+			return s, true
+		}
+	}
+	return ChaosStrike{}, false
+}
+
+// linkLive reports whether the directed link has a live socket at either
+// endpoint.
+func (c *Cluster) linkLive(key connKey) bool {
+	c.mu.Lock()
+	l := c.links[key]
+	ic := c.inbound[key]
+	c.mu.Unlock()
+	return (l != nil && l.currentConn() != nil) || ic != nil
+}
+
+// applyStrike severs one link, reporting whether anything was hit.
+func (c *Cluster) applyStrike(s ChaosStrike, struck map[connKey]bool) bool {
+	key := connKey{from: s.From, to: s.To}
+	c.mu.Lock()
+	l := c.links[key]
+	ic := c.inbound[key]
+	c.mu.Unlock()
+	var conn net.Conn
+	if l != nil {
+		conn = l.currentConn()
+	}
+	hit := false
+	switch s.Kind {
+	case ChaosClose:
+		if conn != nil {
+			_ = conn.Close()
+			hit = true
+		}
+		if ic != nil {
+			_ = ic.conn.Close()
+			hit = true
+		}
+	case ChaosHalfClose:
+		if conn != nil {
+			if tc, ok := conn.(*net.TCPConn); ok {
+				_ = tc.CloseRead()
+			} else {
+				_ = conn.Close()
+			}
+			hit = true
+		}
+	case ChaosBlackhole:
+		if ic != nil {
+			ic.pausedUntil.Store(time.Now().Add(c.opts.Chaos.BlackholeFor).UnixNano())
+			hit = true
+		}
+	}
+	if hit && !struck[key] {
+		struck[key] = true
+		c.stats.linksSevered.Add(1)
+	}
+	return hit
+}
+
+// inboundConn tracks one accepted mesh socket for the chaos controller:
+// blackhole strikes pause its read loop via pausedUntil.
+type inboundConn struct {
+	conn        net.Conn
+	pausedUntil atomic.Int64 // unix nanos; 0 = not paused
+}

@@ -1,0 +1,405 @@
+package netrun
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/fastba/fastba/internal/prng"
+	"github.com/fastba/fastba/internal/simnet"
+	"github.com/fastba/fastba/internal/wire"
+)
+
+// link supervises one directed connection (from → to): a bounded send
+// queue drained by a dedicated writer goroutine that dials on demand,
+// redials with jittered exponential backoff when the socket breaks, and
+// goes down — dropping traffic instead of stalling senders — when the
+// redial budget runs out. The heartbeat detector (Cluster.heartbeatLoop)
+// probes the link when it is idle and recycles the socket when a probe
+// goes unanswered; a per-connection pong reader is the only goroutine
+// that reads from the dialed socket.
+type link struct {
+	c        *Cluster
+	from, to int
+	queue    chan outFrame
+
+	mu     sync.Mutex
+	conn   net.Conn // established socket; nil while disconnected
+	dialed bool     // a dial succeeded at least once
+
+	down      atomic.Bool  // redial budget exhausted
+	suspected atomic.Bool  // heartbeat suspicion outstanding
+	nextProbe atomic.Int64 // unix nanos: end of the down-state cooldown
+	lastIn    atomic.Int64 // unix nanos of the last pong (or dial)
+	pingAt    atomic.Int64 // unix nanos of the outstanding ping, 0 = none
+	wrStart   atomic.Int64 // unix nanos when a conn.Write began, 0 = idle
+
+	rng uint64 // backoff jitter state; writer goroutine only
+}
+
+// outFrame is one queued wire frame. ping frames are transport-internal:
+// never counted toward fabric quiescence, never retried, never metered.
+type outFrame struct {
+	buf  *[]byte
+	ping bool
+}
+
+func newLink(c *Cluster, from, to int) *link {
+	return &link{
+		c:     c,
+		from:  from,
+		to:    to,
+		queue: make(chan outFrame, c.opts.QueueLen),
+		rng:   prng.Hash2(uint64(from)+1, uint64(to)+1),
+	}
+}
+
+// enqueue hands a frame to the writer. Under the shed-oldest policy a
+// full queue drops its oldest frame to make room; under the default block
+// policy the sender waits. It reports false — recycling the buffer, with
+// the fabric's send path doing the uncounting — only when the cluster is
+// closing.
+func (l *link) enqueue(f outFrame) bool {
+	if l.c.opts.ShedOldest {
+		for {
+			select {
+			case l.queue <- f:
+				return true
+			case <-l.c.closing:
+				bufPool.Put(f.buf)
+				return false
+			default:
+			}
+			select {
+			case old := <-l.queue:
+				if !old.ping {
+					l.c.stats.shed.Add(1)
+					l.c.fab.Uncount(1)
+					l.c.event(ConnShed, l.from, l.to)
+				}
+				bufPool.Put(old.buf)
+			default:
+			}
+		}
+	}
+	select {
+	case l.queue <- f:
+		return true
+	case <-l.c.closing:
+		bufPool.Put(f.buf)
+		return false
+	}
+}
+
+// run is the writer goroutine: drain the queue, deliver each frame.
+func (l *link) run() {
+	defer l.c.wg.Done()
+	for {
+		select {
+		case <-l.c.closing:
+			l.drainQueue()
+			return
+		case f := <-l.queue:
+			l.deliver(f)
+		}
+	}
+}
+
+// deliver writes one frame, dialing or redialing as needed. A frame whose
+// write failed before any byte reached the kernel is retried on a fresh
+// socket (per-link FIFO order survives a severed conn); a partially
+// written frame is dropped — resending it would poison the new stream,
+// since the peer may have consumed a prefix.
+func (l *link) deliver(f outFrame) {
+	for {
+		conn := l.ensure(f.ping)
+		if conn == nil {
+			l.release(f)
+			return
+		}
+		if wt := l.c.opts.WriteTimeout; wt > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(wt))
+		}
+		l.wrStart.Store(time.Now().UnixNano())
+		n, err := conn.Write(*f.buf)
+		l.wrStart.Store(0)
+		if err == nil {
+			if !f.ping {
+				atomic.AddInt64(&l.c.sent[l.from], int64(len(*f.buf)-4))
+			}
+			bufPool.Put(f.buf)
+			return
+		}
+		l.dropConn(conn)
+		if f.ping || n > 0 || l.c.isClosing() {
+			l.release(f)
+			return
+		}
+	}
+}
+
+// ensure returns the link's socket, dialing it if absent. Heartbeat
+// probes never dial (a ping on a dead link is pointless); data frames to
+// a down peer are fast-dropped until the cooldown expires, then the next
+// frame probes with a fresh dial cycle.
+func (l *link) ensure(forPing bool) net.Conn {
+	l.mu.Lock()
+	conn := l.conn
+	l.mu.Unlock()
+	if conn != nil {
+		return conn
+	}
+	if forPing || l.c.isClosing() {
+		return nil
+	}
+	if l.down.Load() && time.Now().UnixNano() < l.nextProbe.Load() {
+		l.c.stats.droppedDown.Add(1)
+		return nil
+	}
+	pol := l.c.opts.Reconnect
+	backoff := pol.Base
+	for attempt := 1; ; attempt++ {
+		d, err := net.DialTimeout("tcp", l.c.addrs[l.to], l.c.opts.DialTimeout)
+		if err == nil {
+			return l.adopt(d)
+		}
+		l.c.stats.failedDials.Add(1)
+		if pol.Disable {
+			return nil
+		}
+		if pol.MaxAttempts > 0 && attempt >= pol.MaxAttempts {
+			l.giveUp()
+			return nil
+		}
+		if !l.sleep(l.jitter(backoff)) {
+			return nil
+		}
+		if backoff *= 2; backoff > pol.Cap {
+			backoff = pol.Cap
+		}
+	}
+}
+
+// adopt installs a freshly dialed socket, clears suspicion and down
+// state, and spawns the pong reader.
+func (l *link) adopt(conn net.Conn) net.Conn {
+	if tc, ok := conn.(*net.TCPConn); ok && l.c.opts.SockBuf > 0 {
+		_ = tc.SetWriteBuffer(l.c.opts.SockBuf)
+		_ = tc.SetReadBuffer(l.c.opts.SockBuf)
+	}
+	l.mu.Lock()
+	if l.c.isClosing() {
+		l.mu.Unlock()
+		_ = conn.Close()
+		return nil
+	}
+	l.conn = conn
+	first := !l.dialed
+	l.dialed = true
+	l.mu.Unlock()
+	l.pingAt.Store(0)
+	l.lastIn.Store(time.Now().UnixNano())
+	wasDown := l.down.Swap(false)
+	wasSuspect := l.suspected.Swap(false)
+	if first {
+		l.c.stats.dials.Add(1)
+		l.c.event(ConnDialed, l.from, l.to)
+	} else {
+		l.c.stats.redials.Add(1)
+		l.c.event(ConnRedialed, l.from, l.to)
+	}
+	if wasDown || wasSuspect {
+		l.c.stats.recoveries.Add(1)
+		l.c.event(ConnRecovered, l.from, l.to)
+	}
+	if !l.c.opts.Heartbeat.Disable {
+		l.c.wg.Add(1)
+		go func() {
+			defer l.c.wg.Done()
+			l.pongLoop(conn)
+		}()
+	}
+	return conn
+}
+
+// giveUp marks the link down for a cooldown and drops its queued frames:
+// a fail-silent peer degrades to dropped traffic, never to stalled
+// senders.
+func (l *link) giveUp() {
+	l.nextProbe.Store(time.Now().Add(l.c.opts.Reconnect.Cap).UnixNano())
+	if l.down.CompareAndSwap(false, true) {
+		l.c.stats.deadLinks.Add(1)
+		l.c.event(ConnDown, l.from, l.to)
+	}
+	l.drainQueue()
+}
+
+// drainQueue drops every queued frame, returning the in-flight counts of
+// data frames to the fabric.
+func (l *link) drainQueue() {
+	for {
+		select {
+		case f := <-l.queue:
+			l.release(f)
+		default:
+			return
+		}
+	}
+}
+
+// release drops one frame: data frames return their in-flight count.
+func (l *link) release(f outFrame) {
+	if !f.ping {
+		l.c.fab.Uncount(1)
+	}
+	bufPool.Put(f.buf)
+}
+
+// dropConn detaches and closes a socket (idempotent per socket: a newer
+// conn installed by adopt is left alone).
+func (l *link) dropConn(conn net.Conn) {
+	l.mu.Lock()
+	if l.conn == conn {
+		l.conn = nil
+	}
+	l.mu.Unlock()
+	_ = conn.Close()
+	l.pingAt.Store(0)
+}
+
+func (l *link) currentConn() net.Conn {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.conn
+}
+
+// closeConn is Close's teardown hook: in-flight writers observe the
+// closed socket (write error) plus the closing channel and exit without
+// touching dead conns again.
+func (l *link) closeConn() {
+	l.mu.Lock()
+	conn := l.conn
+	l.conn = nil
+	l.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// checkHealth is the heartbeat detector's per-tick scan of one link (now
+// in unix nanos): suspect a stalled write or an unanswered ping — closing
+// the socket so the next frame redials — and ping when the link has been
+// quiet for a full period.
+func (l *link) checkHealth(now int64) {
+	hb := l.c.opts.Heartbeat
+	conn := l.currentConn()
+	if conn == nil {
+		return
+	}
+	if ws := l.wrStart.Load(); ws != 0 && now-ws > int64(hb.SuspectAfter) {
+		l.suspectConn(conn)
+		return
+	}
+	if pa := l.pingAt.Load(); pa != 0 {
+		if now-pa > int64(hb.SuspectAfter) {
+			l.suspectConn(conn)
+		}
+		return // probe outstanding; wait for the pong or the window
+	}
+	if now-l.lastIn.Load() >= int64(hb.Every) {
+		l.sendPing(now)
+	}
+}
+
+// sendPing enqueues a heartbeat probe without ever blocking the detector:
+// a full queue means data traffic is already probing the link.
+func (l *link) sendPing(now int64) {
+	bp := bufPool.Get().(*[]byte)
+	buf, err := wire.AppendFrame((*bp)[:0], l.from, l.to, simnet.Ping{Nonce: uint64(now)})
+	if err != nil {
+		bufPool.Put(bp)
+		return
+	}
+	*bp = buf
+	select {
+	case l.queue <- outFrame{buf: bp, ping: true}:
+		l.pingAt.Store(now)
+		l.c.stats.pingsSent.Add(1)
+	default:
+		bufPool.Put(bp)
+	}
+}
+
+// suspectConn marks the link suspect (once per episode) and recycles the
+// socket; the suspicion clears on the next pong or successful redial.
+func (l *link) suspectConn(conn net.Conn) {
+	if l.suspected.CompareAndSwap(false, true) {
+		l.c.stats.suspects.Add(1)
+		l.c.event(ConnSuspected, l.from, l.to)
+	}
+	l.dropConn(conn)
+}
+
+// pongLoop is the dialer-side reader of one socket: the accepting peer
+// sends nothing but pongs, which feed the failure detector. It exits when
+// the socket dies.
+func (l *link) pongLoop(conn net.Conn) {
+	header := make([]byte, 4)
+	var frame []byte
+	for {
+		if _, err := io.ReadFull(conn, header); err != nil {
+			return
+		}
+		size := frameSize(header)
+		if size == 0 || size > maxFrame {
+			_ = conn.Close()
+			return
+		}
+		if cap(frame) < size {
+			frame = make([]byte, size)
+		}
+		frame = frame[:size]
+		if _, err := io.ReadFull(conn, frame); err != nil {
+			return
+		}
+		_, _, msg, err := wire.DecodeEnvelope(frame)
+		if err != nil {
+			continue
+		}
+		if _, ok := msg.(simnet.Pong); !ok {
+			continue
+		}
+		l.c.stats.pongsReceived.Add(1)
+		l.lastIn.Store(time.Now().UnixNano())
+		l.pingAt.Store(0)
+		if l.suspected.CompareAndSwap(true, false) {
+			l.c.stats.recoveries.Add(1)
+			l.c.event(ConnRecovered, l.from, l.to)
+		}
+	}
+}
+
+// jitter draws a uniformly jittered duration in [d/2, d] from the link's
+// private hash chain (no global rand, deterministic per link).
+func (l *link) jitter(d time.Duration) time.Duration {
+	if d <= time.Millisecond {
+		return d
+	}
+	l.rng = prng.Mix64(l.rng + 0x9e3779b97f4a7c15)
+	half := int64(d) / 2
+	return time.Duration(half + int64(l.rng%uint64(half+1)))
+}
+
+// sleep waits d unless the cluster closes first.
+func (l *link) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-l.c.closing:
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -9,10 +9,20 @@
 // simnet.Fabric: mailboxes, per-node metrics shards, observer fan-in and
 // quiescence accounting are the Fabric's (the same code the goroutine
 // runner uses); this package only moves frames. Topology: every node owns
-// one TCP listener; connections are dialed lazily on first send and
-// cached. Frames are length-prefixed wire envelopes. Delivery order and
-// timing are whatever the kernel provides, so — like the goroutine runner
-// — only outcome properties are deterministic, not traces.
+// one TCP listener; connections are dialed lazily on first send. Frames
+// are length-prefixed wire envelopes. Delivery order and timing are
+// whatever the kernel provides, so — like the goroutine runner — only
+// outcome properties are deterministic, not traces.
+//
+// Every directed connection is supervised (see link): a bounded send
+// queue with an explicit overload policy, jittered exponential-backoff
+// redial when the socket breaks, write deadlines on every frame, and a
+// heartbeat failure detector that recycles unresponsive sockets. A peer
+// that stays unreachable past the redial budget degrades to dropped
+// frames — never to stalled senders — so a run keeps committing while ≤f
+// peers are dark, and a healed peer re-syncs through the catch-up path.
+// Options tune all of it; ChaosPlan (chaos.go) attacks it with live
+// socket strikes.
 //
 // Time: the Fabric runs a per-node delivery counter (simnet.CounterClock),
 // so Context.Now during a delivery is the number of messages the node has
@@ -28,6 +38,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/fastba/fastba/internal/simnet"
@@ -44,23 +55,24 @@ var bufPool = sync.Pool{New: func() any { return new([]byte) }}
 // Cluster runs a set of protocol nodes over localhost TCP.
 type Cluster struct {
 	fab       *simnet.Fabric
+	opts      Options
 	listeners []net.Listener
 	addrs     []string
 
-	// mu guards the connection cache and closing handshake only. Writes on
-	// a cached connection take no lock: the connection for (from, to) is
-	// written exclusively by node from's goroutine (sends happen on the
-	// sender's delivery loop, or during sequential Init), and sent[from]
-	// is single-writer for the same reason.
-	mu    sync.Mutex
-	conns map[connKey]net.Conn
-	sent  []int64 // wire-frame bytes sent per node; read only after Close
+	// mu guards the link and inbound-connection registries and the closing
+	// handshake; per-socket state lives in the links themselves. sent is
+	// written with atomic adds by the link writer goroutines.
+	mu      sync.Mutex
+	links   map[connKey]*link
+	inbound map[connKey]*inboundConn
+	sent    []int64
 	// catchupLns are dedicated catch-up listeners (ServeCatchup), and
 	// catchupConns their accepted connections; both close with the
 	// cluster.
 	catchupLns   []net.Listener
 	catchupConns []net.Conn
 
+	stats   netStats
 	wg      sync.WaitGroup
 	closing chan struct{}
 	once    sync.Once
@@ -68,11 +80,51 @@ type Cluster struct {
 
 type connKey struct{ from, to int }
 
-// New builds a cluster: one loopback listener per node. The caller must
-// Close the cluster.
+// netStats is the cluster's supervision counter block; every field is
+// written with atomics and safe to snapshot mid-run.
+type netStats struct {
+	dials, redials, failedDials     atomic.Int64
+	shed, droppedDown               atomic.Int64
+	suspects, recoveries, deadLinks atomic.Int64
+	pingsSent, pongsReceived        atomic.Int64
+	chaosStrikes, chaosSkips        atomic.Int64
+	linksSevered                    atomic.Int64
+}
+
+func (s *netStats) snapshot() simnet.NetStats {
+	return simnet.NetStats{
+		Dials:         s.dials.Load(),
+		Redials:       s.redials.Load(),
+		FailedDials:   s.failedDials.Load(),
+		Shed:          s.shed.Load(),
+		DroppedDown:   s.droppedDown.Load(),
+		Suspects:      s.suspects.Load(),
+		Recoveries:    s.recoveries.Load(),
+		DeadLinks:     s.deadLinks.Load(),
+		PingsSent:     s.pingsSent.Load(),
+		PongsReceived: s.pongsReceived.Load(),
+		ChaosStrikes:  s.chaosStrikes.Load(),
+		ChaosSkips:    s.chaosSkips.Load(),
+		LinksSevered:  s.linksSevered.Load(),
+	}
+}
+
+// New builds a cluster with default Options: one loopback listener per
+// node. The caller must Close the cluster.
 func New(nodes []simnet.Node) (*Cluster, error) {
+	return NewWithOptions(nodes, Options{})
+}
+
+// NewWithOptions builds a cluster with explicit supervision options. The
+// caller must Close the cluster.
+func NewWithOptions(nodes []simnet.Node, opts Options) (*Cluster, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	c := &Cluster{
-		conns:   make(map[connKey]net.Conn),
+		opts:    opts.withDefaults(),
+		links:   make(map[connKey]*link),
+		inbound: make(map[connKey]*inboundConn),
 		sent:    make([]int64, len(nodes)),
 		closing: make(chan struct{}),
 	}
@@ -108,16 +160,32 @@ func (c *Cluster) InjectFaults(plan simnet.FaultPlan) { c.fab.SetFaults(plan) }
 func (c *Cluster) Addrs() []string { return append([]string(nil), c.addrs...) }
 
 // SentBytes returns per-node sent byte counts (wire frames actually
-// written, excluding the length prefix). Call it only after Close (or
-// quiescence): the counters are written lock-free by the sender loops.
+// written, excluding the length prefix and heartbeat frames). Counters
+// are atomic, but for totals consistent with each other call it after
+// Close or quiescence.
 func (c *Cluster) SentBytes() []int64 {
-	return append([]int64(nil), c.sent...)
+	out := make([]int64, len(c.sent))
+	for i := range c.sent {
+		out[i] = atomic.LoadInt64(&c.sent[i])
+	}
+	return out
 }
 
 // Metrics returns the Fabric's merged per-node metrics (message counts by
-// kind, per-node sent/received). Call it only after the cluster is closed
-// or quiescent; merging during delivery is racy.
-func (c *Cluster) Metrics() *simnet.Metrics { return c.fab.Metrics() }
+// kind, per-node sent/received) with the cluster's supervision counters
+// attached as Metrics.Net. Call it only after the cluster is closed or
+// quiescent; merging during delivery is racy.
+func (c *Cluster) Metrics() *simnet.Metrics {
+	m := c.fab.Metrics()
+	ns := c.stats.snapshot()
+	m.Net = &ns
+	return m
+}
+
+// NetStats snapshots the supervision counters — dial/redial churn,
+// detector transitions, shed frames, chaos strikes. Unlike Metrics it is
+// safe to call mid-run (all counters are atomic).
+func (c *Cluster) NetStats() simnet.NetStats { return c.stats.snapshot() }
 
 // Inject feeds a locally originated control envelope (e.g. a decision-log
 // open/close message) straight into the destination node's mailbox,
@@ -126,7 +194,8 @@ func (c *Cluster) Metrics() *simnet.Metrics { return c.fab.Metrics() }
 // counted these on a send path.
 func (c *Cluster) Inject(e simnet.Envelope) { c.fab.InjectLocal(e) }
 
-// Start launches accept loops, then starts the Fabric: nodes initialize
+// Start launches accept loops, the heartbeat detector and the chaos
+// controller (when configured), then starts the Fabric: nodes initialize
 // sequentially before any delivery loop runs — the ordering that preserves
 // the runner contract that Init and Deliver never overlap on one node
 // (inbound frames queue in the mailboxes meanwhile).
@@ -139,30 +208,49 @@ func (c *Cluster) Start() {
 			c.acceptLoop(id)
 		}()
 	}
+	if !c.opts.Heartbeat.Disable {
+		c.wg.Add(1)
+		go c.heartbeatLoop()
+	}
+	if c.opts.Chaos.Active() {
+		c.wg.Add(1)
+		go c.chaosLoop()
+	}
 	c.fab.Start()
 }
 
-// RunUntil polls pred until it returns true, the timeout elapses or ctx is
-// done. It returns an error on timeout and ctx.Err() on cancellation.
+// RunUntil waits for pred to return true, the timeout to elapse or ctx to
+// be done. It returns an error on timeout and ctx.Err() on cancellation.
 // Completion of a *protocol* is observed from node state — e.g. "all
 // correct nodes decided"; AwaitQuiescence then drains the tail of the
-// execution.
+// execution. Polling backs off exponentially (1ms doubling to 16ms) and
+// never sleeps past the deadline.
 func (c *Cluster) RunUntil(ctx context.Context, pred func() bool, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+	wait := time.Millisecond
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	for {
 		if pred() {
 			return nil
 		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return errors.New("netrun: timeout waiting for completion predicate")
+		}
+		if wait > remain {
+			wait = remain
+		}
+		timer.Reset(wait)
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(5 * time.Millisecond):
+		case <-timer.C:
+		}
+		if wait < 16*time.Millisecond {
+			wait *= 2
 		}
 	}
-	if pred() {
-		return nil
-	}
-	return errors.New("netrun: timeout waiting for completion predicate")
 }
 
 // AwaitQuiescence blocks until no sent message remains unhandled, or the
@@ -170,8 +258,10 @@ func (c *Cluster) RunUntil(ctx context.Context, pred func() bool, timeout time.D
 // The count is kept in-process (both endpoints of every loopback connection
 // live in this cluster), so unlike a real distributed system the cluster
 // can detect global quiescence without running an agreement protocol for
-// it. A broken connection can leak in-flight counts, so callers should
-// pass a timeout.
+// it. Frames dropped by the supervision layer (shed, dead links, teardown)
+// return their counts, but a frame that died *inside* a severed socket's
+// kernel buffer cannot be traced, so chaos runs and broken connections can
+// leak in-flight counts: callers should pass a timeout.
 func (c *Cluster) AwaitQuiescence(timeout time.Duration) bool {
 	return c.fab.AwaitQuiescence(timeout)
 }
@@ -183,8 +273,28 @@ func (c *Cluster) AwaitQuiescence(timeout time.Duration) bool {
 // plan destroys messages.
 func (c *Cluster) Quiesced() bool { return c.fab.Quiesced() }
 
+// isClosing reports whether Close has begun.
+func (c *Cluster) isClosing() bool {
+	select {
+	case <-c.closing:
+		return true
+	default:
+		return false
+	}
+}
+
+// event dispatches one link state transition to the configured observer.
+func (c *Cluster) event(kind ConnEventKind, from, to int) {
+	if h := c.opts.OnConnEvent; h != nil {
+		h(ConnEvent{Kind: kind, From: from, To: to})
+	}
+}
+
 // Close shuts listeners, connections and delivery loops down, waits for
-// the worker goroutines and flushes buffered observer events.
+// the worker goroutines and flushes buffered observer events. Link
+// writers observe the closing channel (and write errors from their closed
+// sockets) and drain their queues, returning in-flight counts, instead of
+// writing to dead conns.
 func (c *Cluster) Close() {
 	c.once.Do(func() {
 		close(c.closing)
@@ -192,8 +302,11 @@ func (c *Cluster) Close() {
 			_ = ln.Close()
 		}
 		c.mu.Lock()
-		for _, conn := range c.conns {
-			_ = conn.Close()
+		for _, l := range c.links {
+			l.closeConn()
+		}
+		for _, ic := range c.inbound {
+			_ = ic.conn.Close()
 		}
 		for _, ln := range c.catchupLns {
 			_ = ln.Close()
@@ -205,6 +318,14 @@ func (c *Cluster) Close() {
 	})
 	c.wg.Wait()
 	c.fab.Stop()
+	// Stragglers: a sender that won the enqueue race against a writer
+	// already gone. Everything has stopped, so a single drain pass is
+	// race-free and final.
+	c.mu.Lock()
+	for _, l := range c.links {
+		l.drainQueue()
+	}
+	c.mu.Unlock()
 }
 
 func (c *Cluster) acceptLoop(id int) {
@@ -212,6 +333,10 @@ func (c *Cluster) acceptLoop(id int) {
 		conn, err := c.listeners[id].Accept()
 		if err != nil {
 			return // listener closed
+		}
+		if tc, ok := conn.(*net.TCPConn); ok && c.opts.SockBuf > 0 {
+			_ = tc.SetReadBuffer(c.opts.SockBuf)
+			_ = tc.SetWriteBuffer(c.opts.SockBuf)
 		}
 		c.wg.Add(1)
 		go func() {
@@ -221,22 +346,56 @@ func (c *Cluster) acceptLoop(id int) {
 	}
 }
 
+// frameSize decodes a length prefix.
+func frameSize(header []byte) int {
+	return int(binary.LittleEndian.Uint32(header))
+}
+
 // readLoop decodes frames from one inbound connection into id's mailbox.
 // The frame buffer is reused across messages: the wire decoders copy what
-// they keep.
+// they keep. It answers heartbeat pings in place (this loop is the
+// socket's only writer on the accepting side), registers the connection
+// with the chaos controller once the peer identifies itself, and — when
+// the heartbeat detector is on — applies a generous idle read deadline so
+// sockets abandoned by a dead dialer are reaped.
 func (c *Cluster) readLoop(id int, conn net.Conn) {
 	defer conn.Close()
+	var reg *inboundConn
+	var regKey connKey
+	defer func() {
+		if reg == nil {
+			return
+		}
+		c.mu.Lock()
+		if c.inbound[regKey] == reg {
+			delete(c.inbound, regKey)
+		}
+		c.mu.Unlock()
+	}()
+	var idle time.Duration
+	if hb := c.opts.Heartbeat; !hb.Disable {
+		idle = 4 * (hb.Every + hb.SuspectAfter)
+		if idle < 2*time.Second {
+			idle = 2 * time.Second
+		}
+	}
 	header := make([]byte, 4)
-	var frame []byte
+	var frame, pong []byte
 	for {
+		if reg != nil && !c.pauseInbound(reg) {
+			return // cluster closed mid-blackhole
+		}
+		if idle > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(idle))
+		}
 		if _, err := io.ReadFull(conn, header); err != nil {
 			return
 		}
-		size := binary.LittleEndian.Uint32(header)
+		size := frameSize(header)
 		if size == 0 || size > maxFrame {
 			return // corrupt peer; drop the connection
 		}
-		if cap(frame) < int(size) {
+		if cap(frame) < size {
 			frame = make([]byte, size)
 		}
 		frame = frame[:size]
@@ -246,6 +405,29 @@ func (c *Cluster) readLoop(id int, conn net.Conn) {
 		from, to, msg, err := wire.DecodeEnvelope(frame)
 		if err != nil || to != id {
 			continue // malformed or misrouted frame: authenticated drop
+		}
+		if reg == nil && from >= 0 && from < len(c.addrs) && from != id {
+			reg = &inboundConn{conn: conn}
+			regKey = connKey{from: from, to: id}
+			c.mu.Lock()
+			c.inbound[regKey] = reg // latest socket for the link wins
+			c.mu.Unlock()
+		}
+		switch m := msg.(type) {
+		case simnet.Ping:
+			pong, err = wire.AppendFrame(pong[:0], id, from, simnet.Pong{Nonce: m.Nonce})
+			if err != nil {
+				continue
+			}
+			if wt := c.opts.WriteTimeout; wt > 0 {
+				_ = conn.SetWriteDeadline(time.Now().Add(wt))
+			}
+			if _, werr := conn.Write(pong); werr != nil {
+				return
+			}
+			continue
+		case simnet.Pong:
+			continue // not expected on an inbound socket; ignore
 		}
 		e := simnet.Envelope{From: from, To: to, Msg: msg}
 		// Instance-tagged frames surface as InstMsg; hoist the tag back
@@ -257,10 +439,35 @@ func (c *Cluster) readLoop(id int, conn net.Conn) {
 	}
 }
 
-// Send implements simnet.Transport: it frames and writes one message,
-// dialing the peer on first use. Write buffers come from a pool. It
-// reports whether the frame was written (unknown message types and
-// unreachable peers are dropped; the Fabric then uncounts them).
+// pauseInbound honors a blackhole window: stop draining the socket until
+// the window expires or the cluster closes (false = closing).
+func (c *Cluster) pauseInbound(ic *inboundConn) bool {
+	for {
+		until := ic.pausedUntil.Load()
+		now := time.Now().UnixNano()
+		if until <= now {
+			return true
+		}
+		wait := time.Duration(until - now)
+		if wait > 50*time.Millisecond {
+			wait = 50 * time.Millisecond
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-c.closing:
+			t.Stop()
+			return false
+		case <-t.C:
+		}
+	}
+}
+
+// Send implements simnet.Transport: it frames one message and hands it to
+// the (from, to) link supervisor, which owns dialing, redialing and the
+// actual write. It reports whether the frame was accepted (unknown
+// message types and a closing cluster are rejected; the Fabric then
+// uncounts them). Frames the supervisor later drops — shed, dead link,
+// teardown — return their in-flight counts through Fabric.Uncount.
 func (c *Cluster) Send(e simnet.Envelope) bool {
 	bp := bufPool.Get().(*[]byte)
 	var buf []byte
@@ -274,46 +481,62 @@ func (c *Cluster) Send(e simnet.Envelope) bool {
 		bufPool.Put(bp)
 		return false // unknown message type: nothing a remote peer could do either
 	}
-	conn, err := c.conn(e.From, e.To)
-	if err != nil {
-		*bp = buf
-		bufPool.Put(bp)
-		return false // peer unreachable; the model's reliability holds on loopback
-	}
-	// No lock: this connection is written only by e.From's goroutine.
-	_, werr := conn.Write(buf)
-	if werr == nil {
-		c.sent[e.From] += int64(len(buf) - 4) // excluding the length prefix
-	}
 	*bp = buf
-	bufPool.Put(bp)
-	return werr == nil
+	l := c.link(e.From, e.To)
+	if l == nil {
+		bufPool.Put(bp)
+		return false // cluster closing
+	}
+	return l.enqueue(outFrame{buf: bp})
 }
 
-func (c *Cluster) conn(from, to int) (net.Conn, error) {
+// link returns the supervisor for a directed connection, creating it (and
+// its writer goroutine) on first use.
+func (c *Cluster) link(from, to int) *link {
 	key := connKey{from: from, to: to}
 	c.mu.Lock()
-	conn, ok := c.conns[key]
-	c.mu.Unlock()
-	if ok {
-		return conn, nil
-	}
-	dialed, err := net.DialTimeout("tcp", c.addrs[to], 2*time.Second)
-	if err != nil {
-		return nil, err
-	}
-	c.mu.Lock()
 	defer c.mu.Unlock()
-	if existing, ok := c.conns[key]; ok {
-		_ = dialed.Close()
-		return existing, nil
+	if l, ok := c.links[key]; ok {
+		return l
 	}
 	select {
 	case <-c.closing:
-		_ = dialed.Close()
-		return nil, errors.New("netrun: cluster closing")
+		return nil
 	default:
 	}
-	c.conns[key] = dialed
-	return dialed, nil
+	l := newLink(c, from, to)
+	c.links[key] = l
+	c.wg.Add(1)
+	go l.run()
+	return l
+}
+
+// snapshotLinks copies the link registry for lock-free iteration.
+func (c *Cluster) snapshotLinks() []*link {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*link, 0, len(c.links))
+	for _, l := range c.links {
+		out = append(out, l)
+	}
+	return out
+}
+
+// heartbeatLoop drives the failure detector: every period, scan the links
+// for stalled writes and unanswered pings, and probe idle sockets.
+func (c *Cluster) heartbeatLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.opts.Heartbeat.Every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.closing:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now().UnixNano()
+		for _, l := range c.snapshotLinks() {
+			l.checkHealth(now)
+		}
+	}
 }

@@ -49,6 +49,10 @@ type Config struct {
 	InstanceTimeout time.Duration
 	// Faults is the fault plan installed on the transport's send path.
 	Faults simnet.FaultPlan
+	// Net carries the TCP transport's supervision knobs — dial timeout,
+	// redial policy, heartbeat detector, send-queue bound, chaos plan.
+	// StartFabric ignores it.
+	Net netrun.Options
 	// DisablePool turns off per-instance node recycling (benchmark knob:
 	// the naive-rebuild arm of BenchmarkLogInstanceReuse).
 	DisablePool bool
@@ -290,7 +294,7 @@ func (e *Engine) StartFabric() {
 // StartTCP runs the log over real loopback TCP sockets (one listener per
 // node, lazily dialed mesh — internal/netrun).
 func (e *Engine) StartTCP() error {
-	cluster, err := netrun.New(e.nodes)
+	cluster, err := netrun.NewWithOptions(e.nodes, e.cfg.Net)
 	if err != nil {
 		return err
 	}
@@ -718,4 +722,14 @@ func (e *Engine) Metrics() *simnet.Metrics {
 		return e.fab.Metrics()
 	}
 	return nil
+}
+
+// NetStats snapshots the TCP transport's connection-supervision counters.
+// Unlike Metrics it is safe mid-run (the counters are atomic); the zero
+// value is returned on the fabric runtime, which has no connections.
+func (e *Engine) NetStats() simnet.NetStats {
+	if e.cluster != nil {
+		return e.cluster.NetStats()
+	}
+	return simnet.NetStats{}
 }

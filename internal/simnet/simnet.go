@@ -169,6 +169,9 @@ type Metrics struct {
 	Rounds int
 	// Delivered is the total number of delivered messages.
 	Delivered int64
+	// Net carries the connection-supervision counters of a network
+	// transport run (the TCP cluster); nil for in-process runners.
+	Net *NetStats
 }
 
 func newMetrics(n int) *Metrics {

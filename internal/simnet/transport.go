@@ -253,6 +253,17 @@ func (f *Fabric) InjectLocal(e Envelope) {
 	}
 }
 
+// Uncount returns n in-flight counts to the fabric on behalf of the
+// transport: Send accepted (and counted) the envelopes, but the transport
+// later dropped them without delivery — shed by an overload policy,
+// drained from the queue of a link whose redial budget ran out, or
+// discarded at teardown. Without the return, quiescence never comes.
+func (f *Fabric) Uncount(n int) {
+	if f.track && n > 0 {
+		f.inflight.Add(-int64(n))
+	}
+}
+
 // Start initializes every node sequentially — preserving the runner
 // contract that Init and Deliver never overlap on one node — and then
 // launches the per-node delivery loops.

@@ -51,6 +51,11 @@ const (
 	// answers with chunks of opaque encoded records, empty chunk = done.
 	kindCatchupReq  byte = 0x40
 	kindCatchupResp byte = 0x41
+	// kindPing/kindPong are the TCP runtime's heartbeat frames
+	// (simnet.Ping/Pong): transport-internal, consumed by the connection
+	// supervisor, never delivered to protocol nodes.
+	kindPing byte = 0x50
+	kindPong byte = 0x51
 )
 
 // ErrUnknownMessage reports a message type without a codec.
@@ -89,6 +94,10 @@ func KindByte(m simnet.Message) (byte, error) {
 		return kindCatchupReq, nil
 	case simnet.CatchupResp:
 		return kindCatchupResp, nil
+	case simnet.Ping:
+		return kindPing, nil
+	case simnet.Pong:
+		return kindPong, nil
 	default:
 		return 0, fmt.Errorf("%w: %T", ErrUnknownMessage, m)
 	}
@@ -150,6 +159,10 @@ func appendMessage(buf []byte, m simnet.Message) ([]byte, error) {
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r)))
 			buf = append(buf, r...)
 		}
+	case simnet.Ping:
+		buf = binary.LittleEndian.AppendUint64(buf, msg.Nonce)
+	case simnet.Pong:
+		buf = binary.LittleEndian.AppendUint64(buf, msg.Nonce)
 	case simnet.InstMsg:
 		if _, nested := msg.Inner.(simnet.InstMsg); nested {
 			return nil, fmt.Errorf("wire: nested InstMsg")
@@ -230,6 +243,10 @@ func Unmarshal(kind byte, payload []byte) (simnet.Message, error) {
 			}
 		}
 		m = simnet.CatchupResp{Records: records}
+	case kindPing:
+		m = simnet.Ping{Nonce: d.u64()}
+	case kindPong:
+		m = simnet.Pong{Nonce: d.u64()}
 	case kindInst:
 		inst := d.u32()
 		innerKind := d.u8()

@@ -39,6 +39,8 @@ func allMessages(t *testing.T) []simnet.Message {
 		simnet.CatchupReq{From: 0x1020304050607080, Max: 256},
 		simnet.CatchupResp{},
 		simnet.CatchupResp{Records: [][]byte{{0xab}, {}, {1, 2, 3, 4, 5}}},
+		simnet.Ping{Nonce: 0x0102030405060708},
+		simnet.Pong{Nonce: 0x8877665544332211},
 	}
 }
 

@@ -144,6 +144,10 @@ type LoadResult struct {
 	// all reopens. Zero for in-memory runs.
 	Restarts  int `json:"restarts,omitempty"`
 	Recovered int `json:"recovered,omitempty"`
+	// Net accumulates the TCP transport's connection-supervision counters
+	// across all restart legs (zero for fabric runs): dial/redial churn,
+	// failure-detector transitions, shed frames, chaos strikes.
+	Net NetStats `json:"net,omitempty"`
 	// Oracles is the cross-instance invariant verdict on the committed
 	// log, including the durability oracle when the run restarted.
 	Oracles OracleReport `json:"oracles"`
@@ -279,9 +283,10 @@ func RunLoad(ctx context.Context, cfg Config) (*LoadResult, error) {
 		// Restart boundary: hard-crash (no final fsync — kill -9
 		// semantics), reopen from the same store directory, and require
 		// the recovered log to extend everything committed before the
-		// crash.
+		// crash. Net counters die with the crashed cluster; bank them.
 		before := log.Committed()
 		log.Crash()
+		res.Net.Add(log.NetStats()) // bank the dead cluster's counters
 		log, err = OpenLog(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("fastba: reopen after restart %d: %w", leg+1, err)
@@ -293,6 +298,7 @@ func RunLoad(ctx context.Context, cfg Config) (*LoadResult, error) {
 		}
 	}
 	closeErr := log.Close()
+	res.Net.Add(log.NetStats()) // counters survive shutdown; read after the drain
 	res.Elapsed = time.Since(start)
 	res.Proposed = proposed
 	if closeErr != nil && ctx.Err() != nil {

@@ -215,6 +215,9 @@ func OpenLog(ctx context.Context, cfg Config, opts ...Option) (*DecisionLog, err
 	if runtime != RuntimeFabric && runtime != RuntimeTCP {
 		return nil, fmt.Errorf("fastba: unknown log runtime %v", runtime)
 	}
+	if cfg.net.Chaos.Active() && runtime != RuntimeTCP {
+		return nil, fmt.Errorf("fastba: chaos plans sever real sockets; runtime %v has none (use WithLogRuntime(RuntimeTCP))", runtime)
+	}
 	batch := cfg.logBatch
 	if batch <= 0 {
 		batch = 64
@@ -263,6 +266,7 @@ func OpenLog(ctx context.Context, cfg Config, opts ...Option) (*DecisionLog, err
 		CommitFraction:  cfg.logCommitFrac,
 		InstanceTimeout: cfg.logTimeout,
 		Faults:          cfg.faults,
+		Net:             cfg.net,
 		DisablePool:     cfg.logNaive,
 		OnCommit:        l.onCommit,
 		Store:           l.st,
@@ -436,6 +440,11 @@ func (l *DecisionLog) CatchupAddr() string { return l.eng.CatchupAddr() }
 // StoreDir returns the durable store's directory ("" when in-memory).
 func (l *DecisionLog) StoreDir() string { return l.cfg.storeDir }
 
+// NetStats snapshots the TCP transport's connection-supervision counters
+// (dials, redials, suspects, shed frames, chaos strikes). Safe to call
+// mid-run; the zero value on the fabric runtime.
+func (l *DecisionLog) NetStats() NetStats { return l.eng.NetStats() }
+
 // catchupRecords is the in-process catch-up surface behind
 // WithCatchupFrom: one chunk of encoded committed records, served
 // through the peer's running transport fabric.
@@ -466,7 +475,7 @@ func catchUp(st *store.Store, cfg Config) error {
 	}
 	switch {
 	case cfg.catchupAddr != "":
-		encoded, err := netrun.FetchCatchup(cfg.catchupAddr, st.Frontier())
+		encoded, err := netrun.FetchCatchup(cfg.catchupAddr, st.Frontier(), cfg.net.DialTimeout)
 		if err != nil {
 			return err
 		}

@@ -256,6 +256,93 @@ func TestDurableLogCatchupFabric(t *testing.T) {
 	}
 }
 
+// TestDurableLogCatchupUnderChurn: catch-up while the peer is still
+// moving. A durable TCP log joins via WithCatchupPeer while the survivor
+// is mid-workload (the transferred prefix is whatever had committed at
+// that instant), crashes, and later reopens against the finished peer —
+// composing WAL recovery with a second catch-up for the entries it
+// missed. The final log must converge byte-identical to the survivor's.
+func TestDurableLogCatchupUnderChurn(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	const entries, joinAfter = 8, 3
+	batches := conformancePayloads(7, entries)
+
+	survivor, err := OpenLog(ctx, NewConfig(16,
+		WithSeed(7), WithKnowFrac(1), WithCorruptFrac(0),
+		WithLogRuntime(RuntimeTCP), WithLogDepth(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer survivor.Close()
+	for _, batch := range batches[:joinAfter] {
+		if _, err := survivor.Append(ctx, batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := survivor.WaitSeq(ctx, joinAfter-1); err != nil {
+		t.Fatal(err)
+	}
+	addr := survivor.CatchupAddr()
+
+	// Churn: the survivor keeps committing while the joiner transfers.
+	churnDone := make(chan error, 1)
+	go func() {
+		for _, batch := range batches[joinAfter:] {
+			if _, err := survivor.Append(ctx, batch); err != nil {
+				churnDone <- err
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		churnDone <- nil
+	}()
+
+	dir := t.TempDir()
+	joinerCfg := NewConfig(16,
+		WithSeed(7), WithKnowFrac(1), WithCorruptFrac(0),
+		WithLogRuntime(RuntimeTCP), WithLogDepth(2),
+		WithLogStore(dir), WithCatchupPeer(addr))
+	joiner, err := OpenLog(ctx, joinerCfg)
+	if err != nil {
+		t.Fatalf("catch-up against a moving peer: %v", err)
+	}
+	if got := joiner.Recovered(); got < joinAfter {
+		t.Fatalf("mid-load catch-up recovered %d entries, want at least the %d pinned pre-join", got, joinAfter)
+	}
+	midPrefix := joiner.Committed()
+	joiner.Crash() // kill -9 semantics: the WAL keeps only what was transferred
+
+	if err := <-churnDone; err != nil {
+		t.Fatalf("survivor append under churn: %v", err)
+	}
+	if _, err := survivor.WaitSeq(ctx, entries-1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen from the same store: WAL recovery supplies the transferred
+	// prefix, a fresh catch-up fetches everything committed since.
+	joiner, err = OpenLog(ctx, joinerCfg)
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	if got := joiner.Recovered(); got != entries {
+		t.Fatalf("recovered %d entries after reopen, want %d", got, entries)
+	}
+	caught := joiner.Committed()
+	if err := joiner.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final := survivor.Committed()
+	if rep := CheckLogDurability(midPrefix, final); !rep.OK() {
+		t.Fatalf("mid-load transfer is not a prefix of the survivor's log: %s", rep)
+	}
+	entriesIdentical(t, "churn catch-up vs survivor", caught, final)
+	if rep := CheckLogInvariants(caught, 1); !rep.OK() {
+		t.Errorf("oracle violations on the converged log: %s", rep)
+	}
+}
+
 // TestLogClosedSentinel: a cleanly closed log reports ErrLogClosed on
 // further appends — distinguishable from a context abort.
 func TestLogClosedSentinel(t *testing.T) {

@@ -24,6 +24,17 @@ const (
 	// entry's sequence number, Size the total payload bytes folded into
 	// it. Full entries are available through DecisionLog.Committed.
 	EventCommit
+	// EventPeerSuspect fires when the TCP failure detector suspects the
+	// link From → To (heartbeat unanswered or write stalled), or escalates
+	// it to down after the redial budget runs out (Kind distinguishes:
+	// "suspect" vs "down"). TCP runs only; streamed live, not buffered.
+	EventPeerSuspect
+	// EventPeerAlive fires when a suspected or down link From → To is
+	// confirmed alive again (a pong arrived, or a redial succeeded).
+	EventPeerAlive
+	// EventReconnect fires when a broken link From → To is re-established
+	// by the supervisor's backoff redial.
+	EventReconnect
 )
 
 // String implements fmt.Stringer.
@@ -37,6 +48,12 @@ func (t EventType) String() string {
 		return "decision"
 	case EventCommit:
 		return "commit"
+	case EventPeerSuspect:
+		return "peer-suspect"
+	case EventPeerAlive:
+		return "peer-alive"
+	case EventReconnect:
+		return "reconnect"
 	default:
 		return "event"
 	}

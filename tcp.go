@@ -3,6 +3,7 @@ package fastba
 import (
 	"context"
 	"encoding/hex"
+	"sync"
 	"time"
 
 	"github.com/fastba/fastba/internal/core"
@@ -42,6 +43,9 @@ type TCPResult struct {
 	// AERResult).
 	DistinctDecisions int
 	CertDeficits      int
+	// Net carries the run's connection-supervision counters: dial/redial
+	// churn, failure-detector transitions, shed frames, chaos strikes.
+	Net NetStats
 }
 
 // RunTCP executes the same AER nodes a RunAER call with this configuration
@@ -76,7 +80,32 @@ func RunTCP(ctx context.Context, cfg Config, timeout time.Duration) (*TCPResult,
 	}
 	nodes, correct := sc.Build(mkByz)
 
-	cluster, err := netrun.New(nodes)
+	netOpts := cfg.net
+	if cfg.observer != nil {
+		// Link state transitions stream live (unlike deliveries, which the
+		// concurrent runtimes buffer and fan in at quiescence): a suspect
+		// event is only useful while the run it describes is still going.
+		// The supervisor goroutines fire concurrently; serialize them.
+		observer := cfg.observer
+		var connMu sync.Mutex
+		netOpts.OnConnEvent = func(ev netrun.ConnEvent) {
+			var typ EventType
+			switch ev.Kind {
+			case netrun.ConnSuspected, netrun.ConnDown:
+				typ = EventPeerSuspect
+			case netrun.ConnRecovered:
+				typ = EventPeerAlive
+			case netrun.ConnRedialed:
+				typ = EventReconnect
+			default:
+				return
+			}
+			connMu.Lock()
+			defer connMu.Unlock()
+			observer(Event{Type: typ, From: ev.From, To: ev.To, Kind: ev.Kind.String()})
+		}
+	}
+	cluster, err := netrun.NewWithOptions(nodes, netOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -114,11 +143,12 @@ func RunTCP(ctx context.Context, cfg Config, timeout time.Duration) (*TCPResult,
 		}
 		return true
 	}
-	// Under a plan that can destroy messages, "all correct nodes decided"
-	// may never come true; network quiescence is then the other legitimate
+	// Under a plan that can destroy messages — a lossy fault plan, or a
+	// chaos plan severing live sockets — "all correct nodes decided" may
+	// never come true; network quiescence is then the other legitimate
 	// end of the run (every surviving message handled, nothing in flight).
 	stop := allDecided
-	if !cfg.faults.Lossless() {
+	if !cfg.faults.Lossless() || cfg.net.Chaos.Active() {
 		stop = func() bool { return allDecided() || cluster.Quiesced() }
 	}
 	runErr := cluster.RunUntil(ctx, stop, timeout)
@@ -130,6 +160,7 @@ func RunTCP(ctx context.Context, cfg Config, timeout time.Duration) (*TCPResult,
 	// trigger) may still be in flight when the last node decides, and the
 	// byte counters should cover them. Bounded in case a connection broke.
 	cluster.AwaitQuiescence(2 * time.Second)
+	netStats := cluster.NetStats()
 	cluster.Close()
 
 	o := core.Evaluate(correct, sc.GString)
@@ -146,6 +177,7 @@ func RunTCP(ctx context.Context, cfg Config, timeout time.Duration) (*TCPResult,
 
 		DistinctDecisions: o.DistinctDecisions,
 		CertDeficits:      o.CertDeficits,
+		Net:               netStats,
 	}
 	var total int64
 	for _, b := range cluster.SentBytes() {
