@@ -77,6 +77,10 @@ func fig1a(sw sweep) error {
 	fmt.Println("growth fits (bits/node):")
 	for _, proto := range []string{"AER", "AER-async", "KLST11"} {
 		s := collected[proto]
+		if len(s.xs) < 2 { // a fit needs ≥ 2 population sizes
+			fmt.Printf("  %-10s (need ≥ 2 values of n, got %d)\n", proto, len(s.xs))
+			continue
+		}
 		fmt.Printf("  %-10s ~ n^%.2f  ~ log(n)^%.1f\n", proto,
 			metrics.PowerFit(s.xs, s.bits), metrics.PolylogFit(s.xs, s.bits))
 	}

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"strings"
+
+	"github.com/fastba/fastba/internal/profiling"
 )
 
 func main() {
@@ -37,9 +39,20 @@ func run(args []string) error {
 	only := fs.String("only", "", "run a single experiment by name")
 	nsFlag := fs.String("ns", "", "comma-separated system sizes (overrides -full)")
 	seedsFlag := fs.Int("seeds", 0, "seeds per statistical cell (overrides -full)")
+	var prof profiling.Flags
+	prof.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", perr)
+		}
+	}()
 
 	sw := sweep{ns: []int{64, 128, 256}, seeds: 5}
 	if *full {

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"github.com/fastba/fastba"
+	"github.com/fastba/fastba/internal/profiling"
 )
 
 func main() {
@@ -76,6 +77,8 @@ func run(args []string) (int, error) {
 		chaosKinds    = fs.String("chaoskinds", "", "comma-separated strike kinds: close, halfclose, blackhole (default all)")
 		jsonOut       = fs.Bool("json", false, "emit the full LoadResult as JSON on stdout")
 	)
+	var prof profiling.Flags
+	prof.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -148,7 +151,14 @@ func run(args []string) (int, error) {
 		opts = append(opts, fastba.WithChaos(plan))
 	}
 
+	stopProf, err := prof.Start()
+	if err != nil {
+		return 2, err
+	}
 	res, err := fastba.RunLoad(context.Background(), fastba.NewConfig(*n, opts...))
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
+	}
 	if err != nil {
 		return 2, err
 	}
@@ -187,6 +197,10 @@ func render(res *fastba.LoadResult) {
 	if n := res.Net; n.Dials > 0 {
 		fmt.Printf("  net        %d dials, %d redials (%d failed), %d suspects, %d recoveries, %d dead links, %d shed, %d dropped-down\n",
 			n.Dials, n.Redials, n.FailedDials, n.Suspects, n.Recoveries, n.DeadLinks, n.Shed, n.DroppedDown)
+		if n.FramesSent > 0 {
+			fmt.Printf("  wire       %d frames carried %d messages (%d batch frames, %.2f msgs/frame)\n",
+				n.FramesSent, n.MessagesSent, n.BatchFrames, float64(n.MessagesSent)/float64(n.FramesSent))
+		}
 		if n.ChaosStrikes > 0 || n.LinksSevered > 0 {
 			fmt.Printf("  chaos      %d strikes (%d skipped), %d distinct links severed\n",
 				n.ChaosStrikes, n.ChaosSkips, n.LinksSevered)

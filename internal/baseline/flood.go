@@ -68,7 +68,9 @@ func (f *floodNode) Init(ctx simnet.Context) {
 func (f *floodNode) Deliver(ctx simnet.Context, from simnet.NodeID, m simnet.Message) {
 	if b, ok := m.(MsgBcast); ok {
 		if _, dup := f.heard[from]; !dup {
-			f.heard[from] = b.S
+			// Clone: heard outlives this delivery and b.S may be a
+			// zero-copy view of a transport buffer (DESIGN.md §10).
+			f.heard[from] = b.S.Clone()
 		}
 	}
 }

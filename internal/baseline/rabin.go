@@ -118,7 +118,9 @@ func (r *rabinNode) Deliver(ctx simnet.Context, from simnet.NodeID, m simnet.Mes
 		r.votes[v.Round] = byRound
 	}
 	if _, dup := byRound[from]; !dup {
-		byRound[from] = v.S
+		// Clone: votes outlives this delivery and v.S may be a zero-copy
+		// view of a transport buffer (DESIGN.md §10).
+		byRound[from] = v.S.Clone()
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"github.com/fastba/fastba/internal/bitstring"
 	"github.com/fastba/fastba/internal/intern"
 	"github.com/fastba/fastba/internal/prng"
+	"github.com/fastba/fastba/internal/sampler"
 	"github.com/fastba/fastba/internal/simnet"
 )
 
@@ -82,6 +83,18 @@ type Node struct {
 	// consulted on every Fw1/Fw2 delivery but the distinct size of a quorum
 	// never changes within a run.
 	hxSizes map[xsID]int
+
+	// scratchJ and scratchH are reused sampling buffers for the fan-out hot
+	// paths (startPull, forwardPull): poll lists and pull quorums are sampled
+	// into node-owned scratch instead of a fresh slice per query. The node is
+	// single-threaded and sends only enqueue, so the buffers cannot be
+	// observed mid-iteration.
+	scratchJ []int
+	scratchH []int
+	// setPool recycles vouch Sets: fw1Vouches/fw2Vouches entries churn per
+	// (x, s, r[, w]) counter key and are deleted on majority, so recycling
+	// them keeps steady-state Fw1/Fw2 delivery free of slice growth.
+	setPool []*bitstring.Set
 
 	// Statistics surfaced to the experiment harness.
 	stats Stats
@@ -216,6 +229,15 @@ func (n *Node) Reset(initial bitstring.String, rng *prng.Source) {
 	}
 	n.candidates.Reset()
 
+	// Live vouch sets return to the free list before their keys clear, so a
+	// recycled node starts the next instance with its set capacity intact.
+	for _, set := range n.fw1Vouches {
+		n.putSet(set)
+	}
+	for _, set := range n.fw2Vouches {
+		n.putSet(set)
+	}
+
 	clear(n.pullForwarded)
 	clear(n.fw1Vouches)
 	clear(n.fw1Done)
@@ -232,6 +254,32 @@ func (n *Node) Reset(initial bitstring.String, rng *prng.Source) {
 
 	n.sthisID = n.strs.ID(initial)
 }
+
+// quorumInto samples Quorum(s, x) into dst, using the sampler's
+// allocation-free QuorumAppend when it offers one and falling back to a
+// copy of the allocating Quorum otherwise (third-party Quorum
+// implementations used by tests and ablations).
+func (n *Node) quorumInto(dst []int, q sampler.Quorum, s bitstring.String, x int) []int {
+	if aq, ok := q.(sampler.AppendQuorum); ok {
+		return aq.QuorumAppend(dst, s, x)
+	}
+	return append(dst, q.Quorum(s, x)...)
+}
+
+// getSet takes a vouch set from the node-local free list (or allocates).
+func (n *Node) getSet() *bitstring.Set {
+	if k := len(n.setPool) - 1; k >= 0 {
+		s := n.setPool[k]
+		n.setPool = n.setPool[:k]
+		s.Reset()
+		return s
+	}
+	return new(bitstring.Set)
+}
+
+// putSet returns a vouch set to the free list. The caller must have removed
+// every reference to it from the vouch maps first.
+func (n *Node) putSet(s *bitstring.Set) { n.setPool = append(n.setPool, s) }
 
 // state returns the per-string state for an interned ID, growing the
 // ID-indexed slice on demand. Growth may reallocate the slice, so callers
@@ -326,9 +374,11 @@ func (n *Node) Init(ctx simnet.Context) {
 		return
 	}
 	// Push s_x to the nodes x with this ∈ I(s_x, x) — exactly the
-	// O(log n) inverse-quorum members (Lemma 3).
+	// O(log n) inverse-quorum members (Lemma 3). The message is boxed once
+	// for the whole fan-out.
+	var push simnet.Message = MsgPush{S: n.initial}
 	for _, target := range distinct(n.smp.I.Inverse(n.initial, n.id)) {
-		ctx.Send(target, MsgPush{S: n.initial})
+		ctx.Send(target, push)
 		n.stats.PushesSent++
 	}
 	// The candidate list originally contains only s_x (§3.1.1, Figure 2a).
@@ -397,11 +447,15 @@ func (n *Node) startPull(ctx simnet.Context, sid intern.ID, s bitstring.String) 
 	st.hasLabel = true
 	st.label = r
 	n.stats.PullsStarted++
-	for _, w := range n.smp.J.List(n.id, r) {
-		ctx.Send(w, MsgPoll{S: s, R: r})
+	var poll simnet.Message = MsgPoll{S: s, R: r}
+	n.scratchJ = n.smp.J.ListAppend(n.scratchJ[:0], n.id, r)
+	for _, w := range n.scratchJ {
+		ctx.Send(w, poll)
 	}
-	for _, y := range distinct(n.smp.H.Quorum(s, n.id)) {
-		ctx.Send(y, MsgPull{S: s, R: r})
+	var pull simnet.Message = MsgPull{S: s, R: r}
+	n.scratchH = n.quorumInto(n.scratchH[:0], n.smp.H, s, n.id)
+	for _, y := range distinct(n.scratchH) {
+		ctx.Send(y, pull)
 	}
 }
 
@@ -417,7 +471,9 @@ func (n *Node) onPull(ctx simnet.Context, from int, m MsgPull) {
 	}
 	if !m.S.Equal(n.sthis) {
 		if n.params.DeferredRelay && !n.hasDecided && m.S.Len() == n.params.StringBits {
-			n.relayDeferred = append(n.relayDeferred, deferredPull{x: from, s: m.S, r: m.R})
+			// Clone: the deferred pull outlives this delivery, and m.S may be
+			// a zero-copy view of a transport buffer (DESIGN.md §10).
+			n.relayDeferred = append(n.relayDeferred, deferredPull{x: from, s: m.S.Clone(), r: m.R})
 		}
 		return
 	}
@@ -432,9 +488,14 @@ func (n *Node) forwardPull(ctx simnet.Context, x int, sid intern.ID, s bitstring
 		return
 	}
 	n.pullForwarded[k] = true
-	for _, w := range n.smp.J.List(x, r) {
-		fw := MsgFw1{X: x, S: s, R: r, W: w}
-		for _, z := range distinct(n.smp.H.Quorum(s, w)) {
+	n.scratchJ = n.smp.J.ListAppend(n.scratchJ[:0], x, r)
+	for _, w := range n.scratchJ {
+		// Box the Fw1 once per poll-list member, not once per quorum member:
+		// this double loop dominated the allocation profile of sustained-load
+		// runs (one interface conversion per Send).
+		var fw simnet.Message = MsgFw1{X: x, S: s, R: r, W: w}
+		n.scratchH = n.quorumInto(n.scratchH[:0], n.smp.H, s, w)
+		for _, z := range distinct(n.scratchH) {
 			ctx.Send(z, fw)
 		}
 	}
@@ -463,7 +524,7 @@ func (n *Node) onFw1(ctx simnet.Context, from int, m MsgFw1) {
 	vk := fw1ID{x: m.X, s: sid, r: m.R, w: m.W}
 	set := n.fw1Vouches[vk]
 	if set == nil {
-		set = new(bitstring.Set)
+		set = n.getSet()
 		n.fw1Vouches[vk] = set
 	}
 	if !set.Add(from) {
@@ -472,6 +533,7 @@ func (n *Node) onFw1(ctx simnet.Context, from int, m MsgFw1) {
 	if 2*set.Len() > n.hQuorumSize(sid, m.S, m.X) {
 		n.fw1Done[doneKey] = true // forward only once
 		delete(n.fw1Vouches, vk)
+		n.putSet(set)
 		ctx.Send(m.W, MsgFw2{X: m.X, S: m.S, R: m.R})
 	}
 }
@@ -500,7 +562,7 @@ func (n *Node) onFw2(ctx simnet.Context, from int, m MsgFw2) {
 	}
 	set := n.fw2Vouches[k]
 	if set == nil {
-		set = new(bitstring.Set)
+		set = n.getSet()
 		n.fw2Vouches[k] = set
 	}
 	if !set.Add(from) {
@@ -511,6 +573,7 @@ func (n *Node) onFw2(ctx simnet.Context, from int, m MsgFw2) {
 	}
 	n.fw2Majority[k] = true
 	delete(n.fw2Vouches, k)
+	n.putSet(set)
 	if n.polled[xsID{x: m.X, s: sid}] {
 		n.maybeAnswer(ctx, m.X, sid, m.R)
 	}
@@ -594,6 +657,11 @@ func (n *Node) onAnswer(ctx simnet.Context, from int, m MsgAnswer) {
 // was changed accordingly") and flushes both kinds of deferred answers:
 // those held back by the budget and those awaiting this belief change.
 func (n *Node) decide(ctx simnet.Context, sid intern.ID, s bitstring.String) {
+	// Retain the interned copy, never the delivered argument: s may be a
+	// zero-copy view of a transport buffer that is recycled after this
+	// delivery returns (DESIGN.md §10), while the intern table owns stable
+	// storage for every string it has assigned an ID.
+	s = n.strs.String(sid)
 	n.hasDecided = true
 	n.decided = s
 	n.decidedAt = ctx.Now()

@@ -29,17 +29,22 @@ type Table struct {
 }
 
 // ID returns the dense ID for s, interning it on first sight.
+//
+// The table retains a Clone of s, never s itself: delivered strings may be
+// zero-copy views of a transport buffer that is recycled after delivery
+// (bitstring.View; DESIGN.md §10), and the table must own stable storage —
+// String(id) is the canonical stable copy callers retain instead of a view.
 func (t *Table) ID(s bitstring.String) ID {
-	k := s.MapKey()
-	if id, ok := t.ids[k]; ok {
+	if id, ok := t.ids[s.MapKey()]; ok {
 		return id
 	}
 	if t.ids == nil {
 		t.ids = make(map[bitstring.MapKey]ID, 8)
 	}
+	c := s.Clone()
 	id := ID(len(t.strs))
-	t.ids[k] = id
-	t.strs = append(t.strs, s)
+	t.ids[c.MapKey()] = id
+	t.strs = append(t.strs, c)
 	return id
 }
 

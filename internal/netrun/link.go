@@ -37,7 +37,21 @@ type link struct {
 	wrStart   atomic.Int64 // unix nanos when a conn.Write began, 0 = idle
 
 	rng uint64 // backoff jitter state; writer goroutine only
+
+	// Coalescing scratch, writer goroutine only: the frames gathered for
+	// one batch write and the per-write slice of their buffers.
+	gather []outFrame
+	bufs   [][]byte
 }
+
+// Coalescing bounds: a batch write carries at most maxBatchRecords frames
+// and roughly maxBatchBytes of payload — enough to amortize the syscall
+// and framing cost, small enough to keep write latency and peer memory
+// bounded.
+const (
+	maxBatchRecords = 64
+	maxBatchBytes   = 256 << 10
+)
 
 // outFrame is one queued wire frame. ping frames are transport-internal:
 // never counted toward fabric quiescence, never retried, never metered.
@@ -93,7 +107,8 @@ func (l *link) enqueue(f outFrame) bool {
 	}
 }
 
-// run is the writer goroutine: drain the queue, deliver each frame.
+// run is the writer goroutine: drain the queue, coalescing queued data
+// frames into batch writes.
 func (l *link) run() {
 	defer l.c.wg.Done()
 	for {
@@ -102,9 +117,142 @@ func (l *link) run() {
 			l.drainQueue()
 			return
 		case f := <-l.queue:
-			l.deliver(f)
+			l.dispatch(f)
 		}
 	}
+}
+
+// dispatch writes one dequeued frame, first coalescing whatever else is
+// already waiting: all data frames queued for this link at write time —
+// plus, under a FlushWindow, those arriving within the linger — collapse
+// into a single batch frame (one syscall, one header). Pings terminate
+// collection and go out singly: they are latency probes, and batching one
+// behind data would distort the detector's clock.
+func (l *link) dispatch(f outFrame) {
+	if f.ping || l.c.opts.DisableCoalesce {
+		l.deliver(f)
+		return
+	}
+	l.gather = append(l.gather[:0], f)
+	total := len(*f.buf)
+	var trailing *outFrame
+collect:
+	for len(l.gather) < maxBatchRecords && total < maxBatchBytes {
+		select {
+		case g := <-l.queue:
+			if g.ping {
+				trailing = &g
+				break collect
+			}
+			l.gather = append(l.gather, g)
+			total += len(*g.buf)
+		default:
+			if w := l.c.opts.FlushWindow; w > 0 {
+				l.linger(w, &trailing, &total)
+			}
+			break collect
+		}
+	}
+	if len(l.gather) == 1 {
+		l.deliver(l.gather[0])
+	} else {
+		l.deliverBatch(l.gather)
+	}
+	l.gather = l.gather[:0]
+	if trailing != nil {
+		l.deliver(*trailing)
+	}
+}
+
+// linger waits up to w for more frames during batch collection, appending
+// what arrives until the window expires, a ping arrives, the cluster
+// closes or the batch fills.
+func (l *link) linger(w time.Duration, trailing **outFrame, total *int) {
+	t := time.NewTimer(w)
+	defer t.Stop()
+	for len(l.gather) < maxBatchRecords && *total < maxBatchBytes {
+		select {
+		case g := <-l.queue:
+			if g.ping {
+				*trailing = &g
+				return
+			}
+			l.gather = append(l.gather, g)
+			*total += len(*g.buf)
+		case <-t.C:
+			return
+		case <-l.c.closing:
+			return
+		}
+	}
+}
+
+// deliverBatch coalesces the gathered frames into one batch frame and
+// writes it with deliver's retry semantics: a write that failed before any
+// byte reached the kernel retries on a fresh socket; a partial write drops
+// the batch (the peer may have consumed a prefix).
+func (l *link) deliverBatch(frames []outFrame) {
+	l.bufs = l.bufs[:0]
+	for _, f := range frames {
+		l.bufs = append(l.bufs, *f.buf)
+	}
+	bp := bufPool.Get().(*[]byte)
+	buf, err := wire.AppendBatchFrame((*bp)[:0], l.bufs)
+	if err != nil {
+		// Unreachable by construction (same link, never pings); degrade to
+		// per-frame writes rather than dropping traffic.
+		bufPool.Put(bp)
+		for _, f := range frames {
+			l.deliver(f)
+		}
+		return
+	}
+	*bp = buf
+	batch := outFrame{buf: bp}
+	for {
+		conn := l.ensure(false)
+		if conn == nil {
+			l.releaseBatch(frames, bp)
+			return
+		}
+		if wt := l.c.opts.WriteTimeout; wt > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(wt))
+		}
+		l.wrStart.Store(time.Now().UnixNano())
+		n, err := conn.Write(*batch.buf)
+		l.wrStart.Store(0)
+		if err == nil {
+			// Meter exactly what the frames would have cost unbatched: the
+			// per-message accounting (and its equality with the simulation
+			// meter) is independent of coalescing.
+			var bytes int64
+			for _, f := range frames {
+				bytes += int64(len(*f.buf) - 4)
+				bufPool.Put(f.buf)
+			}
+			atomic.AddInt64(&l.c.sent[l.from], bytes)
+			l.c.stats.framesSent.Add(1)
+			l.c.stats.batchFrames.Add(1)
+			l.c.stats.messagesSent.Add(int64(len(frames)))
+			bufPool.Put(bp)
+			return
+		}
+		l.dropConn(conn)
+		if n > 0 || l.c.isClosing() {
+			l.releaseBatch(frames, bp)
+			return
+		}
+	}
+}
+
+// releaseBatch drops a coalesced batch: every member frame returns its
+// in-flight count and buffer, plus the batch's own write buffer.
+func (l *link) releaseBatch(frames []outFrame, bp *[]byte) {
+	l.c.fab.Uncount(len(frames))
+	for _, f := range frames {
+		bufPool.Put(f.buf)
+	}
+	bufPool.Put(bp)
 }
 
 // deliver writes one frame, dialing or redialing as needed. A frame whose
@@ -128,6 +276,8 @@ func (l *link) deliver(f outFrame) {
 		if err == nil {
 			if !f.ping {
 				atomic.AddInt64(&l.c.sent[l.from], int64(len(*f.buf)-4))
+				l.c.stats.framesSent.Add(1)
+				l.c.stats.messagesSent.Add(1)
 			}
 			bufPool.Put(f.buf)
 			return

@@ -89,6 +89,11 @@ type netStats struct {
 	pingsSent, pongsReceived        atomic.Int64
 	chaosStrikes, chaosSkips        atomic.Int64
 	linksSevered                    atomic.Int64
+	// framesSent counts data frames written, messagesSent the protocol
+	// messages they carried, batchFrames the coalesced subset; framesSent <
+	// messagesSent proves link-level coalescing engaged.
+	framesSent, messagesSent atomic.Int64
+	batchFrames              atomic.Int64
 }
 
 func (s *netStats) snapshot() simnet.NetStats {
@@ -106,6 +111,9 @@ func (s *netStats) snapshot() simnet.NetStats {
 		ChaosStrikes:  s.chaosStrikes.Load(),
 		ChaosSkips:    s.chaosSkips.Load(),
 		LinksSevered:  s.linksSevered.Load(),
+		FramesSent:    s.framesSent.Load(),
+		MessagesSent:  s.messagesSent.Load(),
+		BatchFrames:   s.batchFrames.Load(),
 	}
 }
 
@@ -352,11 +360,15 @@ func frameSize(header []byte) int {
 }
 
 // readLoop decodes frames from one inbound connection into id's mailbox.
-// The frame buffer is reused across messages: the wire decoders copy what
-// they keep. It answers heartbeat pings in place (this loop is the
-// socket's only writer on the accepting side), registers the connection
-// with the chaos controller once the peer identifies itself, and — when
-// the heartbeat detector is on — applies a generous idle read deadline so
+// Decode is zero-copy by default: each frame reads into a pooled RefBuf,
+// decoded payloads alias it, and one reference per injected envelope keeps
+// the buffer alive until the fabric finishes each delivery (DESIGN.md
+// §10). When an observer is registered the fabric retains envelopes until
+// quiescence, so the loop falls back to owning-copy decode into a reused
+// buffer. It answers heartbeat pings in place (this loop is the socket's
+// only writer on the accepting side), registers the connection with the
+// chaos controller once the peer identifies itself, and — when the
+// heartbeat detector is on — applies a generous idle read deadline so
 // sockets abandoned by a dead dialer are reaped.
 func (c *Cluster) readLoop(id int, conn net.Conn) {
 	defer conn.Close()
@@ -379,8 +391,12 @@ func (c *Cluster) readLoop(id int, conn net.Conn) {
 			idle = 2 * time.Second
 		}
 	}
+	// copyMode: an observer retains envelopes past delivery, so decoded
+	// payloads must own their data; the frame buffer is then reusable.
+	copyMode := c.fab.Observing()
 	header := make([]byte, 4)
 	var frame, pong []byte
+	var batch []simnet.Envelope
 	for {
 		if reg != nil && !c.pauseInbound(reg) {
 			return // cluster closed mid-blackhole
@@ -395,15 +411,59 @@ func (c *Cluster) readLoop(id int, conn net.Conn) {
 		if size == 0 || size > maxFrame {
 			return // corrupt peer; drop the connection
 		}
-		if cap(frame) < size {
-			frame = make([]byte, size)
+		var rb *wire.RefBuf
+		if copyMode {
+			if cap(frame) < size {
+				frame = make([]byte, size)
+			}
+			frame = frame[:size]
+		} else {
+			rb = wire.NewRefBuf(size)
+			frame = rb.Bytes()
 		}
-		frame = frame[:size]
 		if _, err := io.ReadFull(conn, frame); err != nil {
+			if rb != nil {
+				rb.Recycle()
+			}
 			return
 		}
+
+		if wire.IsBatchFrame(frame) {
+			var err error
+			batch, err = wire.DecodeBatchAppend(batch[:0], frame, !copyMode)
+			if err != nil || len(batch) == 0 || batch[0].To != id {
+				if rb != nil {
+					rb.Recycle()
+				}
+				continue // malformed or misrouted batch: authenticated drop
+			}
+			from := batch[0].From
+			if reg == nil && from >= 0 && from < len(c.addrs) && from != id {
+				reg = &inboundConn{conn: conn}
+				regKey = connKey{from: from, to: id}
+				c.mu.Lock()
+				c.inbound[regKey] = reg // latest socket for the link wins
+				c.mu.Unlock()
+			}
+			if rb != nil {
+				// One reference per envelope: the buffer recycles when the
+				// fabric has handled the last of them.
+				rb.Retain(len(batch))
+			}
+			for i := range batch {
+				if rb != nil {
+					batch[i].Buf = rb
+				}
+				c.fab.Inject(batch[i])
+			}
+			continue
+		}
+
 		from, to, msg, err := wire.DecodeEnvelope(frame)
 		if err != nil || to != id {
+			if rb != nil {
+				rb.Recycle()
+			}
 			continue // malformed or misrouted frame: authenticated drop
 		}
 		if reg == nil && from >= 0 && from < len(c.addrs) && from != id {
@@ -415,6 +475,9 @@ func (c *Cluster) readLoop(id int, conn net.Conn) {
 		}
 		switch m := msg.(type) {
 		case simnet.Ping:
+			if rb != nil {
+				rb.Recycle() // transport-internal: nothing aliases past here
+			}
 			pong, err = wire.AppendFrame(pong[:0], id, from, simnet.Pong{Nonce: m.Nonce})
 			if err != nil {
 				continue
@@ -427,13 +490,27 @@ func (c *Cluster) readLoop(id int, conn net.Conn) {
 			}
 			continue
 		case simnet.Pong:
+			if rb != nil {
+				rb.Recycle()
+			}
 			continue // not expected on an inbound socket; ignore
+		}
+		if copyMode {
+			// Owning decode: the reused frame buffer would otherwise be
+			// overwritten under the retained envelope.
+			if _, _, msg, err = wire.DecodeEnvelopeCopy(frame); err != nil {
+				continue
+			}
 		}
 		e := simnet.Envelope{From: from, To: to, Msg: msg}
 		// Instance-tagged frames surface as InstMsg; hoist the tag back
 		// into the envelope header so the Fabric dispatches DeliverTagged.
 		if im, ok := msg.(simnet.InstMsg); ok {
 			e.Msg, e.Inst, e.Tagged = im.Inner, im.Inst, true
+		}
+		if rb != nil {
+			rb.Retain(1)
+			e.Buf = rb
 		}
 		c.fab.Inject(e)
 	}

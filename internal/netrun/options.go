@@ -31,6 +31,17 @@ type Options struct {
 	// every mesh connection. It exists to make backpressure observable at
 	// small scales (tests, experiments); 0 keeps the kernel default.
 	SockBuf int
+	// FlushWindow, when positive, is the coalescing linger: a link writer
+	// that found fewer than a full batch waiting lingers up to this long
+	// for more frames before writing, trading latency for larger batches.
+	// 0 (the default) coalesces opportunistically only — whatever is
+	// already queued goes out in one frame, and an idle queue never delays
+	// a write.
+	FlushWindow time.Duration
+	// DisableCoalesce turns link-level frame coalescing off: every message
+	// is written as its own frame (the pre-batching wire behavior, kept for
+	// benchmarks and bisection).
+	DisableCoalesce bool
 	// Chaos, when active, severs live connections mid-run on a seeded
 	// schedule. See ChaosPlan.
 	Chaos ChaosPlan
@@ -170,6 +181,9 @@ func (o Options) Validate() error {
 	}
 	if o.Heartbeat.Every < 0 || o.Heartbeat.SuspectAfter < 0 {
 		return fmt.Errorf("netrun: negative heartbeat window")
+	}
+	if o.FlushWindow < 0 {
+		return fmt.Errorf("netrun: negative flush window")
 	}
 	return o.Chaos.Validate()
 }

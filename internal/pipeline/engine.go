@@ -142,9 +142,13 @@ type Engine struct {
 	nextSeq   uint64
 	commitSeq uint64
 	open      map[uint64]*instance
-	entries   []Entry
-	failed    error
-	closed    bool
+	// instPool recycles committed instance shells (struct + values map);
+	// the committed channel is rebuilt per use — a closed channel cannot
+	// be reused. Guarded by mu.
+	instPool []*instance
+	entries  []Entry
+	failed   error
+	closed   bool
 
 	teardown sync.Once
 }
@@ -408,19 +412,39 @@ func (e *Engine) Append(ctx context.Context, payloads [][]byte) (uint64, error) 
 		<-e.slots
 		return 0, e.runError()
 	}
-	inst := &instance{
-		seq:       seq,
-		proposed:  e.Value(seq, payloads),
-		payloads:  payloads,
-		opened:    time.Now(),
-		values:    make(map[bitstring.MapKey]int, 1),
-		committed: make(chan struct{}),
-	}
+	inst := e.getInstance()
+	inst.seq = seq
+	inst.proposed = e.Value(seq, payloads)
+	inst.payloads = payloads
+	inst.opened = time.Now()
+	inst.committed = make(chan struct{})
 	e.open[seq] = inst
 	e.mu.Unlock()
 
 	e.openInstance(seq, inst.proposed)
 	return seq, nil
+}
+
+// getInstance returns a recycled instance shell or builds a fresh one.
+// Callers hold e.mu.
+func (e *Engine) getInstance() *instance {
+	if n := len(e.instPool); n > 0 {
+		inst := e.instPool[n-1]
+		e.instPool = e.instPool[:n-1]
+		return inst
+	}
+	return &instance{values: make(map[bitstring.MapKey]int, 1)}
+}
+
+// putInstance recycles a committed instance shell. Callers hold e.mu and
+// guarantee the instance is no longer reachable through e.open — late
+// deciders find nil there and waiters resolve through e.entries, so the
+// only outstanding references are commit channels captured under the lock
+// before the recycle.
+func (e *Engine) putInstance(inst *instance) {
+	clear(inst.values)
+	*inst = instance{values: inst.values}
+	e.instPool = append(e.instPool, inst)
 }
 
 // appendBlocked reports why new instances cannot open, if they cannot.
@@ -439,16 +463,20 @@ func (e *Engine) appendBlocked() error {
 func (e *Engine) openInstance(seq uint64, value bitstring.String) {
 	src := prng.New(prng.DeriveKey(e.cfg.Seed, "log/believe", seq))
 	junk := bitstring.Random(src.Fork(1), e.params.StringBits)
+	// Two boxed opens (knower and junk-holder) instead of one boxing
+	// allocation per node.
+	var openValue simnet.Message = MsgOpen{Seq: seq, Initial: value}
+	var openJunk simnet.Message = MsgOpen{Seq: seq, Initial: junk}
 	for id := 0; id < e.cfg.N; id++ {
 		if e.corrupt[id] {
 			// Corrupt nodes ignore MsgOpen; skip the injection entirely.
 			continue
 		}
-		initial := junk
+		msg := openJunk
 		if e.cfg.KnowFrac >= 1 || src.Float64() < e.cfg.KnowFrac {
-			initial = value
+			msg = openValue
 		}
-		e.inject(simnet.Envelope{From: id, To: id, Msg: MsgOpen{Seq: seq, Initial: initial}})
+		e.inject(simnet.Envelope{From: id, To: id, Msg: msg})
 	}
 }
 
@@ -564,10 +592,14 @@ func (e *Engine) advance() {
 		e.mu.Unlock()
 
 		close(inst.committed)
+		e.mu.Lock()
+		e.putInstance(inst)
+		e.mu.Unlock()
 		<-e.slots // free the pipeline slot
+		var closeMsg simnet.Message = MsgClose{Seq: entry.Seq} // boxed once, not per node
 		for id := 0; id < e.cfg.N; id++ {
 			if !e.corrupt[id] {
-				e.inject(simnet.Envelope{From: id, To: id, Msg: MsgClose{Seq: entry.Seq}})
+				e.inject(simnet.Envelope{From: id, To: id, Msg: closeMsg})
 			}
 		}
 		if e.cfg.OnCommit != nil {
@@ -614,12 +646,19 @@ func (e *Engine) WaitSeq(ctx context.Context, seq uint64) (Entry, error) {
 	}
 	inst := e.open[seq]
 	next := e.nextSeq
+	// Capture the channel under the lock: once the instance commits its
+	// shell is recycled (putInstance), so inst fields must not be read
+	// afterwards.
+	var committed chan struct{}
+	if inst != nil {
+		committed = inst.committed
+	}
 	e.mu.Unlock()
 	if inst == nil {
 		return Entry{}, fmt.Errorf("pipeline: seq %d not open (next append is %d)", seq, next)
 	}
 	select {
-	case <-inst.committed:
+	case <-committed:
 	case <-ctx.Done():
 		return Entry{}, ctx.Err()
 	}
@@ -669,16 +708,17 @@ func (e *Engine) Err() error {
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	e.closed = true
-	waiting := make([]*instance, 0, len(e.open))
+	// Capture channels, not instances: a committed shell is recycled.
+	waiting := make([]chan struct{}, 0, len(e.open))
 	for _, inst := range e.open {
-		waiting = append(waiting, inst)
+		waiting = append(waiting, inst.committed)
 	}
 	e.mu.Unlock()
 	deadline := time.NewTimer(e.cfg.InstanceTimeout + time.Second)
 	defer deadline.Stop()
-	for _, inst := range waiting {
+	for _, committed := range waiting {
 		select {
-		case <-inst.committed:
+		case <-committed:
 		case <-deadline.C:
 			e.mu.Lock()
 			e.failLocked(fmt.Errorf("pipeline: close: open instances did not drain in %v", e.cfg.InstanceTimeout))

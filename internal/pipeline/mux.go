@@ -207,12 +207,44 @@ func (m *MuxNode) route(ctx simnet.Context, from int, inner simnet.Message, inst
 	child, ok := m.children[seq]
 	if !ok {
 		if q := m.pending[seq]; len(q) < maxPendingPerInstance {
-			m.pending[seq] = append(q, pendingEnv{from: from, msg: inner})
+			// cloneMessage: the queued message outlives this delivery, and
+			// its strings may be zero-copy views of a transport buffer
+			// (DESIGN.md §10).
+			m.pending[seq] = append(q, pendingEnv{from: from, msg: cloneMessage(inner)})
 		}
 		return
 	}
 	child.node.Deliver(m.tag(ctx, seq), from, inner)
 	m.checkDecided(child, seq)
+}
+
+// cloneMessage deep-copies the bit strings of a queued protocol message so
+// it owns its data past the delivery that carried it. The mux children are
+// core nodes, so only the core message set needs handling; unknown types
+// pass through (they carry no transport views the mux would retain).
+func cloneMessage(m simnet.Message) simnet.Message {
+	switch t := m.(type) {
+	case core.MsgPush:
+		t.S = t.S.Clone()
+		return t
+	case core.MsgPoll:
+		t.S = t.S.Clone()
+		return t
+	case core.MsgPull:
+		t.S = t.S.Clone()
+		return t
+	case core.MsgFw1:
+		t.S = t.S.Clone()
+		return t
+	case core.MsgFw2:
+		t.S = t.S.Clone()
+		return t
+	case core.MsgAnswer:
+		t.S = t.S.Clone()
+		return t
+	default:
+		return m
+	}
 }
 
 // checkDecided publishes a child's decision exactly once, with the quorum

@@ -1,0 +1,86 @@
+// Package profiling is the shared -cpuprofile/-memprofile/-trace plumbing
+// of the CLI harnesses (cmd/loadba, cmd/benchtab). It exists so every
+// harness exposes the same three flags with the same semantics and the
+// same shutdown ordering, documented once in README.md ("Profiling").
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags holds the three profiling destinations. Empty strings disable the
+// corresponding collector.
+type Flags struct {
+	CPUProfile string
+	MemProfile string
+	Trace      string
+}
+
+// Register installs the standard profiling flags on fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+	fs.StringVar(&f.Trace, "trace", "", "write a runtime execution trace to this file")
+}
+
+// Start begins the requested collectors and returns a stop function that
+// flushes them in reverse order. The heap profile is written at stop time
+// (after a GC, so it reflects live retained memory, not transient
+// garbage). Call stop exactly once, after the measured work completes.
+func (f Flags) Start() (stop func() error, err error) {
+	var cpuFile, traceFile *os.File
+	cleanup := func() {
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+	}
+	if f.CPUProfile != "" {
+		cpuFile, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	if f.Trace != "" {
+		traceFile, err = os.Create(f.Trace)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			traceFile = nil
+			cleanup()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() error {
+		cleanup()
+		if f.MemProfile == "" {
+			return nil
+		}
+		mf, err := os.Create(f.MemProfile)
+		if err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		defer mf.Close()
+		runtime.GC() // capture live retained memory
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		return nil
+	}, nil
+}

@@ -49,12 +49,17 @@ func (p *Poll) Labels() uint64 { return p.labels }
 // List returns J(x, r): d distinct nodes. The label is reduced modulo |R|
 // so that callers may pass raw 64-bit randomness.
 func (p *Poll) List(x int, r uint64) []int {
+	return p.ListAppend(make([]int, 0, p.d), x, r)
+}
+
+// ListAppend appends J(x, r) to dst, the allocation-free form of List for
+// the delivery hot paths (callers pass a reused scratch slice as dst[:0]).
+func (p *Poll) ListAppend(dst []int, x int, r uint64) []int {
 	perm := p.permFor(x, r)
-	out := make([]int, p.d)
-	for i := range out {
-		out[i] = perm.Apply(i)
+	for i := 0; i < p.d; i++ {
+		dst = append(dst, perm.Apply(i))
 	}
-	return out
+	return dst
 }
 
 // Contains reports whether w ∈ J(x, r), in O(d).

@@ -48,6 +48,16 @@ type Quorum interface {
 	N() int
 }
 
+// AppendQuorum is the optional allocation-free extension of Quorum: the
+// hot delivery paths (internal/core) probe for it and sample into a
+// caller-owned scratch slice instead of taking a fresh allocation per
+// query. Implementations append Quorum(s, x) to dst and return the
+// extended slice; dst's existing contents are preserved (callers pass
+// dst[:0] to reuse capacity).
+type AppendQuorum interface {
+	QuorumAppend(dst []int, s bitstring.String, x int) []int
+}
+
 // PermQuorum is the permutation-based quorum sampler described in the
 // package comment. It realizes both I and H; the two instances are
 // domain-separated by their key tags.
@@ -85,12 +95,15 @@ func (q *PermQuorum) Size() int { return q.d }
 
 // Quorum returns { σ_{s,j}(x) : j < d }.
 func (q *PermQuorum) Quorum(s bitstring.String, x int) []int {
-	ps := q.permsFor(s)
-	out := make([]int, q.d)
-	for j, p := range ps {
-		out[j] = p.Apply(x)
+	return q.QuorumAppend(make([]int, 0, q.d), s, x)
+}
+
+// QuorumAppend appends Quorum(s, x) to dst (sampler.AppendQuorum).
+func (q *PermQuorum) QuorumAppend(dst []int, s bitstring.String, x int) []int {
+	for _, p := range q.permsFor(s) {
+		dst = append(dst, p.Apply(x))
 	}
-	return out
+	return dst
 }
 
 // Inverse returns { σ_{s,j}^{-1}(y) : j < d }: the nodes whose quorum for s
@@ -167,12 +180,16 @@ func (q *HashQuorum) Size() int { return q.d }
 
 // Quorum returns the d independently hashed members for (s, x).
 func (q *HashQuorum) Quorum(s bitstring.String, x int) []int {
+	return q.QuorumAppend(make([]int, 0, q.d), s, x)
+}
+
+// QuorumAppend appends Quorum(s, x) to dst (sampler.AppendQuorum).
+func (q *HashQuorum) QuorumAppend(dst []int, s bitstring.String, x int) []int {
 	h := s.Hash64()
-	out := make([]int, q.d)
-	for j := range out {
-		out[j] = int(prng.Hash4(q.seed, h, uint64(x), uint64(j)) % uint64(q.n))
+	for j := 0; j < q.d; j++ {
+		dst = append(dst, int(prng.Hash4(q.seed, h, uint64(x), uint64(j))%uint64(q.n)))
 	}
-	return out
+	return dst
 }
 
 // Inverse scans the whole domain — Θ(n·d). The naive construction has no

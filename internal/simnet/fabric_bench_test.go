@@ -1,0 +1,47 @@
+package simnet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkFabricParallel measures the Fabric's sharded drain with
+// constant-work relay nodes: workers=1 is the serial baseline, the default
+// worker count is min(GOMAXPROCS, n). On a single-core host the two arms
+// should track each other (the parallel machinery must not cost anything
+// when it cannot help); with cores available the default arm shows the
+// multi-core speedup.
+func BenchmarkFabricParallel(b *testing.B) {
+	const n, fanout, ttl = 64, 4, 256
+	for _, workers := range []int{1, 0} {
+		name := "workers=default"
+		if workers > 0 {
+			name = fmt.Sprintf("workers=%d", workers)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var delivered int64
+			for i := 0; i < b.N; i++ {
+				nodes := make([]Node, n)
+				for id := range nodes {
+					nodes[id] = &relayNode{id: id, n: n, fanout: fanout, ttl: ttl}
+				}
+				f := NewFabric(nodes, CounterClock, true)
+				if workers > 0 {
+					f.SetWorkers(workers)
+				}
+				f.Start()
+				if !f.AwaitQuiescence(time.Minute) {
+					b.Fatal("fabric did not quiesce")
+				}
+				f.Stop()
+				delivered = f.Metrics().Delivered
+				if want := int64(n * fanout * (ttl + 1)); delivered != want {
+					b.Fatalf("delivered %d, want %d", delivered, want)
+				}
+			}
+			b.ReportMetric(float64(delivered), "deliveries")
+		})
+	}
+}

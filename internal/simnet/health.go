@@ -57,6 +57,14 @@ type NetStats struct {
 	ChaosStrikes int64 `json:"chaosStrikes"`
 	ChaosSkips   int64 `json:"chaosSkips"`
 	LinksSevered int64 `json:"linksSevered"`
+	// FramesSent counts data frames written to sockets; MessagesSent the
+	// protocol messages they carried (a coalesced batch frame is one frame,
+	// many messages, so FramesSent < MessagesSent proves batching engaged);
+	// BatchFrames the subset of written frames that were batches. Heartbeat
+	// frames count in none of the three.
+	FramesSent   int64 `json:"framesSent"`
+	MessagesSent int64 `json:"messagesSent"`
+	BatchFrames  int64 `json:"batchFrames"`
 }
 
 // Add accumulates another run's counters (e.g. across the crash/recover
@@ -75,4 +83,7 @@ func (s *NetStats) Add(o NetStats) {
 	s.ChaosStrikes += o.ChaosStrikes
 	s.ChaosSkips += o.ChaosSkips
 	s.LinksSevered += o.LinksSevered
+	s.FramesSent += o.FramesSent
+	s.MessagesSent += o.MessagesSent
+	s.BatchFrames += o.BatchFrames
 }

@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -24,12 +25,12 @@ type Transport interface {
 }
 
 // loopback is the in-process Transport: envelopes go straight into the
-// destination mailbox. A send into a closed mailbox (fabric stopping)
-// reports rejection so the sender's in-flight count stays exact.
+// destination worker's mailbox. A send into a closed mailbox (fabric
+// stopping) reports rejection so the sender's in-flight count stays exact.
 type loopback struct{ f *Fabric }
 
 func (l loopback) Send(e Envelope) bool {
-	return l.f.boxes[e.To].Put(e)
+	return l.f.box(e.To).Put(e)
 }
 
 // Clock selects how a Fabric stamps delivery time (Context.Now).
@@ -87,6 +88,29 @@ func (m *Mailbox) Put(e Envelope) bool {
 	return true
 }
 
+// PutBatch enqueues a batch of envelopes under one lock acquisition — the
+// fabric-path coalescing primitive: a worker flushes everything its nodes
+// staged for one destination worker in a single call instead of paying one
+// lock handoff per message. The batch is copied; the caller keeps ownership
+// of es. Like Put, it reports acceptance: after Close the whole batch is
+// dropped and the caller must uncount all of it.
+func (m *Mailbox) PutBatch(es []Envelope) bool {
+	if len(es) == 0 {
+		return true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	if m.queue == nil {
+		m.queue = (*batchPool.Get().(*[]Envelope))[:0]
+	}
+	m.queue = append(m.queue, es...)
+	m.cond.Signal()
+	return true
+}
+
 // Drain blocks until at least one envelope is pending (or the mailbox is
 // closed), then returns the entire pending queue. It returns ok = false
 // only when the mailbox is closed and empty. The caller owns the returned
@@ -130,9 +154,12 @@ type obsEvent struct {
 	env Envelope
 }
 
-// shard is the per-node slice of the Fabric's state. Each shard is written
-// only by its node's goroutine (sends by the sender's shard, deliveries by
-// the receiver's), so the delivery path takes no locks beyond the mailbox.
+// shard is the per-node slice of the Fabric's state. Each node is owned by
+// exactly one worker (node id mod worker count), and each shard is written
+// only by its node's owning worker (sends by the sender's shard — the
+// sender is itself being delivered on its owning worker — and deliveries
+// by the receiver's), so the delivery path takes no locks beyond the
+// mailbox.
 type shard struct {
 	nm        NodeMetrics
 	byKind    map[string]int64
@@ -142,10 +169,12 @@ type shard struct {
 	_         [64]byte // keep shards off each other's cache lines
 }
 
-// Fabric executes protocol nodes over a Transport: one goroutine per node
-// draining its mailbox in batches, with sharded per-node metrics merged at
-// the end and an optional global in-flight counter for quiescence
-// detection. It is the runtime core shared by GoRunner and the TCP cluster.
+// Fabric executes protocol nodes over a Transport on min(GOMAXPROCS, n)
+// workers: node id determines its owning worker, each worker drains one
+// mailbox in batches and dispatches to the nodes it owns, with sharded
+// per-node metrics merged at the end and an optional global in-flight
+// counter for quiescence detection. It is the runtime core shared by
+// GoRunner and the TCP cluster (DESIGN.md §10).
 type Fabric struct {
 	nodes     []Node
 	transport Transport
@@ -174,31 +203,90 @@ type Fabric struct {
 	inflight atomic.Int64
 	obsSeq   atomic.Uint64
 	shards   []shard
-	boxes    []*Mailbox
+	// workers is the run-loop parallelism: boxes has one mailbox per worker
+	// and node id modulo workers selects both the mailbox an envelope lands
+	// in and the worker that owns the node.
+	workers int
+	boxes   []*Mailbox
+	// ctxs and taggedNodes are the per-node dispatch state, preallocated at
+	// Start so the worker loops index instead of allocating per delivery.
+	ctxs        []fabricCtx
+	taggedNodes []TaggedNode
+	// stages is the per-worker send staging (fabric-path coalescing): sends
+	// issued while a worker handles a batch are buffered per destination
+	// worker and flushed with one PutBatch per destination when the batch
+	// ends. Loopback transport only; network transports encode synchronously.
+	stages []sendStage
+	// mergeBuf is the persistent observer merge buffer, reused across
+	// flushes instead of reallocating the merged slice each time.
+	mergeBuf []obsEvent
 	wg       sync.WaitGroup
 
 	stopOnce  sync.Once
 	flushOnce sync.Once
 }
 
+// sendStage buffers one worker's outgoing envelopes per destination worker
+// for the duration of a delivery batch.
+type sendStage struct {
+	byWorker [][]Envelope
+}
+
 // NewFabric builds a fabric over the given nodes. A nil transport defaults
-// to in-process loopback delivery.
+// to in-process loopback delivery. The worker count defaults to
+// min(GOMAXPROCS, n); SetWorkers overrides it.
 func NewFabric(nodes []Node, clock Clock, track bool) *Fabric {
 	f := &Fabric{
 		nodes:  nodes,
 		clock:  clock,
 		track:  track,
 		shards: make([]shard, len(nodes)),
-		boxes:  make([]*Mailbox, len(nodes)),
 	}
-	for i := range f.boxes {
-		f.boxes[i] = NewMailbox()
-	}
+	f.setWorkers(defaultWorkers(len(nodes)))
 	for i := range f.shards {
 		f.shards[i].byKind = make(map[string]int64)
 	}
 	return f
 }
+
+// defaultWorkers is the run-loop parallelism used unless SetWorkers
+// overrides it: one worker per available core, never more than nodes.
+func defaultWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// SetWorkers overrides the number of delivery workers (clamped to [1, n]).
+// It must be called before Start and before any Inject: envelope routing is
+// fixed by the worker count. Benchmarks and the determinism guard use it to
+// pin parallelism independently of GOMAXPROCS.
+func (f *Fabric) SetWorkers(w int) { f.setWorkers(w) }
+
+func (f *Fabric) setWorkers(w int) {
+	if w < 1 {
+		w = 1
+	}
+	if n := len(f.nodes); w > n && n > 0 {
+		w = n
+	}
+	f.workers = w
+	f.boxes = make([]*Mailbox, w)
+	for i := range f.boxes {
+		f.boxes[i] = NewMailbox()
+	}
+}
+
+// box returns the mailbox of the worker that owns node to.
+func (f *Fabric) box(to NodeID) *Mailbox { return f.boxes[to%f.workers] }
+
+// Workers returns the delivery parallelism in effect.
+func (f *Fabric) Workers() int { return f.workers }
 
 // SetTransport installs the transport. It must be called before Start;
 // fabrics without a transport deliver over in-process loopback.
@@ -223,17 +311,26 @@ func (f *Fabric) SetFaults(plan FaultPlan) {
 // is needed. It must be called before Start.
 func (f *Fabric) Observe(o Observer) { f.observer = o }
 
+// Observing reports whether an observer is registered. Transports consult
+// it to pick a decode mode: observed runs retain delivered envelopes until
+// quiescence, so zero-copy payload views that expire at end-of-delivery are
+// not usable and the transport must decode owning copies instead.
+func (f *Fabric) Observing() bool { return f.observer != nil }
+
 // Inject feeds an inbound envelope (e.g. decoded from a network frame)
 // into the destination mailbox. The in-flight accounting for injected
 // envelopes is the sending fabricCtx's: transports hand envelopes back to
 // the process that counted them on Send.
 func (f *Fabric) Inject(e Envelope) {
 	validateEnvelope(len(f.nodes), e)
-	if !f.boxes[e.To].Put(e) && f.track {
+	if !f.box(e.To).Put(e) {
 		// The mailbox closed under the injector (teardown mid-run); the
 		// sender's count for this envelope must be returned or quiescence
-		// never comes.
-		f.inflight.Add(-1)
+		// never comes, and its transport buffer must go back to the pool.
+		e.release()
+		if f.track {
+			f.inflight.Add(-1)
+		}
 	}
 }
 
@@ -248,7 +345,7 @@ func (f *Fabric) InjectLocal(e Envelope) {
 	if f.track {
 		f.inflight.Add(1)
 	}
-	if !f.boxes[e.To].Put(e) && f.track {
+	if !f.box(e.To).Put(e) && f.track {
 		f.inflight.Add(-1)
 	}
 }
@@ -266,17 +363,36 @@ func (f *Fabric) Uncount(n int) {
 
 // Start initializes every node sequentially — preserving the runner
 // contract that Init and Deliver never overlap on one node — and then
-// launches the per-node delivery loops.
+// launches the worker delivery loops.
 func (f *Fabric) Start() {
 	if f.transport == nil {
 		f.transport = loopback{f: f}
 	}
+	// Init contexts have no stage: initial sends go straight through the
+	// transport (workers are not draining yet, so there is nothing to race).
 	for id, n := range f.nodes {
 		n.Init(&fabricCtx{f: f, self: id, now: 0})
 	}
-	for id := range f.nodes {
+	// Per-node dispatch state, built once: the worker loops index these
+	// arrays instead of allocating a context (or re-asserting TaggedNode)
+	// per delivery.
+	_, stageSends := f.transport.(loopback)
+	f.ctxs = make([]fabricCtx, len(f.nodes))
+	f.taggedNodes = make([]TaggedNode, len(f.nodes))
+	f.stages = make([]sendStage, f.workers)
+	for w := range f.stages {
+		f.stages[w].byWorker = make([][]Envelope, f.workers)
+	}
+	for id, n := range f.nodes {
+		f.ctxs[id] = fabricCtx{f: f, self: id}
+		if stageSends {
+			f.ctxs[id].stage = &f.stages[id%f.workers]
+		}
+		f.taggedNodes[id], _ = n.(TaggedNode)
+	}
+	for w := 0; w < f.workers; w++ {
 		f.wg.Add(1)
-		go f.nodeLoop(id)
+		go f.workerLoop(w)
 	}
 }
 
@@ -320,7 +436,9 @@ func (f *Fabric) Stop() {
 }
 
 // flushObserver merges the per-shard observation buffers by global
-// sequence number and replays them into the observer.
+// sequence number and replays them into the observer. The merge reuses the
+// fabric's persistent buffer (grown once to the high-water mark) instead of
+// allocating the merged slice per flush.
 func (f *Fabric) flushObserver() {
 	if f.observer == nil {
 		return
@@ -332,7 +450,10 @@ func (f *Fabric) flushObserver() {
 	if total == 0 {
 		return
 	}
-	all := make([]obsEvent, 0, total)
+	if cap(f.mergeBuf) < total {
+		f.mergeBuf = make([]obsEvent, 0, total)
+	}
+	all := f.mergeBuf[:0]
 	for i := range f.shards {
 		all = append(all, f.shards[i].obs...)
 		f.shards[i].obs = nil
@@ -341,6 +462,7 @@ func (f *Fabric) flushObserver() {
 	for _, ev := range all {
 		f.observer(ev.env)
 	}
+	f.mergeBuf = all[:0]
 }
 
 // Metrics merges the shards into one Metrics. Call after Stop (or after
@@ -362,59 +484,26 @@ func (f *Fabric) Metrics() *Metrics {
 	return m
 }
 
-// nodeLoop drains one node's mailbox in batches until the mailbox closes.
-func (f *Fabric) nodeLoop(id NodeID) {
+// workerLoop drains one worker's mailbox in batches until the mailbox
+// closes, dispatching each envelope to the node it owns. Sends issued by
+// the handled nodes are staged per destination worker (loopback transport)
+// and flushed after the batch, before the in-flight decrement.
+func (f *Fabric) workerLoop(w int) {
 	defer f.wg.Done()
-	sh := &f.shards[id]
-	box := f.boxes[id]
-	ctx := &fabricCtx{f: f, self: id}
-	node := f.nodes[id]
-	// Tagged envelopes dispatch through DeliverTagged when the node
-	// consumes instance tags (resolved once, outside the loop).
-	tagged, _ := node.(TaggedNode)
+	box := f.boxes[w]
+	st := &f.stages[w]
 	for {
 		batch, ok := box.Drain()
 		if !ok {
 			return
 		}
 		for _, e := range batch {
-			now := e.Depth
-			if f.clock == CounterClock {
-				now = int(sh.delivered) + 1
-			}
-			// Receive-side crash check: a message arriving while this node
-			// is inside a crash window vanishes at the door, unhandled and
-			// unmetered (it still decrements the in-flight counter with its
-			// batch below, so quiescence accounting stays exact).
-			if f.faults != nil && f.faults.CrashedAt(id, now) {
-				continue
-			}
-			sh.delivered++
-			if f.clock == CounterClock {
-				e.Depth = now // stamp observers with the per-node clock
-			}
-			if now > sh.maxDepth {
-				sh.maxDepth = now
-			}
-			size := e.Msg.WireSize() + envelopeOverhead
-			if e.Tagged {
-				size += instTagOverhead
-			}
-			sh.nm.RecvMsgs++
-			sh.nm.RecvBytes += int64(size)
-			ctx.now = now
-			if e.Tagged && tagged != nil {
-				tagged.DeliverTagged(ctx, e.From, e.Msg, e.Inst)
-			} else {
-				node.Deliver(ctx, e.From, e.Msg)
-			}
-			if f.observer != nil {
-				sh.obs = append(sh.obs, obsEvent{seq: f.obsSeq.Add(1), env: e})
-			}
+			f.deliverOne(e)
 		}
-		// Decrement only after handling the whole batch: messages produced
-		// during handling are already counted, so the in-flight counter can
-		// never dip to zero while work remains.
+		// Flush staged sends before the decrement: the staged envelopes were
+		// counted at stage time, so the in-flight counter can never dip to
+		// zero while work remains.
+		f.flushStage(st)
 		if f.track {
 			f.inflight.Add(-int64(len(batch)))
 		}
@@ -422,13 +511,85 @@ func (f *Fabric) nodeLoop(id NodeID) {
 	}
 }
 
+// deliverOne hands a single envelope to its destination node, updating the
+// receiver's shard. The destination node is owned by the calling worker
+// (envelope routing), so the shard stays single-writer.
+func (f *Fabric) deliverOne(e Envelope) {
+	id := e.To
+	sh := &f.shards[id]
+	now := e.Depth
+	if f.clock == CounterClock {
+		now = int(sh.delivered) + 1
+	}
+	// Receive-side crash check: a message arriving while this node is
+	// inside a crash window vanishes at the door, unhandled and unmetered
+	// (it still decrements the in-flight counter with its batch, so
+	// quiescence accounting stays exact).
+	if f.faults != nil && f.faults.CrashedAt(id, now) {
+		e.release()
+		return
+	}
+	sh.delivered++
+	if f.clock == CounterClock {
+		e.Depth = now // stamp observers with the per-node clock
+	}
+	if now > sh.maxDepth {
+		sh.maxDepth = now
+	}
+	size := e.Msg.WireSize() + envelopeOverhead
+	if e.Tagged {
+		size += instTagOverhead
+	}
+	sh.nm.RecvMsgs++
+	sh.nm.RecvBytes += int64(size)
+	ctx := &f.ctxs[id]
+	ctx.now = now
+	if e.Tagged && f.taggedNodes[id] != nil {
+		f.taggedNodes[id].DeliverTagged(ctx, e.From, e.Msg, e.Inst)
+	} else {
+		f.nodes[id].Deliver(ctx, e.From, e.Msg)
+	}
+	if f.observer != nil {
+		sh.obs = append(sh.obs, obsEvent{seq: f.obsSeq.Add(1), env: e})
+	}
+	// The delivery is over: any zero-copy payload view expires here
+	// (retaining state must have cloned; DESIGN.md §10).
+	e.release()
+}
+
+// flushStage delivers everything the worker's nodes staged during the
+// batch: one PutBatch per destination worker with pending envelopes.
+func (f *Fabric) flushStage(st *sendStage) {
+	for w := range st.byWorker {
+		buf := st.byWorker[w]
+		if len(buf) == 0 {
+			continue
+		}
+		if !f.boxes[w].PutBatch(buf) {
+			// Mailboxes closed mid-run (teardown): return the counts taken
+			// at stage time or quiescence never comes.
+			if f.track {
+				f.inflight.Add(-int64(len(buf)))
+			}
+			for i := range buf {
+				buf[i].release()
+			}
+		}
+		st.byWorker[w] = buf[:0]
+	}
+}
+
 // fabricCtx is the Context for one node's activations. One instance per
 // node is reused across deliveries (runners activate a node sequentially),
-// keeping the hot path free of per-delivery allocations.
+// keeping the hot path free of per-delivery allocations. stage, when set,
+// is the owning worker's send staging: outgoing envelopes buffer there for
+// a one-PutBatch-per-worker flush at batch end instead of taking a mailbox
+// lock per send (loopback transport only; Init contexts leave it nil).
 type fabricCtx struct {
-	f    *Fabric
-	self NodeID
-	now  int
+	f     *Fabric
+	self  NodeID
+	now   int
+	stage *sendStage
 }
 
 func (c *fabricCtx) Now() int { return c.now }
@@ -467,6 +628,11 @@ func (c *fabricCtx) send(e Envelope, size int) {
 	for i := 0; i < copies; i++ {
 		if c.f.track {
 			c.f.inflight.Add(1)
+		}
+		if c.stage != nil {
+			w := e.To % c.f.workers
+			c.stage.byWorker[w] = append(c.stage.byWorker[w], e)
+			continue
 		}
 		if !c.f.transport.Send(e) && c.f.track {
 			c.f.inflight.Add(-1)

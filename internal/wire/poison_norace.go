@@ -1,0 +1,10 @@
+//go:build !race
+
+package wire
+
+// poison is a no-op outside race builds: recycled buffers keep their bytes
+// until reuse, and the hot path pays nothing for the debug aid.
+func poison([]byte) {}
+
+// raceEnabled lets the aliasing tests assert poisoning only where it runs.
+const raceEnabled = false

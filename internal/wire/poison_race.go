@@ -1,0 +1,16 @@
+//go:build race
+
+package wire
+
+// poison overwrites a recycled buffer so retained views read garbage
+// loudly. Race builds only: the aliasing tests assert that a view held
+// past its Release window observes the poison pattern instead of stale
+// (accidentally still-valid) payload bytes.
+func poison(b []byte) {
+	for i := range b {
+		b[i] = 0xDB
+	}
+}
+
+// raceEnabled lets the aliasing tests assert poisoning only where it runs.
+const raceEnabled = true

@@ -1,0 +1,61 @@
+package wire
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// RefBuf is a pooled, reference-counted read buffer: the ownership unit of
+// the zero-copy decode path. A transport reads one frame into a RefBuf,
+// decodes envelopes whose payloads alias the buffer (DecodeEnvelope,
+// DecodeBatchAppend in view mode), takes one reference per decoded
+// envelope with Retain, and attaches the RefBuf to each envelope
+// (simnet.Envelope.Buf). The fabric releases each reference when the
+// envelope has been handled; the buffer returns to the pool when the last
+// reference drops. Any state that outlives its delivery must Clone the
+// decoded data, never retain the view (DESIGN.md §10).
+//
+// Under the race detector the buffer is poisoned (overwritten with 0xDB)
+// as it returns to the pool, so a retained view is caught by the aliasing
+// tests instead of silently reading recycled bytes.
+type RefBuf struct {
+	buf  []byte
+	refs atomic.Int32
+}
+
+var refBufPool = sync.Pool{New: func() any { return new(RefBuf) }}
+
+// NewRefBuf takes a buffer of exactly size bytes from the pool.
+func NewRefBuf(size int) *RefBuf {
+	b := refBufPool.Get().(*RefBuf)
+	if cap(b.buf) < size {
+		b.buf = make([]byte, size)
+	}
+	b.buf = b.buf[:size]
+	return b
+}
+
+// Bytes returns the buffer. Views produced by decoding alias it.
+func (b *RefBuf) Bytes() []byte { return b.buf }
+
+// Retain takes n references. Call once, after decoding, with the number of
+// envelopes that alias the buffer.
+func (b *RefBuf) Retain(n int) { b.refs.Add(int32(n)) }
+
+// Release drops one reference, recycling the buffer when the last
+// reference goes (simnet.Releaser).
+func (b *RefBuf) Release() {
+	if b.refs.Add(-1) <= 0 {
+		b.recycle()
+	}
+}
+
+// Recycle returns a buffer on which no references were taken (decode
+// failed, or the frame was transport-internal) straight to the pool.
+func (b *RefBuf) Recycle() { b.recycle() }
+
+func (b *RefBuf) recycle() {
+	poison(b.buf)
+	b.refs.Store(0)
+	refBufPool.Put(b)
+}

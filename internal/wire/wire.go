@@ -56,6 +56,12 @@ const (
 	// supervisor, never delivered to protocol nodes.
 	kindPing byte = 0x50
 	kindPong byte = 0x51
+	// kindBatch is the link-level coalescing frame: several same-link
+	// messages collapsed into one wire frame. Layout after the shared
+	// from/to header: count u32, then count records of (recLen u32, inner
+	// kind byte, inner payload). Batch frames never nest and never carry
+	// transport-internal frames (ping/pong).
+	kindBatch byte = 0x60
 )
 
 // ErrUnknownMessage reports a message type without a codec.
@@ -185,9 +191,22 @@ func appendMessage(buf []byte, m simnet.Message) ([]byte, error) {
 	return buf, nil
 }
 
-// Unmarshal decodes a payload given its kind byte.
+// Unmarshal decodes a payload given its kind byte. Decoded messages own
+// their data (bit strings are copied out of payload).
 func Unmarshal(kind byte, payload []byte) (simnet.Message, error) {
-	d := decoder{buf: payload}
+	return unmarshal(kind, payload, false)
+}
+
+// UnmarshalView decodes a payload given its kind byte, zero-copy: decoded
+// bit strings are views aliasing payload (bitstring.View). The result is
+// only valid while payload's backing buffer is stable — see RefBuf for the
+// ownership protocol.
+func UnmarshalView(kind byte, payload []byte) (simnet.Message, error) {
+	return unmarshal(kind, payload, true)
+}
+
+func unmarshal(kind byte, payload []byte, view bool) (simnet.Message, error) {
+	d := decoder{buf: payload, view: view}
 	var m simnet.Message
 	switch kind {
 	case kindPush:
@@ -218,7 +237,9 @@ func Unmarshal(kind byte, payload []byte) (simnet.Message, error) {
 		index := int32(d.u32())
 		m = ae.MsgValue{Level: level, Index: index, S: d.str()}
 	case kindQuery:
-		d.u8()
+		if pad := d.u8(); d.err == nil && pad != 0 {
+			d.err = fmt.Errorf("wire: query padding byte %#x", pad)
+		}
 		m = baseline.MsgQuery{}
 	case kindReply:
 		m = baseline.MsgReply{S: d.str()}
@@ -256,7 +277,7 @@ func Unmarshal(kind byte, payload []byte) (simnet.Message, error) {
 		if innerKind == kindInst {
 			return nil, fmt.Errorf("wire: nested InstMsg")
 		}
-		inner, err := Unmarshal(innerKind, payload[d.pos:])
+		inner, err := unmarshal(innerKind, payload[d.pos:], view)
 		if err != nil {
 			return nil, err
 		}
@@ -332,15 +353,123 @@ func AppendFrame(buf []byte, from, to int, m simnet.Message) ([]byte, error) {
 	return appendMessage(buf, m)
 }
 
-// DecodeEnvelope reverses EncodeEnvelope.
+// DecodeEnvelope reverses EncodeEnvelope, zero-copy: decoded bit strings
+// are views aliasing frame. The result is only valid while frame's backing
+// buffer is stable; callers that recycle the buffer must follow the RefBuf
+// ownership protocol (DESIGN.md §10). Use DecodeEnvelopeCopy when the
+// decoded message must own its data.
 func DecodeEnvelope(frame []byte) (from, to int, m simnet.Message, err error) {
+	return decodeEnvelope(frame, true)
+}
+
+// DecodeEnvelopeCopy reverses EncodeEnvelope with owning semantics: the
+// decoded message copies everything it keeps out of frame.
+func DecodeEnvelopeCopy(frame []byte) (from, to int, m simnet.Message, err error) {
+	return decodeEnvelope(frame, false)
+}
+
+func decodeEnvelope(frame []byte, view bool) (from, to int, m simnet.Message, err error) {
 	if len(frame) < EnvelopeOverhead {
 		return 0, 0, nil, fmt.Errorf("wire: envelope too short: %d bytes", len(frame))
 	}
 	from = int(binary.LittleEndian.Uint32(frame[0:4]))
 	to = int(binary.LittleEndian.Uint32(frame[4:8]))
-	m, err = Unmarshal(frame[8], frame[9:])
+	m, err = unmarshal(frame[8], frame[9:], view)
 	return from, to, m, err
+}
+
+// IsBatchFrame reports whether a transport frame (without its length
+// prefix) is a link-level batch frame.
+func IsBatchFrame(frame []byte) bool {
+	return len(frame) >= EnvelopeOverhead && frame[8] == kindBatch
+}
+
+// maxBatchCount bounds the record count a batch frame may claim — defense
+// against corrupt count prefixes, far above what any coalescing window
+// produces.
+const maxBatchCount = 1 << 16
+
+// AppendBatchFrame coalesces several length-prefixed transport frames
+// (the AppendFrame/AppendTaggedFrame layout) for one directed link into a
+// single batch frame appended to buf: one length prefix and one from/to
+// header for the whole batch, then one (recLen, kind, payload) record per
+// input frame. All input frames must carry the same from/to — they are
+// queued for one link — and none may itself be a batch frame.
+func AppendBatchFrame(buf []byte, frames [][]byte) ([]byte, error) {
+	if len(frames) == 0 {
+		return buf, fmt.Errorf("wire: empty batch")
+	}
+	const frameHeader = 4 + EnvelopeOverhead // length prefix + from/to/kind
+	total := EnvelopeOverhead + 4            // shared header + count
+	for _, f := range frames {
+		if len(f) < frameHeader {
+			return buf, fmt.Errorf("wire: batch input frame too short: %d bytes", len(f))
+		}
+		if f[12] == kindBatch {
+			return buf, fmt.Errorf("wire: nested batch frame")
+		}
+		if string(f[4:12]) != string(frames[0][4:12]) {
+			return buf, fmt.Errorf("wire: batch mixes links")
+		}
+		total += 4 + len(f) - 12 // recLen prefix + kind byte + payload
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(total))
+	buf = append(buf, frames[0][4:12]...) // from, to
+	buf = append(buf, kindBatch)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(frames)))
+	for _, f := range frames {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f)-12))
+		buf = append(buf, f[12:]...)
+	}
+	return buf, nil
+}
+
+// DecodeBatchAppend decodes a batch frame (without its length prefix) into
+// envelopes appended to dst. In view mode the decoded payloads alias
+// frame (see DecodeEnvelope); otherwise they own their data. Instance-
+// tagged records surface with the tag hoisted into Envelope.Inst/Tagged,
+// ready for fabric injection. On error dst is returned unchanged: a batch
+// decodes entirely or not at all.
+func DecodeBatchAppend(dst []simnet.Envelope, frame []byte, view bool) ([]simnet.Envelope, error) {
+	if !IsBatchFrame(frame) {
+		return dst, fmt.Errorf("wire: not a batch frame")
+	}
+	from := int(binary.LittleEndian.Uint32(frame[0:4]))
+	to := int(binary.LittleEndian.Uint32(frame[4:8]))
+	d := decoder{buf: frame, pos: EnvelopeOverhead}
+	count := int(d.u32())
+	if d.err != nil {
+		return dst, fmt.Errorf("wire: batch count: %w", d.err)
+	}
+	if count == 0 || count > maxBatchCount {
+		return dst, fmt.Errorf("wire: batch claims %d records", count)
+	}
+	mark := len(dst)
+	for i := 0; i < count; i++ {
+		rec := d.take(int(d.u32()))
+		if d.err != nil {
+			return dst[:mark], fmt.Errorf("wire: batch record %d: %w", i, d.err)
+		}
+		if len(rec) < 1 {
+			return dst[:mark], fmt.Errorf("wire: batch record %d: empty", i)
+		}
+		if rec[0] == kindBatch {
+			return dst[:mark], fmt.Errorf("wire: nested batch frame")
+		}
+		m, err := unmarshal(rec[0], rec[1:], view)
+		if err != nil {
+			return dst[:mark], fmt.Errorf("wire: batch record %d: %w", i, err)
+		}
+		e := simnet.Envelope{From: from, To: to, Msg: m}
+		if im, ok := m.(simnet.InstMsg); ok {
+			e.Msg, e.Inst, e.Tagged = im.Inner, im.Inst, true
+		}
+		dst = append(dst, e)
+	}
+	if d.pos != len(frame) {
+		return dst[:mark], fmt.Errorf("wire: batch frame: %d trailing bytes", len(frame)-d.pos)
+	}
+	return dst, nil
 }
 
 // appendString encodes a bit string: uint16 bit length + packed bytes.
@@ -358,9 +487,11 @@ func AppendBitString(buf []byte, s bitstring.String) []byte {
 }
 
 // DecodeBitString decodes a wire-encoded bit string from the front of
-// buf, returning the string and the number of bytes consumed.
+// buf, returning the string and the number of bytes consumed. The result
+// is a zero-copy view aliasing buf: callers that retain it past the
+// buffer's stable window must Clone it (DESIGN.md §10).
 func DecodeBitString(buf []byte) (bitstring.String, int, error) {
-	d := decoder{buf: buf}
+	d := decoder{buf: buf, view: true}
 	s := d.str()
 	if d.err != nil {
 		return bitstring.String{}, 0, d.err
@@ -368,11 +499,13 @@ func DecodeBitString(buf []byte) (bitstring.String, int, error) {
 	return s, d.pos, nil
 }
 
-// decoder is a cursor with sticky errors.
+// decoder is a cursor with sticky errors. In view mode decoded strings
+// alias buf instead of copying.
 type decoder struct {
-	buf []byte
-	pos int
-	err error
+	buf  []byte
+	pos  int
+	view bool
+	err  error
 }
 
 func (d *decoder) take(n int) []byte {
@@ -429,11 +562,25 @@ func (d *decoder) str() bitstring.String {
 		return bitstring.String{}
 	}
 	nbits := int(binary.LittleEndian.Uint16(header))
-	packed := d.take((nbits + 7) / 8)
+	need := (nbits + 7) / 8
+	packed := d.take(need)
 	if d.err != nil {
 		return bitstring.String{}
 	}
-	s, err := bitstring.FromBytes(packed, nbits)
+	// The encoder only emits canonical strings (clear tail bits), so a set
+	// excess bit is corruption: reject instead of silently masking — decode
+	// then re-encode must reproduce the input bytes exactly.
+	if rem := nbits % 8; rem != 0 && need > 0 && packed[need-1]&^(byte(1<<rem)-1) != 0 {
+		d.err = fmt.Errorf("wire: non-canonical bit string tail")
+		return bitstring.String{}
+	}
+	var s bitstring.String
+	var err error
+	if d.view {
+		s, err = bitstring.View(packed, nbits)
+	} else {
+		s, err = bitstring.FromBytes(packed, nbits)
+	}
 	if err != nil {
 		d.err = err
 	}
