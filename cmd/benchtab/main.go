@@ -9,7 +9,7 @@
 //	benchtab -full         # full sweep (n ≤ 1024, more seeds; minutes)
 //	benchtab -only fig1a   # one experiment (fig1a, fig1b, lemma3, lemma4,
 //	                       # lemma5, lemma6, lemma7, nofault, property2,
-//	                       # ablation, sensitivity)
+//	                       # ablation, sensitivity, scenario)
 package main
 
 import (
@@ -90,6 +90,7 @@ func run(args []string) error {
 		{"property2", property2},
 		{"ablation", ablation},
 		{"sensitivity", sensitivity},
+		{"scenario", scenarioExp},
 	}
 
 	names := make([]string, 0, len(experiments))

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/fastba/fastba"
+	"github.com/fastba/fastba/internal/metrics"
+)
+
+// scenarioExp measures what an adaptive adversary buys over an oblivious
+// one on a hostile-internet scenario: a Watts–Strogatz overlay with Zipf
+// load and the gossip relay engaged, where the adversary spends the same
+// silencing budget either on a seeded-random target set (oblivious), on
+// the highest-degree relay hubs, or on the most-messaged nodes ranked from
+// observed traffic. The paper's model grants the adversary full adaptivity;
+// this table quantifies how much of the termination margin that adaptivity
+// actually consumes (safety must stay intact in every row — BENCH_9.json).
+func scenarioExp(sw sweep) error {
+	n := sw.ns[len(sw.ns)-1]
+	// TriggerAt 3: the adversary watches three rounds of traffic before
+	// committing its budget — the traffic ranking is meaningless before the
+	// first deliveries land.
+	spec := fastba.Scenario{
+		Topology: fastba.TopologyWS, Degree: 8, Rewire: 0.2, ZipfS: 1.0,
+		Fanout: 1, TriggerAt: 3, Seed: 1,
+	}
+	const corrupt = 0.15
+	advs := []string{
+		fastba.AdversaryAdaptiveOblivious,
+		fastba.AdversaryAdaptiveDegree,
+		fastba.AdversaryAdaptiveTraffic,
+	}
+	variants := []fastba.Variant{{Name: "clean", Options: []fastba.Option{}}}
+	for _, a := range advs {
+		variants = append(variants, fastba.Variant{
+			Name: a,
+			Options: []fastba.Option{
+				fastba.WithAdversaryName(a),
+				fastba.WithCorruptFrac(corrupt),
+			},
+		})
+	}
+	rep, err := mustSuite(fastba.Suite{
+		Name: "scenario",
+		Sweep: fastba.Sweep{
+			Ns:        []int{n},
+			Seeds:     fastba.Seeds(sw.seeds),
+			Scenarios: []fastba.Scenario{spec},
+			Options:   []fastba.Option{fastba.WithKnowFrac(1)},
+			Variants:  variants,
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	tb := metrics.NewTable(
+		fmt.Sprintf("Adaptive vs oblivious silencing — %s, corrupt=%.2f, n=%d, %d seeds",
+			spec.Label(), corrupt, n, sw.seeds),
+		"adversary", "mean decided frac", "worst decided frac", "validity viol", "mean msgs")
+	for _, cr := range rep.Cells {
+		mean, msgs := 0.0, 0.0
+		for _, rec := range cr.Records {
+			mean += rec.DecidedFrac()
+			msgs += float64(rec.TotalMessages)
+		}
+		if len(cr.Records) > 0 {
+			mean /= float64(len(cr.Records))
+			msgs /= float64(len(cr.Records))
+		}
+		tb.Add(cr.Cell.Variant,
+			fmt.Sprintf("%.4f", mean),
+			fmt.Sprintf("%.4f", cr.WorstDecidedFrac),
+			fmt.Sprint(cr.ValidityViolations),
+			fmt.Sprintf("%.0f", msgs))
+	}
+	tb.Render(os.Stdout)
+	fmt.Println("the oblivious row spends the identical budget on seeded-random targets; the")
+	fmt.Println("degree and traffic rows aim it at relay hubs. The gap between those rows is")
+	fmt.Println("the measured value of adaptivity on this topology — and the 0 in the validity")
+	fmt.Println("column is the safety claim: aim does not matter to agreement, only to liveness.")
+	return nil
+}

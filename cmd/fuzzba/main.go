@@ -52,6 +52,7 @@ func run(args []string) (int, error) {
 		logFrac   = fs.Float64("logfrac", 0, "fraction of campaign cases drawn from the pipelined decision-log family (0 = off)")
 		restFrac  = fs.Float64("restartfrac", 0, "fraction of log-family cases that crash and recover a durable log mid-run (0 = off; needs -logfrac)")
 		chaosFrac = fs.Float64("chaosfrac", 0, "fraction of log-family cases that run over TCP under a seeded live-socket chaos plan (0 = off; needs -logfrac)")
+		scenFrac  = fs.Float64("scenariofrac", 0, "fraction of campaign cases drawn from the hostile-internet scenario family: topologies, latency models, gossip relay, adaptive adversaries (0 = off)")
 		out       = fs.String("out", "", "directory receiving shrunk JSON reproducers for failing cases")
 		selftest  = fs.Bool("selftest", false, "also run a deliberately broken quorum threshold and require the agreement oracle to catch it")
 		verbose   = fs.Bool("v", false, "log every executed case")
@@ -78,13 +79,14 @@ func run(args []string) (int, error) {
 
 	if *budget > 0 || *runs > 0 {
 		fc := fastba.FuzzConfig{
-			Seed:        *seed,
-			Runs:        *runs,
-			Budget:      *budget,
-			PersistDir:  *out,
-			LogFrac:     *logFrac,
-			RestartFrac: *restFrac,
-			ChaosFrac:   *chaosFrac,
+			Seed:         *seed,
+			Runs:         *runs,
+			Budget:       *budget,
+			PersistDir:   *out,
+			LogFrac:      *logFrac,
+			RestartFrac:  *restFrac,
+			ChaosFrac:    *chaosFrac,
+			ScenarioFrac: *scenFrac,
 		}
 		var err error
 		if fc.Ns, err = parseInts(*ns); err != nil {
@@ -130,6 +132,10 @@ func run(args []string) (int, error) {
 			return 1, err
 		}
 		fmt.Println("selftest: broken quorum threshold caught by the agreement oracle")
+		if err := scenarioSelftest(); err != nil {
+			return 1, err
+		}
+		fmt.Println("selftest: adaptive adversary on a broken threshold caught under a scenario")
 	}
 
 	if failures > 0 {
@@ -184,6 +190,39 @@ func oracleSelftest() error {
 	}
 	if !caught[fastba.OracleAgreement] || !caught[fastba.OracleCertificates] {
 		return fmt.Errorf("selftest: oracles missed the broken quorum threshold (report: %s)", rep)
+	}
+	return nil
+}
+
+// scenarioSelftest repeats the guard-the-guard check through the scenario
+// layer: the same broken decide threshold, but now on a Watts–Strogatz
+// topology with the gossip relay engaged and an adaptive traffic-ranking
+// adversary silencing the most-messaged nodes. The oracles watch decisions
+// through the relay path, so if the scenario wrapper ever swallowed or
+// reordered protocol deliveries in a way that masked a split, this would
+// go green — it must not.
+func scenarioSelftest() error {
+	cfg := fastba.NewConfig(32,
+		fastba.WithSeed(1),
+		fastba.WithKnowFrac(0.60),
+		fastba.WithScenario(fastba.Scenario{
+			Topology: fastba.TopologyWS, Degree: 6, Rewire: 0.2, ZipfS: 1.0, Seed: 3,
+		}),
+		fastba.WithAdversaryName(fastba.AdversaryAdaptiveTraffic),
+		fastba.WithCorruptFrac(0.1),
+		fastba.WithDecideThreshold(1),
+	)
+	res, err := fastba.RunAER(cfg)
+	if err != nil {
+		return fmt.Errorf("scenario selftest run: %w", err)
+	}
+	rep := fastba.CheckInvariants(cfg, res)
+	caught := map[string]bool{}
+	for _, v := range rep.Violations {
+		caught[v.Oracle] = true
+	}
+	if !caught[fastba.OracleAgreement] && !caught[fastba.OracleCertificates] {
+		return fmt.Errorf("scenario selftest: oracles missed the broken threshold under an adaptive adversary (report: %s)", rep)
 	}
 	return nil
 }

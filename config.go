@@ -53,6 +53,7 @@ import (
 
 	"github.com/fastba/fastba/internal/core"
 	"github.com/fastba/fastba/internal/netrun"
+	"github.com/fastba/fastba/internal/scenario"
 )
 
 // Model selects the network/adversary timing model of §2.1.
@@ -165,6 +166,7 @@ type Config struct {
 	schedMaker  SchedulerMaker
 	observer    Observer
 	faults      FaultPlan
+	scenario    *Scenario
 
 	// Decision-log knobs (log.go) and the load-harness workload (load.go).
 	logRuntime    LogRuntime
@@ -339,6 +341,26 @@ func (c Config) MaxRounds() int { return c.maxRounds }
 // Faults returns the configured fault plan (zero = fault-free).
 func (c Config) Faults() FaultPlan { return c.faults }
 
+// Scenario returns the configured network scenario (with its seed resolved
+// against the run seed) and whether one is set.
+func (c Config) Scenario() (Scenario, bool) {
+	if c.scenario == nil {
+		return Scenario{}, false
+	}
+	return c.resolvedScenario(), true
+}
+
+// resolvedScenario returns the scenario spec with a zero seed replaced by
+// the run seed, so scenario draws are a pure function of the configuration
+// regardless of option order (sweeps append WithSeed after WithScenario).
+func (c Config) resolvedScenario() Scenario {
+	spec := *c.scenario
+	if spec.Seed == 0 {
+		spec.Seed = c.seed
+	}
+	return spec
+}
+
 // validate checks the configuration.
 func (c Config) validate() error {
 	if c.n < 8 {
@@ -366,6 +388,18 @@ func (c Config) validate() error {
 	}
 	if err := c.faults.Validate(c.n); err != nil {
 		return err
+	}
+	if kind := adaptiveKind(c.advName); kind != "" && c.scenario == nil {
+		return fmt.Errorf("fastba: adversary %q is adaptive and requires a scenario (WithScenario)", c.advName)
+	}
+	if c.scenario != nil {
+		// Compilation here surfaces misconfigured scenarios — including
+		// disconnected topologies that would hang the termination oracle —
+		// at validate() time, with the compile cache making the later run
+		// reuse of the artifact free.
+		if _, err := scenario.Compile(c.resolvedScenario(), c.n); err != nil {
+			return err
+		}
 	}
 	if err := c.net.Validate(); err != nil {
 		return err

@@ -43,6 +43,12 @@ type Sweep struct {
 	// identically-labeled distinct plans are disambiguated by position.
 	// The zero plan labels as "none".
 	Faults []FaultPlan
+	// Scenarios sweeps network scenarios (see WithScenario): topology,
+	// latency/loss model, relay fanout and adversary trigger. Cells are
+	// labeled with each scenario's Label plus its seed; identically-
+	// labeled distinct scenarios are disambiguated by position. The zero
+	// scenario labels as "none".
+	Scenarios []Scenario
 	// Workloads sweeps sustained-load shapes (KindLog suites; see
 	// Workload and RunLoad). Cells are labeled with each workload's
 	// Label.
@@ -79,6 +85,8 @@ type Cell struct {
 	KnowFrac    float64 `json:"knowFrac"`
 	// Fault labels the cell's fault plan ("" = fault-free).
 	Fault string `json:"fault,omitempty"`
+	// Scenario labels the cell's network scenario ("" = direct mesh).
+	Scenario string `json:"scenario,omitempty"`
 	// Workload labels the cell's sustained-load shape (KindLog sweeps).
 	Workload string `json:"workload,omitempty"`
 	Variant  string `json:"variant,omitempty"`
@@ -89,6 +97,9 @@ func (c Cell) String() string {
 	s := fmt.Sprintf("n=%d/%s/%s", c.N, c.Model, c.Adversary)
 	if c.Fault != "" {
 		s += "/" + c.Fault
+	}
+	if c.Scenario != "" {
+		s += "/" + c.Scenario
 	}
 	if c.Workload != "" {
 		s += "/" + c.Workload
@@ -141,6 +152,7 @@ func (s Sweep) expand() ([]plannedRun, error) {
 	seen := make(map[cellSeed]bool)
 
 	faultLabels := faultAxisLabels(s.Faults)
+	scenarioLabels := scenarioAxisLabels(s.Scenarios)
 
 	var runs []plannedRun
 	for _, n := range s.Ns {
@@ -149,54 +161,61 @@ func (s Sweep) expand() ([]plannedRun, error) {
 				for _, ci := range axis(len(s.CorruptFracs)) {
 					for _, ki := range axis(len(s.KnowFracs)) {
 						for _, fi := range axis(len(s.Faults)) {
-							for _, wi := range axis(len(s.Workloads)) {
-								for _, vi := range axis(len(s.Variants)) {
-									opts := append([]Option(nil), s.Options...)
-									variant, fault, workload := "", "", ""
-									if len(s.Models) > 0 {
-										opts = append(opts, WithModel(s.Models[mi]))
-									}
-									if len(s.Adversaries) > 0 {
-										opts = append(opts, WithAdversaryName(s.Adversaries[ai]))
-									}
-									if len(s.CorruptFracs) > 0 {
-										opts = append(opts, WithCorruptFrac(s.CorruptFracs[ci]))
-									}
-									if len(s.KnowFracs) > 0 {
-										opts = append(opts, WithKnowFrac(s.KnowFracs[ki]))
-									}
-									if len(s.Faults) > 0 {
-										fault = faultLabels[fi]
-										opts = append(opts, WithFaults(s.Faults[fi]))
-									}
-									if len(s.Workloads) > 0 {
-										workload = s.Workloads[wi].Label()
-										opts = append(opts, WithWorkload(s.Workloads[wi]))
-									}
-									if len(s.Variants) > 0 {
-										variant = s.Variants[vi].Name
-										opts = append(opts, s.Variants[vi].Options...)
-									}
-									for _, seed := range seeds {
-										cfg := NewConfig(n, append(opts, WithSeed(seed))...)
-										if err := cfg.validate(); err != nil {
-											return nil, fmt.Errorf("fastba: sweep cell n=%d fault=%q variant=%q: %w", n, fault, variant, err)
+							for _, si := range axis(len(s.Scenarios)) {
+								for _, wi := range axis(len(s.Workloads)) {
+									for _, vi := range axis(len(s.Variants)) {
+										opts := append([]Option(nil), s.Options...)
+										variant, fault, scen, workload := "", "", "", ""
+										if len(s.Models) > 0 {
+											opts = append(opts, WithModel(s.Models[mi]))
 										}
-										cell := Cell{
-											N:           cfg.n,
-											Model:       cfg.model.String(),
-											Adversary:   cfg.advName,
-											CorruptFrac: cfg.corruptFrac,
-											KnowFrac:    cfg.knowFrac,
-											Fault:       fault,
-											Workload:    workload,
-											Variant:     variant,
+										if len(s.Adversaries) > 0 {
+											opts = append(opts, WithAdversaryName(s.Adversaries[ai]))
 										}
-										if seen[cellSeed{cell, seed}] {
-											continue
+										if len(s.CorruptFracs) > 0 {
+											opts = append(opts, WithCorruptFrac(s.CorruptFracs[ci]))
 										}
-										seen[cellSeed{cell, seed}] = true
-										runs = append(runs, plannedRun{cell: cell, seed: seed, cfg: cfg})
+										if len(s.KnowFracs) > 0 {
+											opts = append(opts, WithKnowFrac(s.KnowFracs[ki]))
+										}
+										if len(s.Faults) > 0 {
+											fault = faultLabels[fi]
+											opts = append(opts, WithFaults(s.Faults[fi]))
+										}
+										if len(s.Scenarios) > 0 {
+											scen = scenarioLabels[si]
+											opts = append(opts, WithScenario(s.Scenarios[si]))
+										}
+										if len(s.Workloads) > 0 {
+											workload = s.Workloads[wi].Label()
+											opts = append(opts, WithWorkload(s.Workloads[wi]))
+										}
+										if len(s.Variants) > 0 {
+											variant = s.Variants[vi].Name
+											opts = append(opts, s.Variants[vi].Options...)
+										}
+										for _, seed := range seeds {
+											cfg := NewConfig(n, append(opts, WithSeed(seed))...)
+											if err := cfg.validate(); err != nil {
+												return nil, fmt.Errorf("fastba: sweep cell n=%d fault=%q scenario=%q variant=%q: %w", n, fault, scen, variant, err)
+											}
+											cell := Cell{
+												N:           cfg.n,
+												Model:       cfg.model.String(),
+												Adversary:   cfg.advName,
+												CorruptFrac: cfg.corruptFrac,
+												KnowFrac:    cfg.knowFrac,
+												Fault:       fault,
+												Scenario:    scen,
+												Workload:    workload,
+												Variant:     variant,
+											}
+											if seen[cellSeed{cell, seed}] {
+												continue
+											}
+											seen[cellSeed{cell, seed}] = true
+											runs = append(runs, plannedRun{cell: cell, seed: seed, cfg: cfg})
+										}
 									}
 								}
 							}
@@ -207,6 +226,30 @@ func (s Sweep) expand() ([]plannedRun, error) {
 		}
 	}
 	return runs, nil
+}
+
+// scenarioAxisLabels renders one distinct cell label per scenario: the
+// scenario's compact Label plus its own seed, with positional suffixes
+// for scenarios that would otherwise collide. The zero scenario labels
+// as "none".
+func scenarioAxisLabels(specs []Scenario) []string {
+	labels := make([]string, len(specs))
+	seen := make(map[string]int, len(specs))
+	for i, sp := range specs {
+		l := sp.Label()
+		if l == "" {
+			l = "none"
+		}
+		if sp.Seed != 0 {
+			l = fmt.Sprintf("%s#%d", l, sp.Seed)
+		}
+		seen[l]++
+		if n := seen[l]; n > 1 {
+			l = fmt.Sprintf("%s(%d)", l, n)
+		}
+		labels[i] = l
+	}
+	return labels
 }
 
 // faultAxisLabels renders one distinct cell label per fault plan: the

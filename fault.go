@@ -30,6 +30,13 @@ type FaultPlan = simnet.FaultPlan
 // for a window of logical time (see FaultPlan.Partitions).
 type Partition = simnet.Partition
 
+// LinkFault is a per-directed-link latency/loss override (see
+// FaultPlan.Links): fixed delay, uniform jitter, long-tail spikes, and a
+// drop rate, judged per message on the same deterministic hash chain as
+// the plan's global knobs. The scenario generator (WithScenario) lowers
+// its latency models onto these.
+type LinkFault = simnet.LinkFault
+
 // Crash makes a node fail-silent for a window of logical time; a recovery
 // models a process restart with protocol state intact (see
 // FaultPlan.Crashes).

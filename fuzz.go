@@ -49,6 +49,11 @@ type FuzzCase struct {
 	KnowFrac    float64 `json:"knowFrac"`
 	// Plan is the fault schedule under test.
 	Plan FaultPlan `json:"plan"`
+	// Scenario, when set, runs the case over a network scenario (see
+	// WithScenario): topology + latency/loss model + gossip relay, with
+	// the adaptive adversaries admissible as Adversary. Single-shot cases
+	// only.
+	Scenario *Scenario `json:"scenario,omitempty"`
 	// Log, when set, makes this a pipelined decision-log case: a short
 	// log with deterministic batches replayed under the plan, judged by
 	// the cross-instance oracles.
@@ -134,8 +139,12 @@ func (c FuzzCase) String() string {
 		return fmt.Sprintf("n=%d seed=%d log[%s] corrupt=%.2f know=%.2f faults=%s",
 			c.N, c.Seed, shape, c.CorruptFrac, c.KnowFrac, fault)
 	}
-	return fmt.Sprintf("n=%d seed=%d %s/%s corrupt=%.2f know=%.2f faults=%s",
+	label := fmt.Sprintf("n=%d seed=%d %s/%s corrupt=%.2f know=%.2f faults=%s",
 		c.N, c.Seed, c.Model, c.Adversary, c.CorruptFrac, c.KnowFrac, fault)
+	if c.Scenario != nil {
+		label += " scenario=" + c.Scenario.Label()
+	}
+	return label
 }
 
 // config materializes the case into a validated-on-use Config.
@@ -147,14 +156,18 @@ func (c FuzzCase) config() (Config, error) {
 	if model == Goroutines {
 		return Config{}, fmt.Errorf("fastba: fuzz cases require a deterministic model, have %v", model)
 	}
-	return NewConfig(c.N,
+	opts := []Option{
 		WithSeed(c.Seed),
 		WithModel(model),
 		WithAdversaryName(c.Adversary),
 		WithCorruptFrac(c.CorruptFrac),
 		WithKnowFrac(c.KnowFrac),
 		WithFaults(c.Plan),
-	), nil
+	}
+	if c.Scenario != nil {
+		opts = append(opts, WithScenario(*c.Scenario))
+	}
+	return NewConfig(c.N, opts...), nil
 }
 
 // FuzzRun is the outcome of one executed case.
@@ -527,6 +540,12 @@ type FuzzConfig struct {
 	// 0 — off, keeping existing campaign digests stable). Only meaningful
 	// when LogFrac > 0.
 	ChaosFrac float64
+	// ScenarioFrac is the fraction of single-shot cases that run over a
+	// sampled network scenario — seeded topology (ring/WS, optional Zipf
+	// load), latency/loss model, gossip relay, and occasionally an
+	// adaptive adversary (default 0 — off, keeping existing campaign
+	// digests stable).
+	ScenarioFrac float64
 	// PersistDir, when set, receives one JSON FuzzFailure file per failing
 	// case (after shrinking), named fail_<digest prefix>.json.
 	PersistDir string
@@ -570,6 +589,9 @@ func (fc *FuzzConfig) defaults() error {
 	}
 	if fc.ChaosFrac < 0 || fc.ChaosFrac > 1 {
 		return fmt.Errorf("fastba: fuzz ChaosFrac %v outside [0, 1]", fc.ChaosFrac)
+	}
+	if fc.ScenarioFrac < 0 || fc.ScenarioFrac > 1 {
+		return fmt.Errorf("fastba: fuzz ScenarioFrac %v outside [0, 1]", fc.ScenarioFrac)
 	}
 	return nil
 }
@@ -683,6 +705,12 @@ func sampleCase(fc FuzzConfig, i int) FuzzCase {
 	if fc.LogFrac > 0 && src.Float64() < fc.LogFrac {
 		return sampleLogCase(fc, src, n, i)
 	}
+	// The ScenarioFrac draw only happens when the family is enabled, so
+	// ScenarioFrac 0 campaigns consume exactly the historical PRNG stream
+	// and keep sampling the same cases.
+	if fc.ScenarioFrac > 0 && src.Float64() < fc.ScenarioFrac {
+		return sampleScenarioCase(fc, src, n, i)
+	}
 	c := FuzzCase{
 		N:           n,
 		Seed:        src.Uint64()>>1 | 1, // non-zero run seed
@@ -748,6 +776,72 @@ func sampleLogCase(fc FuzzConfig, src *prng.Source, n, i int) FuzzCase {
 		Log:         lf,
 		Chaos:       chaos,
 		Note:        note,
+	}
+}
+
+// sampleScenarioCase draws a single-shot case over a network scenario:
+// a ring or Watts–Strogatz topology (optionally Zipf-loaded), a latency
+// and/or loss model, the gossip relay, and — for a third of the cases —
+// an adaptive adversary triggered early in the run. Fault plans stay in
+// the lossless family (duplication/delay); loss enters through the
+// scenario's own link model, where the oracles know to skip termination.
+func sampleScenarioCase(fc FuzzConfig, src *prng.Source, n, i int) FuzzCase {
+	plan := FaultPlan{Seed: src.Uint64()}
+	if src.Float64() < 0.5 {
+		plan.DupProb = src.Float64() * 0.3
+	}
+	if src.Float64() < 0.5 {
+		plan.DelayProb = src.Float64() * 0.5
+		plan.MaxDelay = 1 + src.Intn(4)
+	}
+	sc := Scenario{}
+	if src.Bool() {
+		sc.Topology = TopologyWS
+		sc.Degree = 4 + 2*src.Intn(2)
+		sc.Rewire = src.Float64() * 0.5
+	} else {
+		sc.Topology = TopologyRing
+	}
+	if src.Bool() {
+		sc.ZipfS = 0.5 + src.Float64()
+	}
+	switch src.Intn(4) {
+	case 1:
+		sc.Latency = LatencyFixed
+		sc.BaseDelay = 1 + src.Intn(3)
+	case 2:
+		sc.Latency = LatencyUniform
+		sc.BaseDelay = src.Intn(2)
+		sc.MaxDelay = sc.BaseDelay + 1 + src.Intn(4)
+	case 3:
+		sc.Latency = LatencyLongTail
+		sc.BaseDelay = src.Intn(2)
+		sc.TailProb = src.Float64() * 0.2
+		sc.TailDelay = 2 + src.Intn(6)
+	}
+	if src.Float64() < 0.3 {
+		sc.Loss = src.Float64() * 0.05
+	}
+	sc.Fanout = 2 + src.Intn(2)
+	adversary := fc.Adversaries[src.Intn(len(fc.Adversaries))]
+	corrupt := fc.CorruptFracs[src.Intn(len(fc.CorruptFracs))]
+	if src.Float64() < 1.0/3 {
+		adversary = []string{
+			AdversaryAdaptiveDegree, AdversaryAdaptiveTraffic, AdversaryAdaptiveOblivious,
+		}[src.Intn(3)]
+		corrupt = 0.1
+		sc.TriggerAt = src.Intn(5)
+	}
+	return FuzzCase{
+		N:           n,
+		Seed:        src.Uint64()>>1 | 1,
+		Model:       fc.Models[src.Intn(len(fc.Models))].String(),
+		Adversary:   adversary,
+		CorruptFrac: corrupt,
+		KnowFrac:    fc.KnowFracs[src.Intn(len(fc.KnowFracs))],
+		Plan:        plan,
+		Scenario:    &sc,
+		Note:        fmt.Sprintf("sampled: campaign seed %d, case %d (scenario family)", fc.Seed, i),
 	}
 }
 
@@ -882,6 +976,46 @@ func shrinkCandidates(c FuzzCase) []FuzzCase {
 		}
 		if len(c.Chaos.Kinds) != 1 || c.Chaos.Kinds[0] != "close" {
 			addChaos(func(v *FuzzCase) { v.Chaos.Kinds = []string{"close"} })
+		}
+	}
+	// Scenario-dimension shrinks: no scenario at all is strictly simpler
+	// (an adaptive adversary must shrink with it — it is invalid without
+	// one); then a direct full mesh, a lossless link model, no latency
+	// model, no rewiring, no Zipf skew.
+	if c.Scenario != nil {
+		addScen := func(mut func(*FuzzCase)) {
+			v := c
+			v.Plan = clonePlan(c.Plan)
+			v.Log = cloneLog(c.Log)
+			sc := *c.Scenario
+			v.Scenario = &sc
+			mut(&v)
+			out = append(out, v)
+		}
+		addScen(func(v *FuzzCase) {
+			v.Scenario = nil
+			if adaptiveKind(v.Adversary) != "" {
+				v.Adversary = "silent"
+			}
+		})
+		if c.Scenario.Topology != "" && c.Scenario.Topology != TopologyFull {
+			addScen(func(v *FuzzCase) { v.Scenario.Topology = TopologyFull; v.Scenario.Degree = 0; v.Scenario.Rewire = 0 })
+		}
+		if c.Scenario.Loss > 0 {
+			addScen(func(v *FuzzCase) { v.Scenario.Loss = 0 })
+		}
+		if c.Scenario.Latency != "" {
+			addScen(func(v *FuzzCase) {
+				v.Scenario.Latency = ""
+				v.Scenario.BaseDelay, v.Scenario.MaxDelay = 0, 0
+				v.Scenario.TailProb, v.Scenario.TailDelay = 0, 0
+			})
+		}
+		if c.Scenario.Rewire > 0 {
+			addScen(func(v *FuzzCase) { v.Scenario.Rewire = 0 })
+		}
+		if c.Scenario.ZipfS > 0 {
+			addScen(func(v *FuzzCase) { v.Scenario.ZipfS = 0 })
 		}
 	}
 	if c.Plan.DropProb > 0 {

@@ -213,6 +213,89 @@ func TestFuzzLogShrinkCandidates(t *testing.T) {
 	}
 }
 
+// TestFuzzScenarioCampaign: a scenario-only campaign samples, executes and
+// passes the hostile-internet family — topologies, latency models, gossip
+// relay and (occasionally) adaptive adversaries.
+func TestFuzzScenarioCampaign(t *testing.T) {
+	scenCases := 0
+	res, err := SimFuzz(context.Background(), FuzzConfig{
+		Seed:         21,
+		Runs:         5,
+		Ns:           []int{16, 24},
+		ScenarioFrac: 1,
+		OnRun: func(r FuzzRun) {
+			if r.Case.Scenario != nil {
+				scenCases++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 5 || scenCases != 5 {
+		t.Fatalf("executed %d cases, %d from the scenario family; want 5/5", res.Executed, scenCases)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("scenario campaign failure: %s: %v", f.Case, f.Violations)
+	}
+}
+
+// TestFuzzScenarioShrinkCandidates: scenario cases shrink along topology
+// and adversary dimensions without aliasing the parent's Scenario, and
+// dropping the scenario also drops an adaptive adversary (which cannot run
+// without one).
+func TestFuzzScenarioShrinkCandidates(t *testing.T) {
+	c := FuzzCase{
+		N: 24, Seed: 1, Model: "async", Adversary: AdversaryAdaptiveDegree,
+		CorruptFrac: 0.1, KnowFrac: 1,
+		Plan: FaultPlan{Seed: 2},
+		Scenario: &Scenario{
+			Topology: TopologyWS, Degree: 6, Rewire: 0.3, ZipfS: 1.0,
+			Latency: LatencyLongTail, TailProb: 0.1, TailDelay: 4, Loss: 0.02, Seed: 5,
+		},
+	}
+	cands := shrinkCandidates(c)
+	if len(cands) == 0 {
+		t.Fatal("no candidates for a shrinkable scenario case")
+	}
+	sawDrop, sawFull, sawNoLoss, sawNoLatency := false, false, false, false
+	for _, cand := range cands {
+		if cand.Scenario == nil {
+			if adaptiveKind(cand.Adversary) != "" {
+				t.Fatalf("dropping the scenario kept adaptive adversary %q", cand.Adversary)
+			}
+			sawDrop = true
+			continue
+		}
+		if cand.Scenario == c.Scenario && *cand.Scenario != *c.Scenario {
+			t.Fatal("candidate aliases the parent's Scenario")
+		}
+		if cand.Scenario.Topology == TopologyFull {
+			sawFull = true
+		}
+		if cand.Scenario.Loss == 0 && cand.Scenario.Topology == c.Scenario.Topology {
+			sawNoLoss = true
+		}
+		if cand.Scenario.Latency == "" {
+			sawNoLatency = true
+		}
+	}
+	if !sawDrop || !sawFull || !sawNoLoss || !sawNoLatency {
+		t.Fatalf("missing scenario shrink dimensions (drop=%t full=%t noLoss=%t noLatency=%t)",
+			sawDrop, sawFull, sawNoLoss, sawNoLatency)
+	}
+	// Mutating a candidate's Scenario must not touch the parent.
+	for _, cand := range cands {
+		if cand.Scenario != nil {
+			cand.Scenario.Degree = 99
+			break
+		}
+	}
+	if c.Scenario.Degree == 99 {
+		t.Fatal("candidate Scenario aliases the parent")
+	}
+}
+
 // TestFuzzCorpusReplay: every committed corpus case must pass its oracles
 // — the corpus is the fuzzer's regression suite.
 func TestFuzzCorpusReplay(t *testing.T) {

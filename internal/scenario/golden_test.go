@@ -1,0 +1,168 @@
+package scenario
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata golden files instead of comparing")
+
+// goldenEntry serializes everything a compiled scenario derives from
+// (Spec, n): the topology edge set, the diameter, the load weights, the
+// latency/loss lowering, and the adaptive corruption schedules. Every
+// field is a pure function of the spec — the golden file locks that.
+type goldenEntry struct {
+	Label    string    `json:"label"`
+	N        int       `json:"n"`
+	Seed     uint64    `json:"seed"`
+	Edges    []string  `json:"edges,omitempty"`
+	Diameter int       `json:"diameter"`
+	Weights  []float64 `json:"weights"`
+	// LinkDigest hashes the full lowered link list (order and every knob).
+	Links      int    `json:"links"`
+	LinkDigest string `json:"linkDigest,omitempty"`
+	// The adaptive corruption schedules: the first 8 targets per ranking.
+	RankDegree    []int `json:"rankDegree"`
+	RankWeight    []int `json:"rankWeight"`
+	RankOblivious []int `json:"rankOblivious"`
+}
+
+func goldenSpecs() []struct {
+	spec Spec
+	n    int
+} {
+	return []struct {
+		spec Spec
+		n    int
+	}{
+		{Spec{Topology: TopologyRing, Latency: LatencyFixed, BaseDelay: 2, Seed: 7}, 24},
+		{Spec{Topology: TopologyWS, Degree: 6, Rewire: 0.3, ZipfS: 1.1, Seed: 11}, 64},
+		{Spec{Topology: TopologyWS, Degree: 8, Rewire: 0.1, Latency: LatencyUniform, BaseDelay: 1, MaxDelay: 5, Loss: 0.02, Seed: 3}, 48},
+		{Spec{Topology: TopologyWS, Degree: 10, Rewire: 0.2, ZipfS: 0.8, Latency: LatencyLongTail, TailProb: 0.05, TailDelay: 4, Seed: 1}, 256},
+		{Spec{Latency: LatencyFixed, BaseDelay: 1, Seed: 5}, 16}, // full mesh
+	}
+}
+
+func capture(t *testing.T, spec Spec, n int) goldenEntry {
+	t.Helper()
+	// compile (not Compile): bypass the memo cache so every GOMAXPROCS
+	// round genuinely recomputes.
+	c, err := compile(spec, n)
+	if err != nil {
+		t.Fatalf("compile %s n=%d: %v", spec.Label(), n, err)
+	}
+	e := goldenEntry{
+		Label:    spec.Label(),
+		N:        n,
+		Seed:     spec.Seed,
+		Diameter: c.Diameter,
+		Weights:  c.Weights,
+		Links:    len(c.Links),
+	}
+	for u := range c.Adj {
+		for _, v := range c.Adj[u] {
+			if u < v {
+				e.Edges = append(e.Edges, fmt.Sprintf("%d-%d", u, v))
+			}
+		}
+	}
+	sort.Strings(e.Edges)
+	if len(c.Links) > 0 {
+		h := sha256.New()
+		for _, lf := range c.Links {
+			fmt.Fprintf(h, "%d->%d delay=%d jitter=%d tail=%g/%d loss=%g\n",
+				lf.From, lf.To, lf.Delay, lf.Jitter, lf.TailProb, lf.TailDelay, lf.Loss)
+		}
+		e.LinkDigest = fmt.Sprintf("%x", h.Sum(nil))
+	}
+	top := func(rank []int) []int {
+		k := 8
+		if k > len(rank) {
+			k = len(rank)
+		}
+		return append([]int(nil), rank[:k]...)
+	}
+	e.RankDegree = top(c.rankDegree)
+	e.RankWeight = top(c.rankWeight)
+	e.RankOblivious = top(c.rankOblivious)
+	return e
+}
+
+// TestScenarioGolden locks the scenario generator byte-for-byte: topology
+// edges, latency draws and adaptive corruption schedules are pure
+// functions of (seed, n), identical across GOMAXPROCS settings.
+//
+// Regenerate (only after an intentional semantic change) with:
+//
+//	go test ./internal/scenario -run TestScenarioGolden -update
+func TestScenarioGolden(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var baseline []byte
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		var entries []goldenEntry
+		for _, g := range goldenSpecs() {
+			entries = append(entries, capture(t, g.spec, g.n))
+		}
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(entries); err != nil {
+			t.Fatal(err)
+		}
+		if baseline == nil {
+			baseline = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(baseline, buf.Bytes()) {
+			t.Fatalf("scenario capture diverged between GOMAXPROCS settings at %d", procs)
+		}
+	}
+
+	path := filepath.Join("testdata", "scenario_golden.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, baseline, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(baseline, want) {
+		t.Fatalf("scenario generator diverged from %s (run with -update after an intentional change); got %d bytes, want %d",
+			path, len(baseline), len(want))
+	}
+}
+
+// TestCompileMemoized locks the cache contract: Compile returns the same
+// artifact pointer for equal (spec, n), including cached errors.
+func TestCompileMemoized(t *testing.T) {
+	spec := Spec{Topology: TopologyWS, Degree: 6, Rewire: 0.2, Seed: 9}
+	a, err := Compile(spec, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile(spec, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Compile did not memoize equal specs")
+	}
+}

@@ -1,0 +1,537 @@
+// Package scenario is the hostile-internet scenario generator (ROADMAP
+// item 5): it composes a topology model (full mesh, ring, Watts–Strogatz
+// small world, with optional Zipf-weighted node load), a per-link
+// latency/loss model lowered onto simnet.FaultPlan link faults, a gossip
+// relay that carries protocol traffic across non-adjacent links, and the
+// target rankings used by the adaptive adversaries registered in the public
+// package.
+//
+// Everything a scenario produces — topology edges, per-link latency draws,
+// relay forwarding choices, corruption rankings — is a pure function of
+// (Spec, n): all randomness derives from prng.DeriveKey over Spec.Seed, no
+// global state is consulted, and compilation is single-threaded. The golden
+// test locks this down byte-for-byte across GOMAXPROCS settings.
+//
+// Relay determinism: a message from origin o to destination d is forwarded
+// only along links that strictly decrease the topology distance to d, and
+// each node picks its forwarding successors by a fixed preference order
+// (descending Zipf weight, then ascending id) capped at the fanout. The
+// forwarding DAG of an (o, d) pair is therefore a pure function of the
+// topology: which nodes transmit, and to whom, never depends on delivery
+// order, so per-kind message counts agree across all runtimes — including
+// the concurrent ones — for lossless scenarios.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"github.com/fastba/fastba/internal/prng"
+	"github.com/fastba/fastba/internal/simnet"
+)
+
+// Topology model names accepted by Spec.Topology ("" means full).
+const (
+	TopologyFull = "full"
+	TopologyRing = "ring"
+	TopologyWS   = "ws"
+)
+
+// Latency model names accepted by Spec.Latency ("" means none).
+const (
+	LatencyFixed    = "fixed"
+	LatencyUniform  = "uniform"
+	LatencyLongTail = "longtail"
+)
+
+// Spec describes a network scenario. The zero value is the trivial
+// scenario: full mesh, no latency, no loss. Spec is comparable (all scalar
+// fields), which the compile cache and the sweep cell map rely on.
+type Spec struct {
+	// Name, when set, overrides the generated Label in reports.
+	Name string `json:"name,omitempty"`
+	// Topology selects the graph model: "full" (or ""), "ring", or "ws"
+	// (Watts–Strogatz: a ring lattice of Degree neighbours with each
+	// clockwise edge rewired to a random far endpoint with probability
+	// Rewire).
+	Topology string `json:"topology,omitempty"`
+	// Degree is the Watts–Strogatz lattice degree (even, default 8).
+	Degree int `json:"degree,omitempty"`
+	// Rewire is the Watts–Strogatz rewiring probability in [0, 1].
+	Rewire float64 `json:"rewire,omitempty"`
+	// ZipfS, when positive, gives nodes Zipf(s)-distributed load weights
+	// (assigned by a seeded permutation, normalized to sum 1). The relay
+	// prefers high-weight forwarders, making them traffic hubs.
+	ZipfS float64 `json:"zipfS,omitempty"`
+	// Latency selects the per-link delay model: "" (none), "fixed"
+	// (BaseDelay on every link), "uniform" (a per-link compile-time draw in
+	// [BaseDelay, MaxDelay]), or "longtail" (BaseDelay plus a TailProb
+	// chance of TailDelay extra, judged per message).
+	Latency   string  `json:"latency,omitempty"`
+	BaseDelay int     `json:"baseDelay,omitempty"`
+	MaxDelay  int     `json:"maxDelay,omitempty"`
+	TailProb  float64 `json:"tailProb,omitempty"`
+	TailDelay int     `json:"tailDelay,omitempty"`
+	// Loss is the per-message drop probability applied on every link.
+	Loss float64 `json:"loss,omitempty"`
+	// Fanout caps how many distance-decreasing successors a node forwards a
+	// relayed message to (default 2).
+	Fanout int `json:"fanout,omitempty"`
+	// TriggerAt is the logical time at which an adaptive adversary starts
+	// silencing its targets (0 = from the start).
+	TriggerAt int `json:"triggerAt,omitempty"`
+	// Seed keys every draw the scenario makes. Zero means "inherit the run
+	// seed" (resolved by the public Config before compilation).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// topology returns the effective topology name.
+func (s Spec) topology() string {
+	if s.Topology == "" {
+		return TopologyFull
+	}
+	return s.Topology
+}
+
+// degree returns the effective Watts–Strogatz degree.
+func (s Spec) degree() int {
+	if s.Degree == 0 {
+		return 8
+	}
+	return s.Degree
+}
+
+// EffectiveFanout returns the relay fanout in effect.
+func (s Spec) EffectiveFanout() int {
+	if s.Fanout <= 0 {
+		return 2
+	}
+	return s.Fanout
+}
+
+// Validate checks the spec against a system of n nodes.
+func (s Spec) Validate(n int) error {
+	if n < 2 {
+		return fmt.Errorf("scenario: need at least 2 nodes, have %d", n)
+	}
+	switch s.topology() {
+	case TopologyFull, TopologyRing:
+	case TopologyWS:
+		k := s.degree()
+		if k < 2 || k%2 != 0 {
+			return fmt.Errorf("scenario: ws degree %d must be even and at least 2", k)
+		}
+		if k >= n {
+			return fmt.Errorf("scenario: ws degree %d must be below n=%d", k, n)
+		}
+	default:
+		return fmt.Errorf("scenario: unknown topology %q", s.Topology)
+	}
+	if s.Rewire < 0 || s.Rewire > 1 {
+		return fmt.Errorf("scenario: rewire probability %v outside [0, 1]", s.Rewire)
+	}
+	if s.ZipfS < 0 {
+		return fmt.Errorf("scenario: negative zipf exponent %v", s.ZipfS)
+	}
+	switch s.Latency {
+	case "", LatencyFixed, LatencyUniform, LatencyLongTail:
+	default:
+		return fmt.Errorf("scenario: unknown latency model %q", s.Latency)
+	}
+	if s.BaseDelay < 0 || s.MaxDelay < 0 || s.TailDelay < 0 {
+		return fmt.Errorf("scenario: negative delay knob")
+	}
+	if s.Latency == LatencyUniform && s.MaxDelay < s.BaseDelay {
+		return fmt.Errorf("scenario: uniform latency MaxDelay %d below BaseDelay %d", s.MaxDelay, s.BaseDelay)
+	}
+	if s.TailProb < 0 || s.TailProb > 1 {
+		return fmt.Errorf("scenario: tail probability %v outside [0, 1]", s.TailProb)
+	}
+	if s.Loss < 0 || s.Loss >= 1 {
+		return fmt.Errorf("scenario: loss rate %v outside [0, 1)", s.Loss)
+	}
+	if s.Fanout < 0 {
+		return fmt.Errorf("scenario: negative fanout %d", s.Fanout)
+	}
+	if s.TriggerAt < 0 {
+		return fmt.Errorf("scenario: negative trigger time %d", s.TriggerAt)
+	}
+	return nil
+}
+
+// Label renders a compact human-readable summary (the sweep-cell label).
+func (s Spec) Label() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	label := s.topology()
+	if s.topology() == TopologyWS {
+		label = fmt.Sprintf("ws%d", s.degree())
+		if s.Rewire > 0 {
+			label += fmt.Sprintf("r%.3g", s.Rewire)
+		}
+	}
+	if s.ZipfS > 0 {
+		label += fmt.Sprintf("/zipf%.3g", s.ZipfS)
+	}
+	switch s.Latency {
+	case LatencyFixed:
+		label += fmt.Sprintf("/fix%d", s.BaseDelay)
+	case LatencyUniform:
+		label += fmt.Sprintf("/uni%d-%d", s.BaseDelay, s.MaxDelay)
+	case LatencyLongTail:
+		label += fmt.Sprintf("/tail%.3g×%d", s.TailProb, s.TailDelay)
+	}
+	if s.Loss > 0 {
+		label += fmt.Sprintf("/loss%.3g", s.Loss)
+	}
+	return label
+}
+
+// Adaptive target-ranking kinds (see Compiled.Rank).
+const (
+	RankDegree    = "degree"
+	RankWeight    = "weight"
+	RankOblivious = "oblivious"
+	RankTraffic   = "traffic"
+)
+
+// Compiled is a scenario lowered for a system of n nodes. It is immutable
+// after Compile and safe for concurrent use.
+type Compiled struct {
+	Spec Spec
+	N    int
+	// Adj holds each node's neighbours in relay preference order:
+	// descending Zipf weight, ties by ascending id. For TopologyFull it is
+	// nil — every pair is adjacent and the relay is never engaged.
+	Adj [][]int
+	// Dist is the all-pairs hop distance table (nil for TopologyFull,
+	// where every distance is 1).
+	Dist [][]uint16
+	// Weights are the normalized per-node load weights (sum 1).
+	Weights []float64
+	// Links is the latency/loss lowering: one simnet.LinkFault per directed
+	// topology edge with at least one active knob. Empty when the spec has
+	// neither latency nor loss.
+	Links []simnet.LinkFault
+	// Diameter is the longest shortest path (1 for TopologyFull).
+	Diameter int
+	// rankings are the precomputed adaptive-adversary target orders.
+	rankDegree    []int
+	rankWeight    []int
+	rankOblivious []int
+}
+
+// Distance returns the hop distance from u to v.
+func (c *Compiled) Distance(u, v int) int {
+	if u == v {
+		return 0
+	}
+	if c.Dist == nil {
+		return 1
+	}
+	return int(c.Dist[u][v])
+}
+
+// DegreeOf returns node id's neighbour count.
+func (c *Compiled) DegreeOf(id int) int {
+	if c.Adj == nil {
+		return c.N - 1
+	}
+	return len(c.Adj[id])
+}
+
+// Rank returns the structural corruption ranking of the given kind
+// (RankDegree, RankWeight or RankOblivious; RankTraffic is computed online
+// by the relay from observed deliveries). The returned slice is shared —
+// callers must not mutate it.
+func (c *Compiled) Rank(kind string) []int {
+	switch kind {
+	case RankDegree:
+		return c.rankDegree
+	case RankWeight:
+		return c.rankWeight
+	case RankOblivious:
+		return c.rankOblivious
+	}
+	return nil
+}
+
+// compileKey identifies one cache entry; Spec is comparable by design.
+type compileKey struct {
+	spec Spec
+	n    int
+}
+
+type compileResult struct {
+	c   *Compiled
+	err error
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[compileKey]compileResult{}
+)
+
+// Compile lowers a spec for n nodes, memoized per (spec, n): validation,
+// sweeps and runs all hit the same compiled artifact. It returns a
+// descriptive error when the generated topology leaves nodes unreachable,
+// so misconfigured sweeps fail at validate() time instead of hanging the
+// termination oracle.
+func Compile(spec Spec, n int) (*Compiled, error) {
+	key := compileKey{spec: spec, n: n}
+	cacheMu.Lock()
+	if res, ok := cache[key]; ok {
+		cacheMu.Unlock()
+		return res.c, res.err
+	}
+	cacheMu.Unlock()
+	c, err := compile(spec, n)
+	cacheMu.Lock()
+	cache[key] = compileResult{c: c, err: err}
+	cacheMu.Unlock()
+	return c, err
+}
+
+func compile(spec Spec, n int) (*Compiled, error) {
+	if err := spec.Validate(n); err != nil {
+		return nil, err
+	}
+	c := &Compiled{Spec: spec, N: n}
+	c.Weights = weights(spec, n)
+
+	if spec.topology() != TopologyFull {
+		adj, err := buildAdjacency(spec, n)
+		if err != nil {
+			return nil, err
+		}
+		c.Adj = orderAdjacency(adj, c.Weights)
+		dist, diam, err := allPairsBFS(spec, c.Adj)
+		if err != nil {
+			return nil, err
+		}
+		c.Dist, c.Diameter = dist, diam
+	} else {
+		c.Diameter = 1
+	}
+
+	c.Links = lowerLinks(spec, n, c.Adj)
+	c.rankDegree = rankBy(n, func(a, b int) bool {
+		da, db := c.DegreeOf(a), c.DegreeOf(b)
+		if da != db {
+			return da > db
+		}
+		if c.Weights[a] != c.Weights[b] {
+			return c.Weights[a] > c.Weights[b]
+		}
+		return a < b
+	})
+	c.rankWeight = rankBy(n, func(a, b int) bool {
+		if c.Weights[a] != c.Weights[b] {
+			return c.Weights[a] > c.Weights[b]
+		}
+		return a < b
+	})
+	c.rankOblivious = prng.New(prng.DeriveKey(spec.Seed, "scenario/oblivious", uint64(n))).Perm(n)
+	return c, nil
+}
+
+// weights returns the normalized per-node load weights: uniform when
+// ZipfS is zero, otherwise Zipf(s) ranks scattered over node ids by a
+// seeded permutation (so hubs are not always the low ids).
+func weights(spec Spec, n int) []float64 {
+	w := make([]float64, n)
+	if spec.ZipfS == 0 {
+		for i := range w {
+			w[i] = 1 / float64(n)
+		}
+		return w
+	}
+	ranked := make([]float64, n)
+	var sum float64
+	for i := range ranked {
+		ranked[i] = 1 / math.Pow(float64(i+1), spec.ZipfS)
+		sum += ranked[i]
+	}
+	perm := prng.New(prng.DeriveKey(spec.Seed, "scenario/zipf", uint64(n))).Perm(n)
+	for rank, id := range perm {
+		w[id] = ranked[rank] / sum
+	}
+	return w
+}
+
+// buildAdjacency constructs the undirected neighbour sets.
+func buildAdjacency(spec Spec, n int) ([]map[int]bool, error) {
+	adj := make([]map[int]bool, n)
+	for i := range adj {
+		adj[i] = make(map[int]bool)
+	}
+	addEdge := func(u, v int) {
+		adj[u][v] = true
+		adj[v][u] = true
+	}
+	switch spec.topology() {
+	case TopologyRing:
+		for i := 0; i < n; i++ {
+			addEdge(i, (i+1)%n)
+		}
+	case TopologyWS:
+		k := spec.degree()
+		for j := 1; j <= k/2; j++ {
+			for i := 0; i < n; i++ {
+				addEdge(i, (i+j)%n)
+			}
+		}
+		if spec.Rewire > 0 {
+			src := prng.New(prng.DeriveKey(spec.Seed, "scenario/ws", uint64(n)))
+			// Classic Watts–Strogatz: each clockwise lattice edge (i, i+j)
+			// is rewired, with probability Rewire, to (i, t) for a uniform
+			// non-adjacent t — the edge count stays exactly n·k/2 and node
+			// i keeps its own k/2 clockwise stubs, so min degree ≥ k/2.
+			for j := 1; j <= k/2; j++ {
+				for i := 0; i < n; i++ {
+					if src.Float64() >= spec.Rewire {
+						continue
+					}
+					old := (i + j) % n
+					if !adj[i][old] {
+						continue // already rewired away by an earlier pass
+					}
+					t := src.Intn(n)
+					if t == i || adj[i][t] {
+						continue // keep the lattice edge: no fresh endpoint drawn
+					}
+					delete(adj[i], old)
+					delete(adj[old], i)
+					addEdge(i, t)
+				}
+			}
+		}
+	}
+	return adj, nil
+}
+
+// orderAdjacency converts neighbour sets to slices in relay preference
+// order: descending weight, ties broken by ascending id.
+func orderAdjacency(adj []map[int]bool, w []float64) [][]int {
+	out := make([][]int, len(adj))
+	for i, set := range adj {
+		ns := make([]int, 0, len(set))
+		for v := range set {
+			ns = append(ns, v)
+		}
+		sort.Slice(ns, func(a, b int) bool {
+			if w[ns[a]] != w[ns[b]] {
+				return w[ns[a]] > w[ns[b]]
+			}
+			return ns[a] < ns[b]
+		})
+		out[i] = ns
+	}
+	return out
+}
+
+// allPairsBFS computes the hop-distance table and the diameter, failing
+// with a descriptive error on disconnected graphs or diameters beyond the
+// relay TTL budget (255, the RelayMsg wire field).
+func allPairsBFS(spec Spec, adj [][]int) ([][]uint16, int, error) {
+	n := len(adj)
+	const unreached = ^uint16(0)
+	dist := make([][]uint16, n)
+	queue := make([]int, 0, n)
+	diameter := 0
+	for s := 0; s < n; s++ {
+		d := make([]uint16, n)
+		for i := range d {
+			d[i] = unreached
+		}
+		d[s] = 0
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if d[v] == unreached {
+					d[v] = d[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		for v, dv := range d {
+			if dv == unreached {
+				return nil, 0, fmt.Errorf(
+					"scenario %q: topology %s is disconnected: node %d is unreachable from node %d (the termination oracle would hang; raise the degree, lower the rewiring, or change the seed)",
+					spec.Label(), spec.topology(), v, s)
+			}
+			if int(dv) > diameter {
+				diameter = int(dv)
+			}
+		}
+		dist[s] = d
+	}
+	if diameter > 255 {
+		return nil, 0, fmt.Errorf("scenario %q: diameter %d exceeds the relay TTL budget of 255", spec.Label(), diameter)
+	}
+	return dist, diameter, nil
+}
+
+// lowerLinks produces the FaultPlan link faults realizing the latency/loss
+// model on every directed topology edge. Per-link draws (the uniform
+// model's fixed delay) hash (Seed, from, to), so they are a pure function
+// of the spec.
+func lowerLinks(spec Spec, n int, adj [][]int) []simnet.LinkFault {
+	if spec.Latency == "" && spec.Loss == 0 {
+		return nil
+	}
+	mk := func(u, v int) (simnet.LinkFault, bool) {
+		lf := simnet.LinkFault{From: u, To: v, Loss: spec.Loss}
+		switch spec.Latency {
+		case LatencyFixed:
+			lf.Delay = spec.BaseDelay
+		case LatencyUniform:
+			span := spec.MaxDelay - spec.BaseDelay
+			h := prng.Hash3(prng.DeriveKey(spec.Seed, "scenario/latency", uint64(n)), uint64(u), uint64(v))
+			lf.Delay = spec.BaseDelay + int(h%uint64(span+1))
+		case LatencyLongTail:
+			lf.Delay = spec.BaseDelay
+			lf.TailProb = spec.TailProb
+			lf.TailDelay = spec.TailDelay
+		}
+		active := lf.Delay > 0 || lf.Jitter > 0 || (lf.TailProb > 0 && lf.TailDelay > 0) || lf.Loss > 0
+		return lf, active
+	}
+	var links []simnet.LinkFault
+	if adj == nil { // full mesh
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u == v {
+					continue
+				}
+				if lf, ok := mk(u, v); ok {
+					links = append(links, lf)
+				}
+			}
+		}
+		return links
+	}
+	for u := range adj {
+		for _, v := range adj[u] {
+			if lf, ok := mk(u, v); ok {
+				links = append(links, lf)
+			}
+		}
+	}
+	return links
+}
+
+// rankBy returns the node ids sorted by the given strict order.
+func rankBy(n int, less func(a, b int) bool) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool { return less(ids[a], ids[b]) })
+	return ids
+}

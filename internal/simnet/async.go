@@ -64,7 +64,7 @@ func (r *AsyncRunner) StopWhen(f func() bool) { r.stop = f }
 // overtake it under any Scheduler. It must be called before Run.
 func (r *AsyncRunner) InjectFaults(plan FaultPlan) {
 	r.inj = NewInjector(plan, len(r.nodes))
-	if plan.DelayProb > 0 {
+	if plan.DelayProb > 0 || plan.linkDelays() {
 		r.delayed = &delayedScheduler{inner: r.sched}
 		r.sched = r.delayed
 	}

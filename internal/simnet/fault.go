@@ -54,6 +54,28 @@ type Crash struct {
 	RecoverAt int `json:"recoverAt,omitempty"`
 }
 
+// LinkFault is a per-directed-link latency/loss override, the lowering
+// target of the scenario generator's latency models (internal/scenario).
+// Fixed latency is Delay; a uniform distribution adds a per-message draw in
+// [0, Jitter]; a long-tail distribution adds TailDelay with probability
+// TailProb; Loss drops the message outright. All per-message draws extend
+// the same (Seed, from, to, link index) hash chain as the global knobs, so
+// link verdicts are exactly as deterministic as the rest of the plan.
+type LinkFault struct {
+	// From and To name the directed link the fault applies to.
+	From NodeID `json:"from"`
+	To   NodeID `json:"to"`
+	// Delay is a fixed extra latency (time units) added to every message.
+	Delay int `json:"delay,omitempty"`
+	// Jitter adds a uniform per-message extra delay in [0, Jitter].
+	Jitter int `json:"jitter,omitempty"`
+	// TailProb is the probability of a long-tail event adding TailDelay.
+	TailProb  float64 `json:"tailProb,omitempty"`
+	TailDelay int     `json:"tailDelay,omitempty"`
+	// Loss is the per-message drop probability on this link.
+	Loss float64 `json:"loss,omitempty"`
+}
+
 // FaultPlan is a deterministic, seed-driven fault schedule applied on the
 // delivery path of every runtime. The zero value is the fault-free plan.
 //
@@ -84,12 +106,15 @@ type FaultPlan struct {
 	Partitions []Partition `json:"partitions,omitempty"`
 	// Crashes are fail-silent node windows.
 	Crashes []Crash `json:"crashes,omitempty"`
+	// Links are per-directed-link latency/loss overrides, applied on top of
+	// the global probabilistic knobs.
+	Links []LinkFault `json:"links,omitempty"`
 }
 
 // IsZero reports whether the plan injects no faults at all.
 func (p FaultPlan) IsZero() bool {
 	return p.DropProb == 0 && p.DupProb == 0 && p.DelayProb == 0 &&
-		len(p.Partitions) == 0 && len(p.Crashes) == 0
+		len(p.Partitions) == 0 && len(p.Crashes) == 0 && len(p.Links) == 0
 }
 
 // Lossless reports whether the plan can never destroy a message: only
@@ -97,7 +122,26 @@ func (p FaultPlan) IsZero() bool {
 // exactly for lossless plans — a lossy network may legitimately starve a
 // node of its poll answers.
 func (p FaultPlan) Lossless() bool {
-	return p.DropProb == 0 && len(p.Partitions) == 0 && len(p.Crashes) == 0
+	if p.DropProb != 0 || len(p.Partitions) != 0 || len(p.Crashes) != 0 {
+		return false
+	}
+	for _, lf := range p.Links {
+		if lf.Loss > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// linkDelays reports whether any link fault can add latency, which under
+// the asynchronous runners requires the delayed-release scheduler wrapper.
+func (p FaultPlan) linkDelays() bool {
+	for _, lf := range p.Links {
+		if lf.Delay > 0 || lf.Jitter > 0 || (lf.TailProb > 0 && lf.TailDelay > 0) {
+			return true
+		}
+	}
+	return false
 }
 
 // Validate checks the plan against a system of n nodes.
@@ -134,6 +178,17 @@ func (p FaultPlan) Validate(n int) error {
 			return fmt.Errorf("simnet: crash %d recovers at %d, before it crashes at %d", i, c.RecoverAt, c.At)
 		}
 	}
+	for i, lf := range p.Links {
+		if lf.From < 0 || lf.From >= n || lf.To < 0 || lf.To >= n {
+			return fmt.Errorf("simnet: link fault %d names invalid link %d→%d (n=%d)", i, lf.From, lf.To, n)
+		}
+		if lf.Delay < 0 || lf.Jitter < 0 || lf.TailDelay < 0 {
+			return fmt.Errorf("simnet: link fault %d has a negative delay knob", i)
+		}
+		if lf.TailProb < 0 || lf.TailProb > 1 || lf.Loss < 0 || lf.Loss > 1 {
+			return fmt.Errorf("simnet: link fault %d has a probability outside [0, 1]", i)
+		}
+	}
 	return nil
 }
 
@@ -158,6 +213,9 @@ func (p FaultPlan) Label() string {
 	}
 	if len(p.Crashes) > 0 {
 		parts = append(parts, fmt.Sprintf("crash%d", len(p.Crashes)))
+	}
+	if len(p.Links) > 0 {
+		parts = append(parts, fmt.Sprintf("links%d", len(p.Links)))
 	}
 	return strings.Join(parts, "+")
 }
@@ -197,7 +255,13 @@ type Injector struct {
 	// crashed[id] holds the crash windows of node id (rarely more than one).
 	crashed  [][]Crash
 	counters [][]uint32 // per-link send index, [from][to]
+	// links is the sparse per-directed-link override table, keyed
+	// from<<32 | to. Nil when the plan has no link faults.
+	links map[uint64]*LinkFault
 }
+
+// linkKey packs a directed link into the links map key.
+func linkKey(from, to NodeID) uint64 { return uint64(uint32(from))<<32 | uint64(uint32(to)) }
 
 // NewInjector compiles a plan for a system of n nodes. It panics on
 // invalid plans — callers validate at configuration time.
@@ -224,6 +288,13 @@ func NewInjector(plan FaultPlan, n int) *Injector {
 	}
 	for _, c := range plan.Crashes {
 		inj.crashed[c.Node] = append(inj.crashed[c.Node], c)
+	}
+	if len(plan.Links) > 0 {
+		inj.links = make(map[uint64]*LinkFault, len(plan.Links))
+		for i := range plan.Links {
+			lf := &plan.Links[i]
+			inj.links[linkKey(lf.From, lf.To)] = lf
+		}
 	}
 	return inj
 }
@@ -274,7 +345,7 @@ func (inj *Injector) Judge(e Envelope, sendTime int) Verdict {
 	}
 	v := Verdict{Copies: 1}
 	p := inj.plan
-	if p.DropProb == 0 && p.DupProb == 0 && p.DelayProb == 0 {
+	if p.DropProb == 0 && p.DupProb == 0 && p.DelayProb == 0 && inj.links == nil {
 		return v
 	}
 	idx := inj.counters[e.From][e.To]
@@ -290,6 +361,26 @@ func (inj *Injector) Judge(e Envelope, sendTime int) Verdict {
 	h = prng.Mix64(h)
 	if p.DelayProb > 0 && unit(h) < p.DelayProb {
 		v.Delay = 1 + int(prng.Mix64(h)%uint64(inj.maxDelay))
+	}
+	// Per-link overrides extend the same hash chain, so plans without link
+	// faults consume exactly the historical draw sequence.
+	if lf, ok := inj.links[linkKey(e.From, e.To)]; ok {
+		h = prng.Mix64(h)
+		if lf.Loss > 0 && unit(h) < lf.Loss {
+			return Verdict{Copies: 0}
+		}
+		extra := lf.Delay
+		if lf.Jitter > 0 {
+			h = prng.Mix64(h)
+			extra += int(h % uint64(lf.Jitter+1))
+		}
+		if lf.TailProb > 0 {
+			h = prng.Mix64(h)
+			if unit(h) < lf.TailProb {
+				extra += lf.TailDelay
+			}
+		}
+		v.Delay += extra
 	}
 	return v
 }

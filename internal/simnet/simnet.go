@@ -68,6 +68,34 @@ func (m InstMsg) WireSize() int { return 5 + m.Inner.WireSize() }
 // meaningful across a multiplexed run.
 func (m InstMsg) Kind() string { return m.Inner.Kind() }
 
+// RelayMsg is the gossip-relay hop envelope of the scenario subsystem
+// (internal/scenario): a protocol message travelling from Origin to Dest
+// across a multi-hop topology, forwarded by intermediate relay nodes along
+// strictly distance-decreasing links. Seq is the origin's relay sequence
+// number (dedup key together with Origin); TTL is the remaining hop budget,
+// which at the origin equals the topology distance to Dest, so it is exact:
+// every forwarding path consumes it precisely. The wire codec
+// (internal/wire) gives it a stable encoding so the TCP cluster carries
+// relayed traffic unchanged.
+type RelayMsg struct {
+	Origin NodeID
+	Seq    uint32
+	Dest   NodeID
+	TTL    uint8
+	// Inner is the wrapped protocol message. Relay and instance envelopes
+	// must not nest.
+	Inner Message
+}
+
+// WireSize returns the encoded payload size: origin (4B) + seq (4B) +
+// dest (4B) + ttl (1B) + the inner kind byte + the inner payload.
+func (m RelayMsg) WireSize() int { return 14 + m.Inner.WireSize() }
+
+// Kind returns the constant "relay": per-kind metrics meter forwarding
+// traffic separately from the protocol kinds it carries, and a constant
+// avoids a per-send string allocation on the relay hot path.
+func (m RelayMsg) Kind() string { return "relay" }
+
 // Envelope is a message in flight.
 type Envelope struct {
 	From, To NodeID

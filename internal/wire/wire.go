@@ -62,6 +62,10 @@ const (
 	// kind byte, inner payload). Batch frames never nest and never carry
 	// transport-internal frames (ping/pong).
 	kindBatch byte = 0x60
+	// kindRelay is the scenario gossip-relay hop (simnet.RelayMsg): origin
+	// u32, seq u32, dest u32, ttl u8, then the inner message's kind byte
+	// and payload. Relay and instance envelopes never nest.
+	kindRelay byte = 0x70
 )
 
 // ErrUnknownMessage reports a message type without a codec.
@@ -96,6 +100,8 @@ func KindByte(m simnet.Message) (byte, error) {
 		return kindVote, nil
 	case simnet.InstMsg:
 		return kindInst, nil
+	case simnet.RelayMsg:
+		return kindRelay, nil
 	case simnet.CatchupReq:
 		return kindCatchupReq, nil
 	case simnet.CatchupResp:
@@ -179,6 +185,21 @@ func appendMessage(buf []byte, m simnet.Message) ([]byte, error) {
 		}
 		buf = binary.LittleEndian.AppendUint32(buf, msg.Inst)
 		buf = append(buf, innerKind)
+		if buf, err = appendMessage(buf, msg.Inner); err != nil {
+			return nil, err
+		}
+	case simnet.RelayMsg:
+		innerKind, err := KindByte(msg.Inner)
+		if err != nil {
+			return nil, err
+		}
+		if innerKind == kindRelay || innerKind == kindInst {
+			return nil, fmt.Errorf("wire: RelayMsg must not nest envelopes")
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(msg.Origin))
+		buf = binary.LittleEndian.AppendUint32(buf, msg.Seq)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(msg.Dest))
+		buf = append(buf, msg.TTL, innerKind)
 		if buf, err = appendMessage(buf, msg.Inner); err != nil {
 			return nil, err
 		}
@@ -282,6 +303,23 @@ func unmarshal(kind byte, payload []byte, view bool) (simnet.Message, error) {
 			return nil, err
 		}
 		return simnet.InstMsg{Inst: inst, Inner: inner}, nil
+	case kindRelay:
+		origin := int(d.u32())
+		seq := d.u32()
+		dest := int(d.u32())
+		ttl := d.u8()
+		innerKind := d.u8()
+		if d.err != nil {
+			return nil, fmt.Errorf("wire: decode kind %#x: %w", kind, d.err)
+		}
+		if innerKind == kindRelay || innerKind == kindInst {
+			return nil, fmt.Errorf("wire: RelayMsg must not nest envelopes")
+		}
+		inner, err := unmarshal(innerKind, payload[d.pos:], view)
+		if err != nil {
+			return nil, err
+		}
+		return simnet.RelayMsg{Origin: origin, Seq: seq, Dest: dest, TTL: ttl, Inner: inner}, nil
 	default:
 		return nil, fmt.Errorf("%w: kind %#x", ErrUnknownMessage, kind)
 	}

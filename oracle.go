@@ -134,6 +134,13 @@ type Oracles struct {
 	n        int
 	knowFrac float64
 	plan     FaultPlan
+	// scenarioLossy records that the run's scenario carries a link-loss
+	// model, and adaptive that an adaptive adversary silences live nodes
+	// mid-run — either one destroys messages, so the termination oracle
+	// (which assumes reliable channels) is skipped exactly as for lossy
+	// fault plans.
+	scenarioLossy bool
+	adaptive      bool
 	// suiteMode skips the termination oracle: sweeps report liveness as
 	// the cell's agreement rate (termination is a w.h.p. guarantee, not a
 	// per-seed one), so only safety findings count as violations there.
@@ -149,12 +156,17 @@ type Oracles struct {
 
 // NewOracles builds the oracle set for one run of the given configuration.
 func NewOracles(cfg Config) *Oracles {
-	return &Oracles{
+	o := &Oracles{
 		n:         cfg.n,
 		knowFrac:  cfg.knowFrac,
 		plan:      cfg.faults,
+		adaptive:  adaptiveKind(cfg.advName) != "" && cfg.corruptFrac > 0,
 		decisions: make(map[NodeID]int),
 	}
+	if cfg.scenario != nil {
+		o.scenarioLossy = cfg.scenario.Loss > 0
+	}
+	return o
 }
 
 // aePrecondition reports whether the almost-everywhere precondition of
@@ -237,6 +249,10 @@ func (o *Oracles) Report(res *AERResult) OracleReport {
 		rep.Skipped[OracleTermination] = "suite mode: liveness is reported as the cell's agreement rate"
 	} else if !o.plan.Lossless() {
 		rep.Skipped[OracleTermination] = "fault plan can destroy messages (drops, partitions or crashes)"
+	} else if o.scenarioLossy {
+		rep.Skipped[OracleTermination] = "scenario link model can destroy messages (loss > 0)"
+	} else if o.adaptive {
+		rep.Skipped[OracleTermination] = "adaptive adversary silences nodes mid-run"
 	} else {
 		check(OracleTermination, res.Decided < res.Correct,
 			"%d of %d correct nodes never decided under a lossless plan",

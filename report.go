@@ -234,7 +234,7 @@ func (r *Report) Render(w io.Writer) {
 	}
 	tb := metrics.NewTable(
 		fmt.Sprintf("%s (%s)", title, r.Kind),
-		"n", "model", "adversary", "corrupt", "know", "fault", "variant", "runs", "agree",
+		"n", "model", "adversary", "corrupt", "know", "fault", "scenario", "variant", "runs", "agree",
 		timeCol, "bits/node μ", "max bits/node", "max/μ")
 	for _, c := range r.Cells {
 		ratio := "-"
@@ -251,7 +251,7 @@ func (r *Report) Render(w io.Writer) {
 		tb.Add(
 			fmt.Sprint(c.Cell.N), c.Cell.Model, c.Cell.Adversary,
 			fmt.Sprintf("%.2f", c.Cell.CorruptFrac), fmt.Sprintf("%.2f", c.Cell.KnowFrac),
-			c.Cell.Fault, c.Cell.Variant, fmt.Sprint(c.Runs), agree,
+			c.Cell.Fault, c.Cell.Scenario, c.Cell.Variant, fmt.Sprint(c.Runs), agree,
 			fmt.Sprintf("%.0f/%.0f", c.Time.Mean, c.Time.Max),
 			metrics.Bits(c.MeanBits.Mean), metrics.Bits(c.MaxBits.Mean), ratio)
 	}

@@ -8,6 +8,7 @@ import (
 	"github.com/fastba/fastba/internal/ae"
 	"github.com/fastba/fastba/internal/baseline"
 	"github.com/fastba/fastba/internal/core"
+	"github.com/fastba/fastba/internal/scenario"
 	"github.com/fastba/fastba/internal/simnet"
 )
 
@@ -74,7 +75,7 @@ func RunAERContext(ctx context.Context, cfg Config) (*AERResult, error) {
 		return nil, err
 	}
 	sc, err := core.NewScenario(cfg.params, cfg.seed, core.ScenarioConfig{
-		CorruptFrac: cfg.corruptFrac,
+		CorruptFrac: cfg.coreCorruptFrac(),
 		KnowFrac:    cfg.knowFrac,
 		SharedJunk:  cfg.sharedJunk,
 		AdvBits:     1.0 / 3,
@@ -83,6 +84,21 @@ func RunAERContext(ctx context.Context, cfg Config) (*AERResult, error) {
 		return nil, err
 	}
 	return runAEROnScenario(ctx, cfg, sc)
+}
+
+// coreCorruptFrac is the static corruption handed to the core population:
+// adaptive adversaries spend the corruption budget online (the scenario
+// relay silences their targets), so the core build stays uncorrupted.
+func (c Config) coreCorruptFrac() float64 {
+	if adaptiveKind(c.advName) != "" {
+		return 0
+	}
+	return c.corruptFrac
+}
+
+// adaptiveBudget is the number of targets an adaptive adversary silences.
+func (c Config) adaptiveBudget() int {
+	return int(c.corruptFrac * float64(c.n))
 }
 
 func runAEROnScenario(ctx context.Context, cfg Config, sc *core.Scenario) (*AERResult, error) {
@@ -111,6 +127,10 @@ func byzMaker(cfg Config, sc *core.Scenario) (func(id int) simnet.Node, error) {
 
 // execute runs the node vector under the configured model.
 func execute(ctx context.Context, cfg Config, nodes []simnet.Node, corrupt []bool, correct []*core.Node) (*simnet.Metrics, error) {
+	nodes, plan, err := applyScenario(cfg, nodes)
+	if err != nil {
+		return nil, err
+	}
 	obs := streamObserver(cfg, correct)
 	stop := func() bool { return ctx.Err() != nil }
 	var m *simnet.Metrics
@@ -122,16 +142,16 @@ func execute(ctx context.Context, cfg Config, nodes []simnet.Node, corrupt []boo
 		r := simnet.NewSync(nodes, corrupt)
 		r.Observe(obs)
 		r.StopWhen(stop)
-		if !cfg.faults.IsZero() {
-			r.InjectFaults(cfg.faults)
+		if !plan.IsZero() {
+			r.InjectFaults(plan)
 		}
 		m = r.Run(cfg.maxRounds)
 	case Async, AsyncAdversarial:
 		r := simnet.NewAsync(nodes, asyncScheduler(cfg, corrupt))
 		r.Observe(obs)
 		r.StopWhen(stop)
-		if !cfg.faults.IsZero() {
-			r.InjectFaults(cfg.faults)
+		if !plan.IsZero() {
+			r.InjectFaults(plan)
 		}
 		m = r.Run()
 	case Goroutines:
@@ -139,8 +159,8 @@ func execute(ctx context.Context, cfg Config, nodes []simnet.Node, corrupt []boo
 		// quiescence and cancellation is honoured on return.
 		r := simnet.NewGo(nodes)
 		r.Observe(obs)
-		if !cfg.faults.IsZero() {
-			r.InjectFaults(cfg.faults)
+		if !plan.IsZero() {
+			r.InjectFaults(plan)
 		}
 		m = r.Run()
 	default:
@@ -150,6 +170,48 @@ func execute(ctx context.Context, cfg Config, nodes []simnet.Node, corrupt []boo
 		return nil, err
 	}
 	return m, nil
+}
+
+// applyScenario lowers the configured scenario onto a run: it wraps the
+// node vector in the gossip relay (carrying adaptive-adversary silencing)
+// and merges the scenario's per-link latency/loss faults into the run's
+// fault plan. Without a scenario it returns the inputs unchanged.
+func applyScenario(cfg Config, nodes []simnet.Node) ([]simnet.Node, FaultPlan, error) {
+	if cfg.scenario == nil {
+		return nodes, cfg.faults, nil
+	}
+	spec := cfg.resolvedScenario()
+	comp, err := scenario.Compile(spec, cfg.n)
+	if err != nil {
+		return nil, FaultPlan{}, err
+	}
+	kind := adaptiveKind(cfg.advName)
+	if comp.Adj != nil || kind != "" {
+		nodes = scenario.Wrap(nodes, comp, scenario.WrapConfig{
+			AdaptiveKind: kind,
+			Budget:       cfg.adaptiveBudget(),
+			TriggerAt:    spec.TriggerAt,
+		})
+	}
+	return nodes, mergeScenarioPlan(cfg.faults, comp, spec), nil
+}
+
+// mergeScenarioPlan appends the scenario's link faults to the configured
+// plan. Scenario links come last, so an explicit WithFaults link override
+// on the same directed link yields to the scenario's (the injector's
+// sparse table keeps the last entry per link).
+func mergeScenarioPlan(plan FaultPlan, comp *scenario.Compiled, spec Scenario) FaultPlan {
+	if len(comp.Links) == 0 {
+		return plan
+	}
+	merged := plan
+	merged.Links = make([]LinkFault, 0, len(plan.Links)+len(comp.Links))
+	merged.Links = append(merged.Links, plan.Links...)
+	merged.Links = append(merged.Links, comp.Links...)
+	if merged.Seed == 0 {
+		merged.Seed = spec.Seed
+	}
+	return merged
 }
 
 // asyncScheduler picks the delivery order for the asynchronous models: a
@@ -297,7 +359,7 @@ func RunBAContext(ctx context.Context, cfg Config) (*BAResult, error) {
 	// Corruption pattern shared by both phases (the adversary is
 	// non-adaptive and corrupts nodes once).
 	seedSc, err := core.NewScenario(cfg.params, cfg.seed, core.ScenarioConfig{
-		CorruptFrac: cfg.corruptFrac,
+		CorruptFrac: cfg.coreCorruptFrac(),
 		KnowFrac:    1,
 		SharedJunk:  true,
 		AdvBits:     0,
@@ -315,7 +377,10 @@ func RunBAContext(ctx context.Context, cfg Config) (*BAResult, error) {
 		Seed:          cfg.params.SamplerSeed,
 	}
 	var mkByz func(id int) simnet.Node
-	if cfg.advName != AdversaryNone.String() && cfg.advName != AdversarySilent.String() {
+	// Adaptive adversaries corrupt online through the scenario relay (AER
+	// phase); the committee phase runs uncorrupted under them.
+	if cfg.advName != AdversaryNone.String() && cfg.advName != AdversarySilent.String() &&
+		adaptiveKind(cfg.advName) == "" {
 		mkByz, err = ae.Poison(aeParams, cfg.seed)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,93 @@
+package fastba
+
+import (
+	"github.com/fastba/fastba/internal/scenario"
+)
+
+// Scenario describes a hostile-internet network scenario: a seeded
+// topology model (full mesh, ring, Watts–Strogatz with rewiring, optional
+// Zipf-weighted node load), a per-link latency/loss model lowered onto the
+// fault-plan link machinery, a gossip relay that carries protocol traffic
+// across non-adjacent links, and the trigger time for the adaptive
+// adversaries. Attach one with WithScenario, sweep them with
+// Sweep.Scenarios, fuzz them with FuzzConfig.ScenarioFrac. See DESIGN.md
+// §11 for the model semantics and determinism invariants.
+type Scenario = scenario.Spec
+
+// Scenario topology and latency model names (Scenario.Topology,
+// Scenario.Latency).
+const (
+	TopologyFull    = scenario.TopologyFull
+	TopologyRing    = scenario.TopologyRing
+	TopologyWS      = scenario.TopologyWS
+	LatencyFixed    = scenario.LatencyFixed
+	LatencyUniform  = scenario.LatencyUniform
+	LatencyLongTail = scenario.LatencyLongTail
+)
+
+// WithScenario runs the protocol over the given network scenario: sends
+// between non-adjacent nodes travel the topology through the gossip relay,
+// the latency/loss model joins the run's fault plan as per-link faults,
+// and an adaptive adversary (if selected by name) silences its chosen
+// targets from the scenario's trigger time. A zero Scenario.Seed inherits
+// the run seed, so scenario draws stay a pure function of the
+// configuration. Rushing Byzantine strategies degrade to their non-rushing
+// form under a scenario, exactly as they do over TCP.
+func WithScenario(s Scenario) Option {
+	return optionFunc(func(c *Config) {
+		sc := s
+		c.scenario = &sc
+	})
+}
+
+// Adaptive adversary registry names. Unlike the static strategies, these
+// corrupt online: at the scenario's TriggerAt they pick ⌊corruptFrac·n⌋
+// targets and silence them completely — protocol sends and relay
+// forwarding alike. They require a scenario (WithScenario) and leave the
+// core population uncorrupted (the corruption budget is spent on the
+// adaptive targets instead).
+const (
+	// AdversaryAdaptiveDegree silences the highest-degree nodes (ties by
+	// Zipf weight): the structural hubs of the topology.
+	AdversaryAdaptiveDegree = "adaptive-degree"
+	// AdversaryAdaptiveTraffic silences the most-messaged nodes, ranked by
+	// the delivery counts observed up to the trigger time — the online
+	// traffic-volume adversary.
+	AdversaryAdaptiveTraffic = "adaptive-traffic"
+	// AdversaryAdaptiveOblivious silences a seeded-random target set at the
+	// same trigger time: the non-adaptive baseline the adaptive variants
+	// are measured against (BENCH_9.json).
+	AdversaryAdaptiveOblivious = "adaptive-oblivious"
+)
+
+// adaptiveKind maps an adversary name to its scenario target-ranking kind
+// ("" = not an adaptive adversary).
+func adaptiveKind(name string) string {
+	switch name {
+	case AdversaryAdaptiveDegree:
+		return scenario.RankDegree
+	case AdversaryAdaptiveTraffic:
+		return scenario.RankTraffic
+	case AdversaryAdaptiveOblivious:
+		return scenario.RankOblivious
+	}
+	return ""
+}
+
+// inertNode is the defensive maker target for the adaptive names: their
+// corruption is realized by the scenario relay (silencing), never by node
+// construction, so this node is never actually built in a valid run.
+type inertNode struct{}
+
+func (inertNode) Init(NodeContext)                     {}
+func (inertNode) Deliver(NodeContext, NodeID, Message) {}
+
+// The adaptive adversaries register like every other strategy, so they
+// list in RegisteredAdversaries and sweep via Sweep.Adversaries; their
+// behaviour lives in the scenario relay, keyed off the name.
+func init() {
+	inert := func(AdversaryEnv, int) ProtocolNode { return inertNode{} }
+	mustRegister(AdversaryAdaptiveDegree, inert)
+	mustRegister(AdversaryAdaptiveTraffic, inert)
+	mustRegister(AdversaryAdaptiveOblivious, inert)
+}

@@ -1,0 +1,246 @@
+package fastba
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/fastba/fastba/internal/scenario"
+)
+
+// scenarioDigest summarizes a run over its order-independent fields only:
+// decisions, per-kind counts, traffic and bit totals — never Time, Rounds
+// or DecisionTimes, which the concurrent fabric does not reproduce.
+func scenarioDigest(res *AERResult) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "gstring=%s correct=%d decided=%d onG=%d other=%d distinct=%d certdef=%d\n",
+		res.GString, res.Correct, res.Decided, res.DecidedGString, res.DecidedOther,
+		res.DistinctDecisions, res.CertDeficits)
+	fmt.Fprintf(h, "msgs=%d meanBits=%.6f maxBits=%d\n",
+		res.TotalMessages, res.MeanBitsPerNode, res.MaxBitsPerNode)
+	kinds := make([]string, 0, len(res.MessagesByKind))
+	for k := range res.MessagesByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(h, "kind %s=%d\n", k, res.MessagesByKind[k])
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestScenarioEndToEnd: a lossless WS scenario with the relay engaged
+// decides everywhere on a deterministic runner, reproduces its digest
+// exactly, and carries relay traffic.
+func TestScenarioEndToEnd(t *testing.T) {
+	cfg := NewConfig(48,
+		WithSeed(7),
+		WithModel(Async),
+		WithKnowFrac(1),
+		WithScenario(Scenario{Topology: TopologyWS, Degree: 6, Rewire: 0.2, ZipfS: 1.0, Latency: LatencyFixed, BaseDelay: 1}),
+	)
+	first, err := RunAER(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Decided != first.Correct || first.DecidedOther > 0 {
+		t.Fatalf("lossless scenario run did not fully decide gstring: %+v", first)
+	}
+	if first.MessagesByKind["relay"] == 0 {
+		t.Fatalf("relay never engaged on a ws topology: %v", first.MessagesByKind)
+	}
+	rep := CheckInvariants(cfg, first)
+	if !rep.OK() {
+		t.Fatalf("oracles: %s", rep)
+	}
+	second, err := RunAER(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scenarioDigest(first) != scenarioDigest(second) {
+		t.Fatal("scenario run digest not reproducible on a deterministic runner")
+	}
+}
+
+// TestScenarioSeedInheritance: a zero Scenario.Seed inherits the run seed,
+// so different run seeds draw different topologies and the same run seed
+// reproduces the same one.
+func TestScenarioSeedInheritance(t *testing.T) {
+	spec := Scenario{Topology: TopologyWS, Degree: 6, Rewire: 0.5}
+	run := func(seed uint64) *AERResult {
+		res, err := RunAER(NewConfig(32, WithSeed(seed), WithKnowFrac(1), WithScenario(spec)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a1, a2, b := run(3), run(3), run(4)
+	if scenarioDigest(a1) != scenarioDigest(a2) {
+		t.Fatal("same run seed did not reproduce the scenario")
+	}
+	if a1.TotalMessages == b.TotalMessages && a1.MeanBitsPerNode == b.MeanBitsPerNode {
+		t.Log("note: different run seeds produced identical traffic (possible but unlikely)")
+	}
+}
+
+// TestSweepRejectsDisconnectedScenario pins the fix satellite: a sweep
+// whose scenario axis contains a disconnecting topology fails at
+// validation time with a descriptive error — not by hanging runs or
+// tripping the termination oracle.
+func TestSweepRejectsDisconnectedScenario(t *testing.T) {
+	// Find a deterministically disconnecting (seed, spec) pair: degree 2
+	// with full rewiring fragments 32-node rings for many seeds.
+	var bad *Scenario
+	for seed := uint64(1); seed < 200; seed++ {
+		spec := Scenario{Topology: TopologyWS, Degree: 2, Rewire: 1.0, Seed: seed}
+		if _, err := scenario.Compile(spec, 32); err != nil {
+			bad = &spec
+			break
+		}
+	}
+	if bad == nil {
+		t.Skip("no disconnecting seed found in range")
+	}
+	_, err := RunSuite(context.Background(), Suite{
+		Sweep: Sweep{Ns: []int{32}, Scenarios: []Scenario{*bad}},
+	})
+	if err == nil {
+		t.Fatal("sweep with a disconnected scenario expanded without error")
+	}
+	for _, want := range []string{"disconnected", "unreachable"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("disconnection error not descriptive: %v", err)
+		}
+	}
+	// The same spec is rejected by a single run too.
+	if _, runErr := RunAER(NewConfig(32, WithScenario(*bad))); runErr == nil {
+		t.Fatal("RunAER accepted a disconnected scenario")
+	}
+}
+
+// TestAdaptiveAdversaryRequiresScenario: the adaptive names are rejected
+// without a scenario to rank targets from.
+func TestAdaptiveAdversaryRequiresScenario(t *testing.T) {
+	_, err := RunAER(NewConfig(32, WithAdversaryName(AdversaryAdaptiveDegree), WithCorruptFrac(0.1)))
+	if err == nil || !strings.Contains(err.Error(), "requires a scenario") {
+		t.Fatalf("adaptive adversary without scenario: %v", err)
+	}
+}
+
+// TestAdaptiveAdversarySilences: an adaptive adversary leaves safety
+// intact while the termination oracle is skipped (silencing is lossy);
+// the degree variant must actually suppress traffic relative to the
+// adversary-free run.
+func TestAdaptiveAdversarySilences(t *testing.T) {
+	spec := Scenario{Topology: TopologyWS, Degree: 6, Rewire: 0.2, ZipfS: 1.0, Seed: 5}
+	base := NewConfig(48, WithSeed(7), WithKnowFrac(1), WithScenario(spec))
+	clean, err := RunAER(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := NewConfig(48, WithSeed(7), WithKnowFrac(1), WithScenario(spec),
+		WithAdversaryName(AdversaryAdaptiveDegree), WithCorruptFrac(0.15))
+	res, err := RunAER(adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := CheckInvariants(adv, res)
+	if !rep.OK() {
+		t.Fatalf("adaptive adversary broke safety: %s", rep)
+	}
+	if _, skipped := rep.Skipped[OracleTermination]; !skipped {
+		t.Fatalf("termination oracle not skipped under an adaptive adversary: %+v", rep)
+	}
+	if res.TotalMessages >= clean.TotalMessages {
+		t.Fatalf("adaptive-degree silencing did not suppress traffic: %d vs clean %d",
+			res.TotalMessages, clean.TotalMessages)
+	}
+}
+
+// TestScenarioSweepLabels: the scenario axis lands in cells, labels and
+// rendered reports.
+func TestScenarioSweepLabels(t *testing.T) {
+	rep, err := RunSuite(context.Background(), Suite{
+		Name: "scen",
+		Sweep: Sweep{
+			Ns:        []int{24},
+			Scenarios: []Scenario{{Topology: TopologyRing, Name: "ring24"}, {}},
+			Options:   []Option{WithKnowFrac(1)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("scenario axis did not expand: %d cells", len(rep.Cells))
+	}
+	if rep.Cells[0].Cell.Scenario != "ring24" || rep.Cells[1].Cell.Scenario != "full" {
+		t.Fatalf("scenario labels wrong: %q / %q", rep.Cells[0].Cell.Scenario, rep.Cells[1].Cell.Scenario)
+	}
+	if !strings.Contains(rep.Cells[0].Cell.String(), "ring24") {
+		t.Fatalf("cell label missing scenario: %s", rep.Cells[0].Cell)
+	}
+	var sb strings.Builder
+	rep.Render(&sb)
+	if !strings.Contains(sb.String(), "ring24") {
+		t.Fatalf("render missing scenario column:\n%s", sb.String())
+	}
+}
+
+// TestScenarioFabricLarge is the at-scale acceptance probe: a seeded
+// Watts–Strogatz scenario with the relay engaged completes on the
+// goroutine fabric, keeps the safety oracles green, and reproduces its
+// order-independent digest across invocations. The default n=256 keeps
+// plain `go test ./...` inside the package timeout; CI's scenario-smoke
+// job sets FASTBA_SCENARIO_N=1024 for the full n≥1000 run (tens of
+// millions of deliveries — minutes of wall clock even at fanout 1).
+func TestScenarioFabricLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large fabric run skipped in -short")
+	}
+	n := 256
+	if s := os.Getenv("FASTBA_SCENARIO_N"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 16 {
+			t.Fatalf("bad FASTBA_SCENARIO_N %q", s)
+		}
+		n = v
+	}
+	// Fanout 1: single-path relay. Redundant fanout multiplies traffic by
+	// ~fanout^distance per message, which at n=1024 (≈98% of pairs
+	// non-adjacent, mean distance ≈3) is tens of millions of frames; the
+	// acceptance probe needs the relay mechanics, not the redundancy.
+	cfg := NewConfig(n,
+		WithSeed(1),
+		WithModel(Goroutines),
+		WithKnowFrac(1),
+		WithScenario(Scenario{Topology: TopologyWS, Degree: 16, Rewire: 0.3, ZipfS: 1.0, Fanout: 1}),
+	)
+	first, err := RunAER(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.DistinctDecisions > 1 || first.DecidedOther > 0 || first.CertDeficits > 0 {
+		t.Fatalf("n=%d scenario run broke safety: %+v", n, first)
+	}
+	if first.Decided != first.Correct {
+		t.Fatalf("n=%d lossless scenario run left %d of %d undecided", n, first.Correct-first.Decided, first.Correct)
+	}
+	if first.MessagesByKind["relay"] == 0 {
+		t.Fatalf("relay never engaged at n=%d", n)
+	}
+	second, err := RunAER(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scenarioDigest(first) != scenarioDigest(second) {
+		t.Fatalf("n=%d fabric scenario digest not reproducible across invocations", n)
+	}
+	t.Logf("n=%d: %d msgs (%d relay), digest %s", n, first.TotalMessages,
+		first.MessagesByKind["relay"], scenarioDigest(first)[:16])
+}

@@ -79,6 +79,14 @@ func RunTCP(ctx context.Context, cfg Config, timeout time.Duration) (*TCPResult,
 		return nil, err
 	}
 	nodes, correct := sc.Build(mkByz)
+	// The scenario lowers onto TCP exactly as onto the simulators: the
+	// relay wraps the node vector (so gossip hops ride real sockets as
+	// RelayMsg frames) and the link latency/loss model joins the injected
+	// fault plan.
+	nodes, plan, err := applyScenario(cfg, nodes)
+	if err != nil {
+		return nil, err
+	}
 
 	netOpts := cfg.net
 	if cfg.observer != nil {
@@ -116,8 +124,8 @@ func RunTCP(ctx context.Context, cfg Config, timeout time.Duration) (*TCPResult,
 	// instead of waiting out RunUntil's next poll.
 	stopWatch := context.AfterFunc(ctx, cluster.Close)
 	defer stopWatch()
-	if !cfg.faults.IsZero() {
-		cluster.InjectFaults(cfg.faults)
+	if !plan.IsZero() {
+		cluster.InjectFaults(plan)
 	}
 	if cfg.observer != nil {
 		observer := cfg.observer
@@ -148,7 +156,8 @@ func RunTCP(ctx context.Context, cfg Config, timeout time.Duration) (*TCPResult,
 	// never come true; network quiescence is then the other legitimate
 	// end of the run (every surviving message handled, nothing in flight).
 	stop := allDecided
-	if !cfg.faults.Lossless() || cfg.net.Chaos.Active() {
+	adaptive := adaptiveKind(cfg.advName) != "" && cfg.corruptFrac > 0
+	if !plan.Lossless() || cfg.net.Chaos.Active() || adaptive {
 		stop = func() bool { return allDecided() || cluster.Quiesced() }
 	}
 	runErr := cluster.RunUntil(ctx, stop, timeout)

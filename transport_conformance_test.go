@@ -21,6 +21,7 @@ import (
 
 	"github.com/fastba/fastba/internal/core"
 	"github.com/fastba/fastba/internal/netrun"
+	"github.com/fastba/fastba/internal/scenario"
 	"github.com/fastba/fastba/internal/simnet"
 )
 
@@ -308,6 +309,122 @@ func TestTransportConformanceFaults(t *testing.T) {
 			t.Fatalf("lossy TCP run broke safety: %+v", res)
 		}
 	})
+}
+
+// TestTransportConformanceScenario extends the conformance suite to the
+// scenario layer: a lossless network scenario — Watts–Strogatz topology,
+// Zipf load, fixed per-link latency, gossip relay — must produce identical
+// decisions AND identical per-kind message counts (relay hops included) on
+// all five runtimes. This is the payoff of the strictly distance-decreasing
+// relay: the forwarding DAG of every (origin, dest) pair is a pure function
+// of the topology, so which nodes transmit — and to whom — never depends on
+// delivery order.
+func TestTransportConformanceScenario(t *testing.T) {
+	const n, seed = 24, 11
+	spec := scenario.Spec{
+		Topology: scenario.TopologyWS, Degree: 6, Rewire: 0.2, ZipfS: 1.0,
+		Latency: scenario.LatencyFixed, BaseDelay: 1, Seed: 13,
+	}
+	comp, err := scenario.Compile(spec, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := simnet.FaultPlan{Seed: spec.Seed, Links: comp.Links}
+
+	build := func(t *testing.T) ([]simnet.Node, []*core.Node) {
+		sc := conformanceScenario(t, n, seed)
+		nodes, correct := sc.Build(nil)
+		return scenario.Wrap(nodes, comp, scenario.WrapConfig{}), correct
+	}
+	gstring := conformanceScenario(t, n, seed).GString
+
+	type runtimeCase struct {
+		name string
+		run  func(t *testing.T) runOutcome
+	}
+	outcome := func(correct []*core.Node, m *simnet.Metrics) runOutcome {
+		o := core.Evaluate(correct, gstring)
+		out := runOutcome{
+			decidedG: o.DecidedG, decided: o.Decided, correct: o.Correct,
+			delivered: m.Delivered, byKind: m.ByKind,
+		}
+		for i := range m.PerNode {
+			out.sentMsgs = append(out.sentMsgs, m.PerNode[i].SentMsgs)
+		}
+		return out
+	}
+	cases := []runtimeCase{
+		{"sync", func(t *testing.T) runOutcome {
+			nodes, correct := build(t)
+			r := simnet.NewSync(nodes, make([]bool, n))
+			r.InjectFaults(plan)
+			return outcome(correct, r.Run(400))
+		}},
+		{"async-fifo", func(t *testing.T) runOutcome {
+			nodes, correct := build(t)
+			r := simnet.NewAsync(nodes, simnet.NewFIFO())
+			r.InjectFaults(plan)
+			return outcome(correct, r.Run())
+		}},
+		{"async-random", func(t *testing.T) runOutcome {
+			nodes, correct := build(t)
+			r := simnet.NewAsync(nodes, simnet.NewRandom(99))
+			r.InjectFaults(plan)
+			return outcome(correct, r.Run())
+		}},
+		{"goroutines", func(t *testing.T) runOutcome {
+			nodes, correct := build(t)
+			r := simnet.NewGo(nodes)
+			r.InjectFaults(plan)
+			return outcome(correct, r.Run())
+		}},
+		{"tcp-cluster", func(t *testing.T) runOutcome {
+			nodes, correct := build(t)
+			cluster, err := netrun.New(nodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cluster.Close()
+			cluster.InjectFaults(plan)
+			cluster.Start()
+			allDecided := func() bool {
+				for _, node := range correct {
+					if node == nil {
+						continue
+					}
+					if _, ok := node.Decided(); !ok {
+						return false
+					}
+				}
+				return true
+			}
+			if err := cluster.RunUntil(context.Background(), allDecided, 60*time.Second); err != nil {
+				t.Fatal(err)
+			}
+			if !cluster.AwaitQuiescence(60 * time.Second) {
+				t.Fatal("TCP cluster did not quiesce under a scenario")
+			}
+			cluster.Close()
+			return outcome(correct, cluster.Metrics())
+		}},
+	}
+
+	reference := cases[0].run(t)
+	if reference.decidedG != reference.correct || reference.correct != n {
+		t.Fatalf("scenario reference execution did not fully decide gstring: %+v", reference)
+	}
+	if reference.byKind["relay"] == 0 {
+		t.Fatalf("relay never engaged on the conformance topology: %v", reference.byKind)
+	}
+	for _, tc := range cases[1:] {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.run(t)
+			if d := reference.diff(got); d != "" {
+				t.Fatalf("%s diverges from sync reference under a scenario: %s", tc.name, d)
+			}
+		})
+	}
 }
 
 // TestTransportConformanceRunTCP closes the loop at the public API: RunTCP
