@@ -1,0 +1,409 @@
+package fastba
+
+// The balogd client SDK. A LogClient speaks the client/admin frame
+// protocol of internal/server over one TCP connection to the cluster
+// leader: Append submits payloads and blocks for the committed sequence
+// number, Status probes a daemon's progress, and the session self-heals —
+// a lost connection is redialled with jittered exponential backoff on the
+// next call.
+//
+// Retry semantics are deliberately conservative: the SDK retries
+// *connecting* as long as the caller's context allows, but it never
+// silently retries an Append whose request frame may already have reached
+// the daemon — the daemon could have committed it, and a blind resend
+// would duplicate the entry. That case surfaces as ErrSessionLost and the
+// caller decides (idempotent payloads can resend; others must reconcile
+// by reading the log).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/fastba/fastba/internal/server"
+)
+
+// Errors surfaced by the client SDK.
+var (
+	// ErrOverload reports that admission control shed the append: the
+	// daemon's bounded per-client queue was full. The request was never
+	// admitted, so resending after backoff is safe.
+	ErrOverload = errors.New("fastba: append shed by admission control")
+	// ErrSessionLost reports a connection failure after the request frame
+	// was (possibly partially) written: the daemon may or may not have
+	// committed the payload, so the SDK does not resend it.
+	ErrSessionLost = errors.New("fastba: client session lost mid-request")
+	// ErrClientClosed reports an operation on a closed LogClient.
+	ErrClientClosed = errors.New("fastba: log client closed")
+	// ErrNotLeader reports an append that reached a follower daemon and
+	// could not be redirected (no leader address known).
+	ErrNotLeader = errors.New("fastba: daemon is not the leader")
+	// ErrDaemonShutdown reports an append rejected because the daemon is
+	// draining. Like ErrOverload the request was not admitted.
+	ErrDaemonShutdown = errors.New("fastba: daemon shutting down")
+)
+
+// ClientConfig configures DialLog.
+type ClientConfig struct {
+	// Addr is any daemon's client address; the hello handshake redirects
+	// to the leader when the daemon is a follower.
+	Addr string
+	// DialTimeout bounds one TCP connect attempt (default 2s).
+	DialTimeout time.Duration
+	// BackoffBase/BackoffCap shape the reconnect backoff: attempt i waits
+	// Base·2^i, capped at Cap, with ±25% jitter (defaults 20ms / 1s).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// MaxRedirects bounds leader-redirect hops in one connect (default 4).
+	MaxRedirects int
+}
+
+func (c *ClientConfig) fill() {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 20 * time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = time.Second
+	}
+	if c.MaxRedirects <= 0 {
+		c.MaxRedirects = 4
+	}
+}
+
+// LogStatus is a daemon's progress snapshot, as returned by Status.
+type LogStatus struct {
+	Daemon     int
+	Epoch      uint64
+	Leader     bool
+	Frontier   uint64
+	Recovered  uint64
+	Repaired   uint64
+	PeersAlive int
+	Sessions   int
+}
+
+// LogClient is a client session to a balogd cluster. It is safe for
+// concurrent use: appends pipeline over one connection and resolve by
+// request id.
+type LogClient struct {
+	cfg ClientConfig
+
+	mu     sync.Mutex // guards sess lifecycle and dialing
+	sess   *clientSession
+	nextID uint64
+	closed bool
+}
+
+// DialLog connects to a balogd cluster and completes the hello handshake
+// (following leader redirects). The context bounds only this initial
+// connect; later reconnects are bounded by the calling method's context.
+func DialLog(ctx context.Context, cfg ClientConfig) (*LogClient, error) {
+	cfg.fill()
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("fastba: client config: empty address")
+	}
+	c := &LogClient{cfg: cfg}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.sessionLocked(ctx); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Append submits one payload and blocks until the cluster commits it,
+// returning the committed sequence number. The context cancels the wait
+// (the session stays healthy; a late ack for the abandoned request is
+// dropped). Connection establishment retries with backoff while the
+// context allows; a connection that dies after the request frame was
+// written returns ErrSessionLost (see the package comment on retries).
+func (c *LogClient) Append(ctx context.Context, payload []byte) (uint64, error) {
+	sess, req, err := c.prepare(ctx)
+	if err != nil {
+		return 0, err
+	}
+	ack := make(chan server.AppendAck, 1)
+	sess.addWaiter(req, ack)
+	if err := sess.write(server.Append{Req: req, Payload: payload}); err != nil {
+		sess.dropWaiter(req)
+		c.retire(sess)
+		return 0, fmt.Errorf("%w: %v", ErrSessionLost, err)
+	}
+	select {
+	case a := <-ack:
+		return decodeAck(a)
+	case <-sess.done:
+		return 0, fmt.Errorf("%w: %v", ErrSessionLost, sess.err)
+	case <-ctx.Done():
+		sess.dropWaiter(req)
+		return 0, ctx.Err()
+	}
+}
+
+// Status probes the connected daemon for a progress snapshot.
+func (c *LogClient) Status(ctx context.Context) (LogStatus, error) {
+	sess, _, err := c.prepare(ctx)
+	if err != nil {
+		return LogStatus{}, err
+	}
+	ch := make(chan server.StatusAck, 1)
+	sess.addStatusWaiter(ch)
+	if err := sess.write(server.Status{}); err != nil {
+		c.retire(sess)
+		return LogStatus{}, fmt.Errorf("%w: %v", ErrSessionLost, err)
+	}
+	select {
+	case s := <-ch:
+		return LogStatus{
+			Daemon: int(s.Node), Epoch: s.Epoch, Leader: s.Leader,
+			Frontier: s.Frontier, Recovered: s.Recovered, Repaired: s.Repaired,
+			PeersAlive: int(s.PeersAlive), Sessions: int(s.Sessions),
+		}, nil
+	case <-sess.done:
+		return LogStatus{}, fmt.Errorf("%w: %v", ErrSessionLost, sess.err)
+	case <-ctx.Done():
+		return LogStatus{}, ctx.Err()
+	}
+}
+
+// Close tears down the session. In-flight appends resolve with
+// ErrSessionLost.
+func (c *LogClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.sess != nil {
+		c.sess.fail(ErrClientClosed)
+		c.sess = nil
+	}
+	return nil
+}
+
+// prepare returns a live session (dialing with backoff if needed) and a
+// fresh request id.
+func (c *LogClient) prepare(ctx context.Context) (*clientSession, uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sess, err := c.sessionLocked(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	c.nextID++
+	return sess, c.nextID, nil
+}
+
+// sessionLocked returns the live session, redialling with jittered
+// exponential backoff while ctx allows.
+func (c *LogClient) sessionLocked(ctx context.Context) (*clientSession, error) {
+	for attempt := 0; ; attempt++ {
+		if c.closed {
+			return nil, ErrClientClosed
+		}
+		if c.sess != nil {
+			select {
+			case <-c.sess.done:
+				c.sess = nil
+			default:
+				return c.sess, nil
+			}
+		}
+		sess, err := c.connect(ctx)
+		if err == nil {
+			c.sess = sess
+			return sess, nil
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("fastba: connect %s: %w (last error: %v)", c.cfg.Addr, ctx.Err(), err)
+		}
+		wait := c.cfg.BackoffBase << min(attempt, 20)
+		if wait > c.cfg.BackoffCap || wait <= 0 {
+			wait = c.cfg.BackoffCap
+		}
+		wait += time.Duration(rand.Int63n(int64(wait)/2+1)) - wait/4
+		timer := time.NewTimer(wait)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, fmt.Errorf("fastba: connect %s: %w (last error: %v)", c.cfg.Addr, ctx.Err(), err)
+		}
+	}
+}
+
+// connect dials one address chain: the configured daemon, then leader
+// redirects from hello acks, bounded by MaxRedirects.
+func (c *LogClient) connect(ctx context.Context) (*clientSession, error) {
+	addr := c.cfg.Addr
+	seen := ""
+	for hop := 0; hop <= c.cfg.MaxRedirects; hop++ {
+		conn, hello, err := dialHello(ctx, addr, c.cfg.DialTimeout)
+		if err != nil {
+			return nil, err
+		}
+		if hello.Leader || hello.LeaderAddr == "" || hello.LeaderAddr == addr || hello.LeaderAddr == seen {
+			sess := newClientSession(conn, hello)
+			return sess, nil
+		}
+		_ = conn.Close()
+		seen = addr
+		addr = hello.LeaderAddr
+	}
+	return nil, fmt.Errorf("fastba: connect: leader redirect chain exceeded %d hops", c.cfg.MaxRedirects)
+}
+
+// retire discards a dead session so the next call redials.
+func (c *LogClient) retire(sess *clientSession) {
+	sess.fail(ErrSessionLost)
+	c.mu.Lock()
+	if c.sess == sess {
+		c.sess = nil
+	}
+	c.mu.Unlock()
+}
+
+func dialHello(ctx context.Context, addr string, timeout time.Duration) (net.Conn, server.HelloAck, error) {
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, server.HelloAck{}, err
+	}
+	deadline := time.Now().Add(timeout)
+	_ = conn.SetDeadline(deadline)
+	if err := server.WriteClientMsg(conn, server.Hello{}); err != nil {
+		_ = conn.Close()
+		return nil, server.HelloAck{}, err
+	}
+	msg, err := server.ReadClientMsg(conn)
+	if err != nil {
+		_ = conn.Close()
+		return nil, server.HelloAck{}, err
+	}
+	hello, ok := msg.(server.HelloAck)
+	if !ok {
+		_ = conn.Close()
+		return nil, server.HelloAck{}, fmt.Errorf("fastba: hello handshake: unexpected %T", msg)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return conn, hello, nil
+}
+
+func decodeAck(a server.AppendAck) (uint64, error) {
+	switch a.Code {
+	case server.CodeOK:
+		return a.Seq, nil
+	case server.CodeOverload:
+		return 0, ErrOverload
+	case server.CodeNotLeader:
+		return 0, ErrNotLeader
+	case server.CodeShutdown:
+		return 0, ErrDaemonShutdown
+	case server.CodeFailed:
+		return 0, fmt.Errorf("fastba: append failed on daemon")
+	default:
+		return 0, fmt.Errorf("fastba: append rejected: %s", server.CodeString(a.Code))
+	}
+}
+
+// clientSession is one live connection: a writer (serialized by wmu) and
+// a reader goroutine dispatching acks to registered waiters.
+type clientSession struct {
+	conn  net.Conn
+	hello server.HelloAck
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	waiters map[uint64]chan server.AppendAck
+	status  []chan server.StatusAck
+
+	done chan struct{}
+	once sync.Once
+	err  error
+}
+
+func newClientSession(conn net.Conn, hello server.HelloAck) *clientSession {
+	s := &clientSession{
+		conn:    conn,
+		hello:   hello,
+		waiters: make(map[uint64]chan server.AppendAck),
+		done:    make(chan struct{}),
+	}
+	go s.readLoop()
+	return s
+}
+
+func (s *clientSession) write(msg any) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	select {
+	case <-s.done:
+		return s.err
+	default:
+	}
+	return server.WriteClientMsg(s.conn, msg)
+}
+
+func (s *clientSession) addWaiter(req uint64, ch chan server.AppendAck) {
+	s.mu.Lock()
+	s.waiters[req] = ch
+	s.mu.Unlock()
+}
+
+func (s *clientSession) dropWaiter(req uint64) {
+	s.mu.Lock()
+	delete(s.waiters, req)
+	s.mu.Unlock()
+}
+
+func (s *clientSession) addStatusWaiter(ch chan server.StatusAck) {
+	s.mu.Lock()
+	s.status = append(s.status, ch)
+	s.mu.Unlock()
+}
+
+func (s *clientSession) readLoop() {
+	for {
+		msg, err := server.ReadClientMsg(s.conn)
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		switch m := msg.(type) {
+		case server.AppendAck:
+			s.mu.Lock()
+			ch := s.waiters[m.Req]
+			delete(s.waiters, m.Req)
+			s.mu.Unlock()
+			if ch != nil {
+				ch <- m
+			}
+		case server.StatusAck:
+			s.mu.Lock()
+			var ch chan server.StatusAck
+			if len(s.status) > 0 {
+				ch = s.status[0]
+				s.status = s.status[1:]
+			}
+			s.mu.Unlock()
+			if ch != nil {
+				ch <- m
+			}
+		}
+	}
+}
+
+// fail closes the session exactly once; done observers read err after.
+func (s *clientSession) fail(err error) {
+	s.once.Do(func() {
+		s.err = err
+		close(s.done)
+		_ = s.conn.Close()
+	})
+}

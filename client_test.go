@@ -1,0 +1,266 @@
+package fastba
+
+// Client SDK churn tests: the LogClient against in-process balogd
+// daemons (internal/server.Daemon), covering the three failure surfaces
+// the SDK promises to handle — a daemon that dies and comes back
+// (reconnect with backoff), admission control shedding (typed
+// ErrOverload), and a caller abandoning an append mid-flight (context
+// cancellation leaves the session healthy). The cluster runs over real
+// loopback sockets; only the process boundary is folded in.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/fastba/fastba/internal/netrun"
+	"github.com/fastba/fastba/internal/server"
+)
+
+// testDaemonConfig mirrors the internal server test tuning: fast join
+// and repair cadences, impatient link supervision.
+func testDaemonConfig(bases, dirs []string, i, k, queueMax int) server.Config {
+	return server.Config{
+		ClusterAddrs:    bases,
+		Daemon:          i,
+		PerDaemon:       k,
+		Seed:            42,
+		Epoch:           1,
+		StoreDir:        dirs[i],
+		Depth:           2,
+		BatchMax:        4,
+		QueueMax:        queueMax,
+		SyncWindow:      time.Millisecond,
+		JoinEvery:       100 * time.Millisecond,
+		InstanceTimeout: 30 * time.Second,
+		ReproposeAfter:  300 * time.Millisecond,
+		Reconnect:       netrun.ReconnectPolicy{Base: 5 * time.Millisecond, Cap: 50 * time.Millisecond, MaxAttempts: 2},
+		RepairEvery:     50 * time.Millisecond,
+		StallAfter:      200 * time.Millisecond,
+	}
+}
+
+// startDaemons boots an in-process daemons×k cluster (daemon 0 leads)
+// and returns the daemon set plus the pieces needed to restart one.
+func startDaemons(t *testing.T, daemons, k, queueMax int) ([]*server.Daemon, []string, []string) {
+	t.Helper()
+	bases, err := allocPortBases(daemons, k+3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseAddrs := make([]string, daemons)
+	for i, b := range bases {
+		baseAddrs[i] = fmt.Sprintf("127.0.0.1:%d", b)
+	}
+	dirs := make([]string, daemons)
+	ds := make([]*server.Daemon, daemons)
+	for i := range ds {
+		dirs[i] = t.TempDir()
+		d, err := server.New(testDaemonConfig(baseAddrs, dirs, i, k, queueMax))
+		if err != nil {
+			t.Fatalf("daemon %d: %v", i, err)
+		}
+		ds[i] = d
+	}
+	for _, d := range ds {
+		d.Start()
+	}
+	t.Cleanup(func() {
+		for _, d := range ds {
+			d.Kill()
+		}
+	})
+	return ds, baseAddrs, dirs
+}
+
+// TestClientReconnectBackoff: a LogClient dialled at a follower (the
+// hello handshake redirects it to the leader) keeps working across the
+// leader dying and coming back — the SDK redials with backoff on the
+// next call instead of surfacing a dead session forever. The same
+// LogClient object spans the outage.
+func TestClientReconnectBackoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-daemon TCP cluster")
+	}
+	ds, baseAddrs, dirs := startDaemons(t, 4, 2, 32)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	// Dial a follower on purpose: the redirect chain must land on the
+	// leader before the first append.
+	lc, err := DialLog(ctx, ClientConfig{Addr: ds[1].ClientAddr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	if _, err := lc.Append(ctx, []byte("before-outage")); err != nil {
+		t.Fatalf("append before outage: %v", err)
+	}
+
+	ds[0].Kill()
+
+	// While the leader is down every append fails; the SDK's job is to
+	// keep the session retryable, not to mask the outage.
+	if _, err := lc.Append(withTimeout(ctx, 2*time.Second), []byte("during-outage")); err == nil {
+		t.Fatal("append succeeded with the leader dead")
+	}
+
+	re, err := server.New(testDaemonConfig(baseAddrs, dirs, 0, 2, 32))
+	if err != nil {
+		t.Fatalf("leader restart: %v", err)
+	}
+	re.Start()
+	ds[0] = re
+	t.Cleanup(re.Kill)
+
+	// The same client object must recover: redial with backoff, complete
+	// the handshake, and commit. Give the restarted leader time to rejoin
+	// the mesh and resume sequencing.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		_, err = lc.Append(withTimeout(ctx, 5*time.Second), []byte("after-restart"))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("client never recovered after leader restart: %v", err)
+		}
+	}
+}
+
+func withTimeout(ctx context.Context, d time.Duration) context.Context {
+	c, cancel := context.WithTimeout(ctx, d)
+	_ = cancel // bounded by the parent context; leaked timers are test-lifetime
+	return c
+}
+
+// TestClientOverloadPropagation: appends pipelined past the daemon's
+// per-session admission bound come back as the typed ErrOverload (via
+// errors.Is), and a paced retry on the same session succeeds — shedding
+// is backpressure, not session damage.
+func TestClientOverloadPropagation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-daemon TCP cluster")
+	}
+	ds, _, _ := startDaemons(t, 4, 2, 1) // QueueMax 1: the second in-flight append sheds
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	lc, err := DialLog(ctx, ClientConfig{Addr: ds[0].ClientAddr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	const burst = 32
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var overloads, oks int
+	var unexpected []error
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := lc.Append(ctx, []byte(fmt.Sprintf("burst-%d", i)))
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				oks++
+			case errors.Is(err, ErrOverload):
+				overloads++
+			default:
+				unexpected = append(unexpected, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(unexpected) > 0 {
+		t.Fatalf("burst surfaced non-overload errors: %v", unexpected)
+	}
+	if overloads == 0 {
+		t.Fatalf("no ErrOverload from %d concurrent appends against QueueMax 1 (%d ok)", burst, oks)
+	}
+	if oks == 0 {
+		t.Fatal("every append shed — admission control admitted nothing")
+	}
+	// Shedding must not poison the session: a lone retry commits.
+	if _, err := lc.Append(ctx, []byte("after-shed")); err != nil {
+		t.Fatalf("append after shedding: %v", err)
+	}
+}
+
+// TestClientCancelMidAppendNoLeak: cancelling an append's context
+// abandons the wait without killing the session — the late ack is
+// dropped, the next append works — and the whole client+cluster
+// lifecycle leaves no goroutines behind.
+func TestClientCancelMidAppendNoLeak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-daemon TCP cluster")
+	}
+	before := countGoroutines()
+
+	func() {
+		ds, _, _ := startDaemons(t, 4, 2, 32)
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		lc, err := DialLog(ctx, ClientConfig{Addr: ds[0].ClientAddr()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer lc.Close()
+		if _, err := lc.Append(ctx, []byte("warm")); err != nil {
+			t.Fatal(err)
+		}
+
+		// Cancel a batch of appends mid-flight: each must return the
+		// context's error promptly, well before commit latency.
+		for i := 0; i < 8; i++ {
+			cctx, ccancel := context.WithCancel(ctx)
+			errc := make(chan error, 1)
+			go func(i int) {
+				_, err := lc.Append(cctx, []byte(fmt.Sprintf("cancelled-%d", i)))
+				errc <- err
+			}(i)
+			time.Sleep(2 * time.Millisecond)
+			ccancel()
+			select {
+			case err := <-errc:
+				if err != nil && !errors.Is(err, context.Canceled) {
+					t.Fatalf("cancelled append %d: %v", i, err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatalf("cancelled append %d never returned", i)
+			}
+		}
+
+		// The session survived every abandoned wait.
+		if _, err := lc.Append(ctx, []byte("after-cancels")); err != nil {
+			t.Fatalf("append after cancellations: %v", err)
+		}
+		st, err := lc.Status(ctx)
+		if err != nil {
+			t.Fatalf("status after cancellations: %v", err)
+		}
+		if !st.Leader {
+			t.Errorf("status reports daemon %d as non-leader", st.Daemon)
+		}
+
+		lc.Close()
+		for _, d := range ds {
+			sctx, scancel := context.WithTimeout(context.Background(), 20*time.Second)
+			if err := d.Shutdown(sctx); err != nil {
+				t.Errorf("shutdown: %v", err)
+			}
+			scancel()
+		}
+	}()
+
+	after := countGoroutines()
+	if after > before+3 {
+		t.Fatalf("goroutines grew from %d to %d across the client churn lifecycle", before, after)
+	}
+}

@@ -76,11 +76,70 @@ func run(args []string) (int, error) {
 		chaosStrikes  = fs.Int("chaosstrikes", 0, "chaos strike budget (0 with -chaos random = unbounded; ignored by sweep)")
 		chaosKinds    = fs.String("chaoskinds", "", "comma-separated strike kinds: close, halfclose, blackhole (default all)")
 		jsonOut       = fs.Bool("json", false, "emit the full LoadResult as JSON on stdout")
+		daemonMode    = fs.Bool("daemon", false, "multi-process mode: spawn real balogd processes and drive the client SDK over real sockets")
+		daemons       = fs.Int("daemons", 4, "daemon mode: balogd processes to spawn")
+		perDaemon     = fs.Int("k", 2, "daemon mode: protocol nodes per daemon (population = daemons × k)")
+		queueMax      = fs.Int("queue", 0, "daemon mode: per-client admission queue bound (small values force overload shedding)")
+		pipeline      = fs.Int("pipeline", 1, "daemon mode: appends each client keeps in flight over its session (> queue forces ErrOverload)")
+		daemonKill    = fs.Bool("daemonkill", true, "daemon mode: SIGKILL one daemon a third into the run and restart it")
+		killDaemon    = fs.Int("killdaemon", 0, "daemon mode: which daemon to kill (default: the last; never 0, the leader)")
+		balogdBin     = fs.String("balogd", "", "daemon mode: prebuilt balogd binary (default: go build from the enclosing module)")
+		daemonDir     = fs.String("dir", "", "daemon mode: scratch directory for stores and logs (default: a temp dir)")
+		verbose       = fs.Bool("v", false, "daemon mode: print harness progress lines")
 	)
 	var prof profiling.Flags
 	prof.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
+	}
+
+	if *daemonMode {
+		w := fastba.DaemonWorkload{
+			Daemons:      *daemons,
+			PerDaemon:    *perDaemon,
+			Seed:         *seed,
+			Clients:      *clients,
+			Rate:         *rate,
+			PayloadBytes: *payload,
+			Pipeline:     *pipeline,
+			Duration:     *duration,
+			KillRestart:  *daemonKill,
+			KillDaemon:   *killDaemon,
+			Depth:        *depth,
+			BatchMax:     *batch,
+			QueueMax:     *queueMax,
+			BalogdPath:   *balogdBin,
+			Dir:          *daemonDir,
+		}
+		if *verbose {
+			w.Logf = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "loadba: "+format+"\n", args...)
+			}
+		}
+		res, err := fastba.RunDaemonLoad(context.Background(), w)
+		if err != nil {
+			return 2, err
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res); err != nil {
+				return 2, err
+			}
+		} else {
+			renderDaemon(res)
+		}
+		switch {
+		case res.Err != "":
+			return 1, fmt.Errorf("daemon run failed: %s (scratch kept at %s)", res.Err, res.Dir)
+		case res.Committed == 0:
+			return 1, fmt.Errorf("no entries committed")
+		case !res.Oracles.OK():
+			return 1, fmt.Errorf("oracle violations: %s (scratch kept at %s)", res.Oracles, res.Dir)
+		case *daemonKill && !(res.Killed && res.Restarted):
+			return 1, fmt.Errorf("kill/restart schedule did not complete (killed=%v restarted=%v)", res.Killed, res.Restarted)
+		}
+		return 0, nil
 	}
 
 	rt, err := fastba.ParseLogRuntime(*runtime)
@@ -219,6 +278,26 @@ func render(res *fastba.LoadResult) {
 			}
 		}
 		fmt.Println()
+	}
+	fmt.Printf("  oracles    %s\n", res.Oracles)
+}
+
+func renderDaemon(res *fastba.DaemonLoadResult) {
+	w := res.Workload
+	fmt.Printf("daemon cluster: %d × balogd (k=%d, n=%d), %d clients for %v\n",
+		w.Daemons, w.PerDaemon, res.Nodes, w.Clients, w.Duration)
+	fmt.Printf("  appends    %d acked of %d attempts (%d overload-shed, %d session-lost)\n",
+		res.Acked, res.Attempts, res.Overloads, res.Lost)
+	fmt.Printf("  committed  %d entries (max acked seq %d) in %v\n",
+		res.Committed, res.MaxAckedSeq, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("  latency    p50 %v, p99 %v\n", res.CommitP50.Round(time.Microsecond), res.CommitP99.Round(time.Microsecond))
+	if res.Killed || res.Restarted {
+		fmt.Printf("  chaos      daemon %d killed=%v restarted=%v\n", w.KillDaemon, res.Killed, res.Restarted)
+	}
+	fmt.Printf("  stores     frontiers %v, byte-identical common prefix %d\n", res.Frontiers, res.CommonPrefix)
+	if len(res.Scraped) > 0 {
+		fmt.Printf("  metrics    commits=%.0f appends=%.0f shed=%.0f (leader /metrics)\n",
+			res.Scraped["fastba_commits_total"], res.Scraped["fastba_appends_total"], res.Scraped["fastba_overload_shed_total"])
 	}
 	fmt.Printf("  oracles    %s\n", res.Oracles)
 }

@@ -201,12 +201,14 @@ func NewNode(id int, initial bitstring.String, params Params, smp *Samplers, rng
 // instance, keeping every allocation it can: map buckets survive via
 // clear(), the intern table and per-string state slice keep their storage,
 // and the quorum-member sets inside recycled strState entries keep their
-// capacity. The node's identity, protocol geometry and samplers are
-// unchanged; initial and rng take the role of NewNode's arguments. The
-// decision-log pipeline calls this between instances so a long log reuses
-// one set of nodes instead of reallocating per-instance protocol state
-// (see BenchmarkLogInstanceReuse).
-func (n *Node) Reset(initial bitstring.String, rng *prng.Source) {
+// capacity. The node's identity and protocol geometry are unchanged;
+// initial, smp and rng take the role of NewNode's arguments — a reopened
+// instance passes attempt-salted samplers so a retry re-rolls the quorum
+// geometry, not just the poll labels. The decision-log pipeline calls this
+// between instances so a long log reuses one set of nodes instead of
+// reallocating per-instance protocol state (see BenchmarkLogInstanceReuse).
+func (n *Node) Reset(initial bitstring.String, smp *Samplers, rng *prng.Source) {
+	n.smp = smp
 	n.rng = rng
 	n.sthis = initial
 	n.initial = initial

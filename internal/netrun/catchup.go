@@ -31,12 +31,19 @@ const (
 // CatchupReq frames from handler, and returns its address. The listener
 // closes with the cluster.
 func (c *Cluster) ServeCatchup(handler simnet.CatchupHandler) (string, error) {
+	return c.ServeCatchupOn("127.0.0.1:0", handler)
+}
+
+// ServeCatchupOn is ServeCatchup at a fixed listen address — the daemon
+// topology, where peers must know the catch-up endpoint before this
+// process exists (a derived port, not an ephemeral one).
+func (c *Cluster) ServeCatchupOn(addr string, handler simnet.CatchupHandler) (string, error) {
 	select {
 	case <-c.closing:
 		return "", errors.New("netrun: cluster closing")
 	default:
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("netrun: catchup listen: %w", err)
 	}

@@ -139,6 +139,31 @@ func NewWithOptions(nodes []simnet.Node, opts Options) (*Cluster, error) {
 	c.fab = simnet.NewFabric(nodes, simnet.CounterClock, true)
 	c.fab.SetTransport(c)
 	c.fab.SetLenientSends(true)
+	if c.opts.Hosted != nil {
+		// Partial hosting: this process listens only for its hosted nodes,
+		// at the fixed addresses peers were told to dial; the remaining
+		// slots are remote peers whose advertised addresses the link
+		// supervisors dial.
+		if len(c.opts.Hosted) != len(nodes) {
+			c.Close()
+			return nil, fmt.Errorf("netrun: Hosted has %d entries for %d nodes", len(c.opts.Hosted), len(nodes))
+		}
+		for id := range nodes {
+			if !c.opts.Hosted[id] {
+				c.listeners = append(c.listeners, nil)
+				c.addrs = append(c.addrs, c.opts.Addrs[id])
+				continue
+			}
+			ln, err := net.Listen("tcp", c.opts.Addrs[id])
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("netrun: listen %s: %w", c.opts.Addrs[id], err)
+			}
+			c.listeners = append(c.listeners, ln)
+			c.addrs = append(c.addrs, c.opts.Addrs[id])
+		}
+		return c, nil
+	}
 	for range nodes {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -209,6 +234,9 @@ func (c *Cluster) Inject(e simnet.Envelope) { c.fab.InjectLocal(e) }
 // (inbound frames queue in the mailboxes meanwhile).
 func (c *Cluster) Start() {
 	for id := range c.listeners {
+		if c.listeners[id] == nil {
+			continue // remote peer of a partially hosted cluster
+		}
 		id := id
 		c.wg.Add(1)
 		go func() {
@@ -307,7 +335,9 @@ func (c *Cluster) Close() {
 	c.once.Do(func() {
 		close(c.closing)
 		for _, ln := range c.listeners {
-			_ = ln.Close()
+			if ln != nil {
+				_ = ln.Close()
+			}
 		}
 		c.mu.Lock()
 		for _, l := range c.links {

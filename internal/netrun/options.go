@@ -49,6 +49,19 @@ type Options struct {
 	// called from supervisor goroutines — implementations must be fast and
 	// concurrency-safe.
 	OnConnEvent func(ConnEvent)
+	// Hosted, when non-nil, marks which node ids this process hosts: the
+	// cluster listens only for hosted nodes (at their Addrs entries) and
+	// treats the rest as remote peers reached through Addrs — the
+	// multi-process daemon topology (internal/server). nil (the default)
+	// hosts every node in-process on ephemeral loopback ports.
+	Hosted []bool
+	// Addrs are the full per-node addresses of a partially hosted cluster,
+	// required exactly when Hosted is set: hosted entries are this
+	// process's fixed listen addresses, remote entries the peers'
+	// advertised ones. Cross-process sends leak the fabric's in-flight
+	// quiescence count (the remote delivery is invisible here), so
+	// partially hosted clusters must not await quiescence.
+	Addrs []string
 }
 
 // ReconnectPolicy is the jittered-exponential-backoff redial schedule of
@@ -184,6 +197,12 @@ func (o Options) Validate() error {
 	}
 	if o.FlushWindow < 0 {
 		return fmt.Errorf("netrun: negative flush window")
+	}
+	if (o.Hosted == nil) != (o.Addrs == nil) {
+		return fmt.Errorf("netrun: Hosted and Addrs must be set together")
+	}
+	if o.Hosted != nil && len(o.Hosted) != len(o.Addrs) {
+		return fmt.Errorf("netrun: Hosted has %d entries, Addrs %d", len(o.Hosted), len(o.Addrs))
 	}
 	return o.Chaos.Validate()
 }

@@ -3,7 +3,6 @@ package pipeline
 import (
 	"context"
 	"crypto/sha256"
-	"encoding/binary"
 	"fmt"
 	"math"
 	"sync"
@@ -12,7 +11,6 @@ import (
 	"github.com/fastba/fastba/internal/bitstring"
 	"github.com/fastba/fastba/internal/core"
 	"github.com/fastba/fastba/internal/netrun"
-	"github.com/fastba/fastba/internal/prng"
 	"github.com/fastba/fastba/internal/simnet"
 	"github.com/fastba/fastba/internal/store"
 )
@@ -204,13 +202,10 @@ func New(cfg Config) (*Engine, error) {
 		open:    make(map[uint64]*instance),
 	}
 
-	// Non-adaptive corruption, fixed for the log's lifetime.
-	src := prng.New(prng.DeriveKey(cfg.Seed, "log/corrupt", 0))
-	t := int(cfg.CorruptFrac * float64(cfg.N))
-	for _, id := range src.Perm(cfg.N)[:t] {
-		e.corrupt[id] = true
-	}
-	e.correct = cfg.N - t
+	// Non-adaptive corruption, fixed for the log's lifetime (the shared
+	// cross-runtime derivation — derive.go).
+	e.corrupt = CorruptSet(cfg.Seed, cfg.N, cfg.CorruptFrac)
+	e.correct = cfg.N - int(cfg.CorruptFrac*float64(cfg.N))
 	e.need = int(math.Ceil(cfg.CommitFraction * float64(e.correct)))
 	if e.need < 1 {
 		e.need = 1
@@ -363,25 +358,10 @@ func (e *Engine) Catchup(from uint64, max int) ([][]byte, bool) {
 // Value derives instance seq's proposal digest from the batch: the first
 // StringBits bits of SHA-256 over (seed, seq, payloads). All correct
 // runtimes derive the same value for the same inputs, which is what makes
-// committed logs comparable across transports.
+// committed logs comparable across transports (the shared cross-runtime
+// derivation — derive.go).
 func (e *Engine) Value(seq uint64, payloads [][]byte) bitstring.String {
-	h := sha256.New()
-	var hdr [16]byte
-	binary.LittleEndian.PutUint64(hdr[0:8], e.cfg.Seed)
-	binary.LittleEndian.PutUint64(hdr[8:16], seq)
-	h.Write(hdr[:])
-	var lenBuf [8]byte
-	for _, p := range payloads {
-		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(p)))
-		h.Write(lenBuf[:])
-		h.Write(p)
-	}
-	sum := h.Sum(nil)
-	s, err := bitstring.FromBytes(sum, e.params.StringBits)
-	if err != nil {
-		panic("pipeline: internal: " + err.Error()) // unreachable: SHA-256 is 32 bytes, StringBits ≤ 256 validated sizes
-	}
-	return s
+	return BatchValue(e.cfg.Seed, e.params.StringBits, seq, payloads)
 }
 
 // Append opens the next instance with the given batch, blocking while the
@@ -406,7 +386,7 @@ func (e *Engine) Append(ctx context.Context, payloads [][]byte) (uint64, error) 
 	}
 	seq := e.nextSeq
 	e.nextSeq++
-	if seq > math.MaxUint32 {
+	if seq > MaxSeq {
 		e.failLocked(fmt.Errorf("pipeline: instance tag overflow at seq %d", seq))
 		e.mu.Unlock()
 		<-e.slots
@@ -459,22 +439,13 @@ func (e *Engine) appendBlocked() error {
 }
 
 // openInstance distributes MsgOpen to every node with the deterministic
-// per-node initial beliefs of instance seq.
+// per-node initial beliefs of instance seq (the shared cross-runtime
+// derivation — derive.go).
 func (e *Engine) openInstance(seq uint64, value bitstring.String) {
-	src := prng.New(prng.DeriveKey(e.cfg.Seed, "log/believe", seq))
-	junk := bitstring.Random(src.Fork(1), e.params.StringBits)
-	// Two boxed opens (knower and junk-holder) instead of one boxing
-	// allocation per node.
-	var openValue simnet.Message = MsgOpen{Seq: seq, Initial: value}
-	var openJunk simnet.Message = MsgOpen{Seq: seq, Initial: junk}
-	for id := 0; id < e.cfg.N; id++ {
-		if e.corrupt[id] {
+	for id, msg := range OpenMsgs(e.cfg.Seed, e.params.StringBits, e.cfg.KnowFrac, e.corrupt, seq, 0, value) {
+		if msg == nil {
 			// Corrupt nodes ignore MsgOpen; skip the injection entirely.
 			continue
-		}
-		msg := openJunk
-		if e.cfg.KnowFrac >= 1 || src.Float64() < e.cfg.KnowFrac {
-			msg = openValue
 		}
 		e.inject(simnet.Envelope{From: id, To: id, Msg: msg})
 	}

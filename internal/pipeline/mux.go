@@ -34,18 +34,46 @@ import (
 // flooding adversary a memory lever.
 const maxPendingPerInstance = 1 << 14
 
+// Instance tags pack (seq, attempt) into the u32 envelope header: the low
+// 24 bits carry the sequence number, the high 8 bits the attempt. Tagging
+// traffic with the attempt is what lets a reopened instance re-run
+// cleanly across daemons whose reopens are not synchronized: a node still
+// on the old attempt buffers the new attempt's traffic (instead of
+// feeding it to a child whose flood-dedup maps would silently eat it) and
+// replays it when its own reopen lands, while stale old-attempt traffic
+// is dropped.
+const (
+	tagSeqBits = 24
+	// MaxSeq is the largest instance sequence number the tag can carry —
+	// the decision log's capacity.
+	MaxSeq = 1<<tagSeqBits - 1
+	// MaxAttempt is the largest instance attempt; reproposals stop bumping
+	// there (the leader's instance timeout is the backstop beyond it).
+	MaxAttempt = 1<<(32-tagSeqBits) - 1
+)
+
+// PackTag builds the envelope instance tag for (seq, attempt).
+func PackTag(seq uint64, attempt uint32) uint32 {
+	return uint32(seq&MaxSeq) | attempt<<tagSeqBits
+}
+
 // MsgOpen is the engine→node control message opening instance Seq on the
 // receiving node with the given initial candidate (the zero String for a
 // node that starts with no candidate). It is injected locally into each
 // node's mailbox and never crosses the wire, so it has no codec in
 // internal/wire.
 type MsgOpen struct {
-	Seq     uint64
+	Seq uint64
+	// Attempt is the instance's run counter. Attempt 0 is the normal open;
+	// a higher attempt re-opens a stalled, undecided instance with a fresh
+	// attempt-keyed RNG (new poll labels — the randomized protocol's
+	// per-run success draw is re-rolled). A decided child ignores reopens.
+	Attempt uint32
 	Initial bitstring.String
 }
 
 // WireSize returns the metered payload size.
-func (m MsgOpen) WireSize() int { return 8 + m.Initial.WireSize() }
+func (m MsgOpen) WireSize() int { return 12 + m.Initial.WireSize() }
 
 // Kind returns the metric kind tag.
 func (m MsgOpen) Kind() string { return "log-open" }
@@ -73,8 +101,9 @@ type DecisionFunc func(node int, seq uint64, value bitstring.String, support, ne
 // opened yet (the open control message races protocol traffic from nodes
 // that opened earlier).
 type pendingEnv struct {
-	from int
-	msg  simnet.Message
+	from    int
+	attempt uint32
+	msg     simnet.Message
 }
 
 // MuxNode is one physical node of the decision log: a simnet.Node that
@@ -96,6 +125,9 @@ type MuxNode struct {
 	children map[uint64]*muxChild
 	pool     []*core.Node
 	pending  map[uint64][]pendingEnv
+	// resmp caches attempt-salted samplers (see samplersFor); attempt 0
+	// always uses the shared base samplers.
+	resmp map[uint32]*core.Samplers
 	// retired is the retirement watermark: instances below it are closed
 	// and their traffic is dropped. Closes arrive in commit order, so a
 	// single watermark suffices.
@@ -109,6 +141,7 @@ type MuxNode struct {
 type muxChild struct {
 	node    *core.Node
 	decided bool
+	attempt uint32
 }
 
 // NewMuxNode builds the multiplexer for node id. Corrupt nodes are
@@ -154,31 +187,95 @@ func (m *MuxNode) DeliverTagged(ctx simnet.Context, from simnet.NodeID, msg simn
 // open starts instance t.Seq on this node: a pooled child is rewound via
 // Reset, or a fresh one is built, and its Init runs under the
 // instance-tagging context. Early-arrived traffic replays in arrival
-// order.
+// order. A reopen (higher attempt) discards the child — decided or not —
+// and rebuilds it under an attempt-keyed RNG: the system-layer retry for
+// a run of the randomized protocol that left nodes wedged. Every child
+// must re-run, not just the wedged ones, because the protocol's per-(x,s)
+// flood caps make a node that already forwarded or answered a requester
+// ignore that requester's fresh poll. A decision already published
+// survives in the decision log (the publish is one-shot and the log
+// dedups per node), and every attempt proposes the same derived value, so
+// a rebuilt decider can only re-decide identically.
 func (m *MuxNode) open(ctx simnet.Context, t MsgOpen) {
-	if m.corrupt || t.Seq < m.retired || m.children[t.Seq] != nil {
+	if m.corrupt || t.Seq < m.retired {
 		return
 	}
-	rng := prng.New(prng.DeriveKey(m.seed, "log/node", prng.Hash2(t.Seq, uint64(m.id))))
+	if prev := m.children[t.Seq]; prev != nil {
+		if t.Attempt <= prev.attempt {
+			return
+		}
+		delete(m.children, t.Seq)
+		if !m.disablePool {
+			m.pool = append(m.pool, prev.node)
+		}
+	}
+	key := prng.Hash2(t.Seq, uint64(m.id))
+	smp := m.smp
+	if t.Attempt > 0 {
+		// Attempt 0 keeps the original derivation so single-process engine
+		// runs replay byte-identically; retries draw a fresh label stream
+		// AND fresh quorum geometry. Re-rolling only the labels is not
+		// enough: the pull quorums H(s, x) are a pure function of (s, x),
+		// and the proposal digest is identical every attempt, so a run
+		// wedged because dark nodes hold a quorum's majority stays wedged
+		// under every label draw. Salting the sampler seed by attempt makes
+		// retries independent draws of the quorum geometry while the decided
+		// value — the safety anchor — stays the same.
+		key = prng.Hash3(t.Seq, uint64(m.id), uint64(t.Attempt))
+		smp = m.samplersFor(t.Attempt)
+	}
+	rng := prng.New(prng.DeriveKey(m.seed, "log/node", key))
 	var node *core.Node
 	if n := len(m.pool); n > 0 && !m.disablePool {
 		node = m.pool[n-1]
 		m.pool = m.pool[:n-1]
-		node.Reset(t.Initial, rng)
+		node.Reset(t.Initial, smp, rng)
 	} else {
-		node = core.NewNode(m.id, t.Initial, m.params, m.smp, rng)
+		node = core.NewNode(m.id, t.Initial, m.params, smp, rng)
 	}
-	child := &muxChild{node: node}
+	child := &muxChild{node: node, attempt: t.Attempt}
 	m.children[t.Seq] = child
-	ictx := m.tag(ctx, t.Seq)
+	ictx := m.tag(ctx, PackTag(t.Seq, t.Attempt))
 	node.Init(ictx)
 	if queued := m.pending[t.Seq]; queued != nil {
 		delete(m.pending, t.Seq)
+		// Replay only this attempt's traffic; older attempts are dead runs,
+		// newer ones wait for their own reopen to land here.
+		var ahead []pendingEnv
 		for _, p := range queued {
-			node.Deliver(ictx, p.from, p.msg)
+			switch {
+			case p.attempt == t.Attempt:
+				node.Deliver(ictx, p.from, p.msg)
+			case p.attempt > t.Attempt:
+				ahead = append(ahead, p)
+			}
+		}
+		if ahead != nil {
+			m.pending[t.Seq] = ahead
 		}
 	}
 	m.checkDecided(child, t.Seq)
+}
+
+// samplersFor returns (building and caching on first use) the samplers of
+// reopen attempt k: the base geometry with an attempt-salted sampler seed.
+// Every daemon derives the same salt from shared inputs, so the cluster
+// agrees on each attempt's quorums. The cache is bounded by MaxAttempt and
+// shared across instances — the salt is per attempt, not per (seq,
+// attempt), because distinct sequences already decouple through the string
+// hash inside the samplers.
+func (m *MuxNode) samplersFor(attempt uint32) *core.Samplers {
+	if s := m.resmp[attempt]; s != nil {
+		return s
+	}
+	if m.resmp == nil {
+		m.resmp = make(map[uint32]*core.Samplers)
+	}
+	p := m.params
+	p.SamplerSeed = prng.Hash2(p.SamplerSeed, uint64(attempt))
+	s := core.NewSamplers(p)
+	m.resmp[attempt] = s
+	return s
 }
 
 // close retires instance seq: the child returns to the pool and the
@@ -197,24 +294,28 @@ func (m *MuxNode) close(seq uint64) {
 }
 
 // route delivers one instance-tagged message, queueing it when the
-// instance is not open here yet and dropping it when the instance is
-// already retired.
+// instance (or the message's attempt of it) is not open here yet and
+// dropping it when the instance is retired or the attempt is stale.
 func (m *MuxNode) route(ctx simnet.Context, from int, inner simnet.Message, inst uint32) {
-	seq := uint64(inst)
+	seq := uint64(inst & MaxSeq)
+	attempt := inst >> tagSeqBits
 	if m.corrupt || seq < m.retired {
 		return
 	}
 	child, ok := m.children[seq]
-	if !ok {
+	if ok && attempt < child.attempt {
+		return
+	}
+	if !ok || attempt > child.attempt {
 		if q := m.pending[seq]; len(q) < maxPendingPerInstance {
 			// cloneMessage: the queued message outlives this delivery, and
 			// its strings may be zero-copy views of a transport buffer
 			// (DESIGN.md §10).
-			m.pending[seq] = append(q, pendingEnv{from: from, msg: cloneMessage(inner)})
+			m.pending[seq] = append(q, pendingEnv{from: from, attempt: attempt, msg: cloneMessage(inner)})
 		}
 		return
 	}
-	child.node.Deliver(m.tag(ctx, seq), from, inner)
+	child.node.Deliver(m.tag(ctx, inst), from, inner)
 	m.checkDecided(child, seq)
 }
 
@@ -262,11 +363,12 @@ func (m *MuxNode) checkDecided(child *muxChild, seq uint64) {
 	}
 }
 
-// tag re-points the reusable instance context at the current delivery.
-func (m *MuxNode) tag(ctx simnet.Context, seq uint64) *instCtx {
+// tag re-points the reusable instance context at the current delivery;
+// inst is the packed (seq, attempt) tag stamped on outgoing sends.
+func (m *MuxNode) tag(ctx simnet.Context, inst uint32) *instCtx {
 	m.ictx.inner = ctx
 	m.ictx.tagger, _ = ctx.(simnet.TaggedSender)
-	m.ictx.inst = uint32(seq)
+	m.ictx.inst = inst
 	return &m.ictx
 }
 

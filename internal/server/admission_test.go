@@ -1,0 +1,111 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"testing"
+)
+
+func pipeSession(t *testing.T, a *admission) *session {
+	t.Helper()
+	c1, c2 := net.Pipe()
+	t.Cleanup(func() { c1.Close(); c2.Close() })
+	return a.attach(c1)
+}
+
+// TestAdmissionOverload: the per-session queue is bounded; the
+// maxQueue+1'th enqueue sheds with CodeOverload, and other sessions are
+// unaffected.
+func TestAdmissionOverload(t *testing.T) {
+	a := newAdmission(3, 16)
+	s1 := pipeSession(t, a)
+	s2 := pipeSession(t, a)
+	for i := 0; i < 3; i++ {
+		if code := a.enqueue(s1, uint64(i), []byte("x")); code != CodeOK {
+			t.Fatalf("enqueue %d: %s", i, CodeString(code))
+		}
+	}
+	if code := a.enqueue(s1, 3, []byte("x")); code != CodeOverload {
+		t.Fatalf("over-limit enqueue: %s, want overload", CodeString(code))
+	}
+	if code := a.enqueue(s2, 0, []byte("y")); code != CodeOK {
+		t.Fatalf("other session sheds too: %s", CodeString(code))
+	}
+}
+
+// TestAdmissionRoundRobin: batches interleave sessions fairly — a
+// firehose session cannot starve a trickle session out of a batch.
+func TestAdmissionRoundRobin(t *testing.T) {
+	a := newAdmission(64, 4)
+	hose := pipeSession(t, a)
+	drip := pipeSession(t, a)
+	for i := 0; i < 10; i++ {
+		a.enqueue(hose, uint64(i), []byte(fmt.Sprintf("hose-%d", i)))
+	}
+	a.enqueue(drip, 0, []byte("drip"))
+	batch := a.nextBatch()
+	if len(batch) != 4 {
+		t.Fatalf("batch size %d, want 4", len(batch))
+	}
+	var sawDrip bool
+	for _, p := range batch {
+		if p.sess == drip {
+			sawDrip = true
+		}
+	}
+	if !sawDrip {
+		t.Fatal("round-robin batch starved the trickle session")
+	}
+	// FIFO within a session.
+	if string(batch[0].payload) != "hose-0" && string(batch[1].payload) != "hose-0" {
+		t.Fatal("session queue is not FIFO")
+	}
+}
+
+// TestAdmissionShutdownDrain: close rejects new enqueues with
+// CodeShutdown but leaves queued work for the batcher; nextBatch returns
+// the remainder, then nil.
+func TestAdmissionShutdownDrain(t *testing.T) {
+	a := newAdmission(8, 16)
+	s := pipeSession(t, a)
+	a.enqueue(s, 1, []byte("queued"))
+	a.close()
+	if code := a.enqueue(s, 2, []byte("late")); code != CodeShutdown {
+		t.Fatalf("post-close enqueue: %s, want shutdown", CodeString(code))
+	}
+	batch := a.nextBatch()
+	if len(batch) != 1 || batch[0].req != 1 {
+		t.Fatalf("drain batch = %+v", batch)
+	}
+	if got := a.nextBatch(); got != nil {
+		t.Fatalf("drained admission returned %+v, want nil", got)
+	}
+}
+
+// TestAdmissionDetachDropsQueue: a departed session's unbatched appends
+// are abandoned, and inflight tracking resolves exactly once.
+func TestAdmissionDetachDropsQueue(t *testing.T) {
+	a := newAdmission(8, 16)
+	s1 := pipeSession(t, a)
+	s2 := pipeSession(t, a)
+	a.enqueue(s1, 1, []byte("a"))
+	a.enqueue(s2, 2, []byte("b"))
+	a.detach(s1)
+	batch := a.nextBatch()
+	if len(batch) != 1 || batch[0].req != 2 {
+		t.Fatalf("batch after detach = %+v", batch)
+	}
+	a.track(7, batch)
+	if got := a.inflightCount(); got != 1 {
+		t.Fatalf("inflight = %d, want 1", got)
+	}
+	if got := a.resolve(7); len(got) != 1 {
+		t.Fatalf("resolve = %+v", got)
+	}
+	if got := a.resolve(7); got != nil {
+		t.Fatalf("double resolve = %+v", got)
+	}
+	if got := a.sessionCount(); got != 1 {
+		t.Fatalf("sessions = %d, want 1", got)
+	}
+}

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// membership tracks the epoch-stamped peer set. Every daemon runs a join
+// loop — a Join handshake to each peer once per period — which doubles as
+// the liveness probe: a peer is alive while its last handshake (in either
+// direction) is within the TTL. Epochs order configurations: a handshake
+// stamped below the local epoch is rejected with CodeStaleEpoch (the
+// sender is running an outdated peer set and must not be folded back in),
+// and a higher stamp adopts the newer configuration, clearing departures
+// recorded under the old one.
+type membership struct {
+	self    int
+	daemons int
+	ttl     time.Duration
+
+	mu       sync.Mutex
+	epoch    uint64
+	lastSeen map[int]time.Time
+	left     map[int]bool
+}
+
+func newMembership(self, daemons int, epoch uint64, ttl time.Duration) *membership {
+	if ttl <= 0 {
+		ttl = 3 * time.Second
+	}
+	return &membership{
+		self:     self,
+		daemons:  daemons,
+		ttl:      ttl,
+		epoch:    epoch,
+		lastSeen: make(map[int]time.Time),
+		left:     make(map[int]bool),
+	}
+}
+
+// Epoch returns the current configuration epoch.
+func (m *membership) Epoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// HandleJoin processes a peer's join handshake (also its liveness probe).
+func (m *membership) HandleJoin(epoch uint64, node uint32) JoinAck {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(node) >= m.daemons || int(node) == m.self {
+		return JoinAck{Code: CodeFailed, Epoch: m.epoch, PeersAlive: m.aliveLocked()}
+	}
+	if epoch < m.epoch {
+		return JoinAck{Code: CodeStaleEpoch, Epoch: m.epoch, PeersAlive: m.aliveLocked()}
+	}
+	if epoch > m.epoch {
+		m.epoch = epoch
+		m.left = make(map[int]bool)
+	}
+	delete(m.left, int(node))
+	m.lastSeen[int(node)] = time.Now()
+	return JoinAck{Code: CodeOK, Epoch: m.epoch, PeersAlive: m.aliveLocked()}
+}
+
+// HandleLeave processes a peer's graceful departure: it drops out of the
+// alive set immediately rather than aging out through the TTL.
+func (m *membership) HandleLeave(epoch uint64, node uint32) LeaveAck {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(node) >= m.daemons || int(node) == m.self {
+		return LeaveAck{Code: CodeFailed}
+	}
+	if epoch < m.epoch {
+		return LeaveAck{Code: CodeStaleEpoch}
+	}
+	if epoch > m.epoch {
+		m.epoch = epoch
+	}
+	m.left[int(node)] = true
+	delete(m.lastSeen, int(node))
+	return LeaveAck{Code: CodeOK}
+}
+
+// Observe records a successful handshake initiated by us: the peer
+// answered, so it is alive, and if it advertises a newer epoch we adopt
+// it.
+func (m *membership) Observe(node int, epoch uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if epoch > m.epoch {
+		m.epoch = epoch
+		m.left = make(map[int]bool)
+	}
+	if node != m.self && node >= 0 && node < m.daemons && !m.left[node] {
+		m.lastSeen[node] = time.Now()
+	}
+}
+
+// Alive counts the daemons currently in the live peer set: self plus
+// every peer heard from within the TTL that has not departed.
+func (m *membership) Alive() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int(m.aliveLocked())
+}
+
+func (m *membership) aliveLocked() uint32 {
+	alive := uint32(1) // self
+	cutoff := time.Now().Add(-m.ttl)
+	for node, seen := range m.lastSeen {
+		if !m.left[node] && seen.After(cutoff) {
+			alive++
+		}
+	}
+	return alive
+}

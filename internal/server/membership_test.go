@@ -1,0 +1,78 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMembershipEpochs: same-epoch joins are accepted, stale epochs are
+// rejected with CodeStaleEpoch, and newer epochs are adopted (clearing
+// departures recorded under the old configuration).
+func TestMembershipEpochs(t *testing.T) {
+	m := newMembership(0, 4, 5, time.Second)
+	if ack := m.HandleJoin(5, 1); ack.Code != CodeOK || ack.Epoch != 5 {
+		t.Fatalf("same-epoch join: %+v", ack)
+	}
+	if ack := m.HandleJoin(4, 2); ack.Code != CodeStaleEpoch || ack.Epoch != 5 {
+		t.Fatalf("stale join: %+v", ack)
+	}
+	if got := m.Alive(); got != 2 { // self + daemon 1
+		t.Fatalf("alive = %d, want 2", got)
+	}
+	// Daemon 2 leaves under epoch 5, then daemon 3 joins at epoch 6: the
+	// new configuration forgets the old departure set.
+	if ack := m.HandleJoin(5, 2); ack.Code != CodeOK {
+		t.Fatalf("join 2: %+v", ack)
+	}
+	if ack := m.HandleLeave(5, 2); ack.Code != CodeOK {
+		t.Fatalf("leave 2: %+v", ack)
+	}
+	if got := m.Alive(); got != 2 {
+		t.Fatalf("alive after leave = %d, want 2", got)
+	}
+	if ack := m.HandleJoin(6, 3); ack.Code != CodeOK || ack.Epoch != 6 {
+		t.Fatalf("newer-epoch join: %+v", ack)
+	}
+	if m.Epoch() != 6 {
+		t.Fatalf("epoch = %d, want 6", m.Epoch())
+	}
+	// The old-epoch departure was cleared: daemon 2 can rejoin at 6.
+	if ack := m.HandleJoin(6, 2); ack.Code != CodeOK {
+		t.Fatalf("rejoin after epoch bump: %+v", ack)
+	}
+	// And a join stamped with the superseded epoch is now stale.
+	if ack := m.HandleJoin(5, 1); ack.Code != CodeStaleEpoch {
+		t.Fatalf("join at superseded epoch: %+v", ack)
+	}
+}
+
+// TestMembershipLiveness: peers age out of the alive set after the TTL;
+// an observed handshake refreshes them; self and out-of-range ids are
+// rejected.
+func TestMembershipLiveness(t *testing.T) {
+	m := newMembership(0, 3, 1, 50*time.Millisecond)
+	m.HandleJoin(1, 1)
+	m.Observe(2, 1)
+	if got := m.Alive(); got != 3 {
+		t.Fatalf("alive = %d, want 3", got)
+	}
+	time.Sleep(80 * time.Millisecond)
+	if got := m.Alive(); got != 1 {
+		t.Fatalf("alive after TTL = %d, want 1 (self)", got)
+	}
+	m.Observe(1, 1)
+	if got := m.Alive(); got != 2 {
+		t.Fatalf("alive after refresh = %d, want 2", got)
+	}
+	if ack := m.HandleJoin(1, 0); ack.Code != CodeFailed {
+		t.Fatalf("self-join: %+v", ack)
+	}
+	if ack := m.HandleJoin(1, 9); ack.Code != CodeFailed {
+		t.Fatalf("out-of-range join: %+v", ack)
+	}
+	// Observing a newer epoch adopts it.
+	m.Observe(1, 7)
+	if m.Epoch() != 7 {
+		t.Fatalf("epoch = %d, want 7", m.Epoch())
+	}
+}

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"bytes"
+	"net"
+	"reflect"
+	"testing"
+)
+
+// allClientMessages is one value of every client/admin message type, with
+// every field populated (round-trip must preserve all of them).
+var allClientMessages = []any{
+	Hello{},
+	HelloAck{Node: 3, Epoch: 9, Leader: true, LeaderAddr: "127.0.0.1:4100", Frontier: 77},
+	HelloAck{}, // empty leader addr
+	Append{Req: 12, Payload: []byte("payload")},
+	Append{Req: 13, Payload: nil},
+	AppendAck{Req: 12, Code: CodeOK, Seq: 41, LatencyNs: 1_500_000},
+	AppendAck{Req: 14, Code: CodeOverload},
+	Status{},
+	StatusAck{Node: 2, Epoch: 5, Leader: false, Frontier: 100, Recovered: 60, Repaired: 3, PeersAlive: 4, Sessions: 7},
+	Join{Epoch: 8, Node: 1},
+	JoinAck{Code: CodeStaleEpoch, Epoch: 9, PeersAlive: 3},
+	Leave{Epoch: 8, Node: 2},
+	LeaveAck{Code: CodeOK},
+}
+
+// TestClientProtoRoundTrip: every message survives encode → decode
+// byte-exactly, including over a pipelined stream.
+func TestClientProtoRoundTrip(t *testing.T) {
+	var stream []byte
+	for _, msg := range allClientMessages {
+		buf, err := AppendClientMsg(nil, msg)
+		if err != nil {
+			t.Fatalf("%T: %v", msg, err)
+		}
+		got, err := decodeClientMsg(buf[4:])
+		if err != nil {
+			t.Fatalf("%T: decode: %v", msg, err)
+		}
+		want := msg
+		// nil and empty payloads are wire-identical; both decode to nil.
+		if a, ok := want.(Append); ok && len(a.Payload) == 0 {
+			a.Payload = nil
+			want = a
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip: got %#v, want %#v", got, want)
+		}
+		stream = append(stream, buf...)
+	}
+	r := bytes.NewReader(stream)
+	for i := range allClientMessages {
+		if _, err := ReadClientMsg(r); err != nil {
+			t.Fatalf("stream message %d: %v", i, err)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d stream bytes left over", r.Len())
+	}
+}
+
+// TestClientProtoRejects: truncated frames, trailing garbage, unknown
+// kinds and oversized frames all error instead of misparsing.
+func TestClientProtoRejects(t *testing.T) {
+	full, err := AppendClientMsg(nil, StatusAck{Node: 1, Epoch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(full)-4; cut++ {
+		if _, err := decodeClientMsg(full[4 : 4+cut]); err == nil {
+			t.Errorf("truncated frame (%d of %d payload bytes) decoded", cut, len(full)-4)
+		}
+	}
+	if _, err := decodeClientMsg(append(full[4:], 0xFF)); err == nil {
+		t.Error("frame with trailing garbage decoded")
+	}
+	if _, err := decodeClientMsg([]byte{0x42}); err == nil {
+		t.Error("unknown kind decoded")
+	}
+	if _, err := ReadClientMsg(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0x7F})); err == nil {
+		t.Error("oversized frame accepted")
+	}
+	if _, err := ReadClientMsg(bytes.NewReader([]byte{0, 0, 0, 0})); err == nil {
+		t.Error("zero-length frame accepted")
+	}
+}
+
+// TestClientProtoOverSocket: write/read over a real TCP connection.
+func TestClientProtoOverSocket(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		msg, err := ReadClientMsg(conn)
+		if err != nil {
+			done <- err
+			return
+		}
+		a, ok := msg.(Append)
+		if !ok {
+			done <- err
+			return
+		}
+		done <- WriteClientMsg(conn, AppendAck{Req: a.Req, Code: CodeOK, Seq: 5})
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteClientMsg(conn, Append{Req: 9, Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := ReadClientMsg(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack, ok := reply.(AppendAck); !ok || ack.Req != 9 || ack.Seq != 5 {
+		t.Fatalf("reply = %#v", reply)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

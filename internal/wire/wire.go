@@ -66,6 +66,12 @@ const (
 	// u32, seq u32, dest u32, ttl u8, then the inner message's kind byte
 	// and payload. Relay and instance envelopes never nest.
 	kindRelay byte = 0x70
+	// kindLogOpen is the multi-process daemon's instance-open broadcast
+	// (simnet.LogOpen): seq u64, attempt u32, then payloads in the
+	// CatchupResp layout
+	// (count u32, per-payload len u32 + bytes). Consumed by the daemon's
+	// node shim, never delivered to a protocol node.
+	kindLogOpen byte = 0x80
 )
 
 // ErrUnknownMessage reports a message type without a codec.
@@ -106,6 +112,8 @@ func KindByte(m simnet.Message) (byte, error) {
 		return kindCatchupReq, nil
 	case simnet.CatchupResp:
 		return kindCatchupResp, nil
+	case simnet.LogOpen:
+		return kindLogOpen, nil
 	case simnet.Ping:
 		return kindPing, nil
 	case simnet.Pong:
@@ -170,6 +178,14 @@ func appendMessage(buf []byte, m simnet.Message) ([]byte, error) {
 		for _, r := range msg.Records {
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r)))
 			buf = append(buf, r...)
+		}
+	case simnet.LogOpen:
+		buf = binary.LittleEndian.AppendUint64(buf, msg.Seq)
+		buf = binary.LittleEndian.AppendUint32(buf, msg.Attempt)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(msg.Payloads)))
+		for _, p := range msg.Payloads {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p)))
+			buf = append(buf, p...)
 		}
 	case simnet.Ping:
 		buf = binary.LittleEndian.AppendUint64(buf, msg.Nonce)
@@ -285,6 +301,21 @@ func unmarshal(kind byte, payload []byte, view bool) (simnet.Message, error) {
 			}
 		}
 		m = simnet.CatchupResp{Records: records}
+	case kindLogOpen:
+		seq := d.u64()
+		attempt := d.u32()
+		count := int(d.u32())
+		var payloads [][]byte
+		if d.err == nil && count > 0 {
+			if count > len(payload) {
+				return nil, fmt.Errorf("wire: log open claims %d payloads in %d bytes", count, len(payload))
+			}
+			payloads = make([][]byte, 0, count)
+			for i := 0; i < count; i++ {
+				payloads = append(payloads, d.bytes())
+			}
+		}
+		m = simnet.LogOpen{Seq: seq, Attempt: attempt, Payloads: payloads}
 	case kindPing:
 		m = simnet.Ping{Nonce: d.u64()}
 	case kindPong:

@@ -39,6 +39,8 @@ func allMessages(t *testing.T) []simnet.Message {
 		simnet.CatchupReq{From: 0x1020304050607080, Max: 256},
 		simnet.CatchupResp{},
 		simnet.CatchupResp{Records: [][]byte{{0xab}, {}, {1, 2, 3, 4, 5}}},
+		simnet.LogOpen{Seq: 0x0807060504030201},
+		simnet.LogOpen{Seq: 17, Payloads: [][]byte{{0xfe, 0xed}, {}, {9, 8, 7}}},
 		simnet.Ping{Nonce: 0x0102030405060708},
 		simnet.Pong{Nonce: 0x8877665544332211},
 	}

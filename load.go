@@ -71,15 +71,13 @@ func WithWorkload(w Workload) Option {
 	return optionFunc(func(c *Config) { c.workload = w })
 }
 
-// latencyBucketsMs are the commit-latency histogram edges, in
-// milliseconds (the last bucket is unbounded).
-var latencyBucketsMs = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
-
 // LatencyHistogramEdges returns the bounded commit-latency histogram
 // edges, in milliseconds (renderers need them to label the unbounded
-// final bucket).
+// final bucket). The edges are shared with the daemon's /metrics latency
+// series (metrics.LatencyBucketsMs), so result histograms and scraped
+// histograms are directly comparable.
 func LatencyHistogramEdges() []float64 {
-	return append([]float64(nil), latencyBucketsMs...)
+	return append([]float64(nil), metrics.LatencyBucketsMs...)
 }
 
 // HistBucket is one commit-latency histogram bucket.
@@ -90,18 +88,19 @@ type HistBucket struct {
 	Count  int     `json:"count"`
 }
 
-// latencyHistogram buckets latencies (in ms) over latencyBucketsMs.
+// latencyHistogram buckets latencies (in ms) over the shared edges.
 func latencyHistogram(ms []float64) []HistBucket {
 	if len(ms) == 0 {
 		return nil
 	}
-	hist := make([]HistBucket, len(latencyBucketsMs)+1)
-	for i, edge := range latencyBucketsMs {
+	edges := metrics.LatencyBucketsMs
+	hist := make([]HistBucket, len(edges)+1)
+	for i, edge := range edges {
 		hist[i].UpToMs = edge
 	}
 	for _, v := range ms {
 		placed := false
-		for i, edge := range latencyBucketsMs {
+		for i, edge := range edges {
 			if v <= edge {
 				hist[i].Count++
 				placed = true
@@ -334,5 +333,6 @@ func RunLoad(ctx context.Context, cfg Config) (*LoadResult, error) {
 		sort.Strings(res.Oracles.Checked)
 		res.Oracles.Violations = append(res.Oracles.Violations, durability...)
 	}
+	exportLoadMetrics(cfg.metricsReg, res, latencies)
 	return res, nil
 }

@@ -1,0 +1,48 @@
+package fastba
+
+import (
+	"github.com/fastba/fastba/internal/metrics"
+)
+
+// MetricsRegistry is the live counter surface shared by every runtime: an
+// in-process Prometheus-style registry (counters, gauges, histograms) with
+// a text exposition via WritePrometheus. The balogd daemon serves one on
+// /metrics; the load harness exports its commit-latency histogram and the
+// transport's supervision counters through one when WithMetrics is set —
+// one bookkeeping path whether the log runs in-process or as a daemon
+// cluster.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// WithMetrics exports run-time counters through reg: RunLoad (and
+// RunDaemonLoad) register their commit-latency histogram, throughput
+// counters and fastba_net_* transport supervision counters there, using
+// the same metric names and bucket edges the balogd daemon serves on
+// /metrics, so in-process and daemon runs report through directly
+// comparable series.
+func WithMetrics(reg *MetricsRegistry) Option {
+	return optionFunc(func(c *Config) { c.metricsReg = reg })
+}
+
+// exportLoadMetrics publishes a finished load run through the registry:
+// the commit-latency histogram (seconds, shared edges), throughput
+// counters and the accumulated transport counters. Labels carry the
+// runtime so fabric and TCP runs stay separate series.
+func exportLoadMetrics(reg *MetricsRegistry, res *LoadResult, latenciesMs []float64) {
+	if reg == nil {
+		return
+	}
+	label := []string{"runtime", res.Runtime}
+	h := reg.Histogram("fastba_commit_latency_seconds", "Client-observed commit latency.", metrics.LatencyBucketsSeconds(), label...)
+	for _, ms := range latenciesMs {
+		h.Observe(ms / 1e3)
+	}
+	reg.Counter("fastba_load_proposed_total", "Payloads accepted from load clients.", label...).Add(int64(res.Proposed))
+	reg.Counter("fastba_load_committed_payloads_total", "Payloads that reached a committed entry.", label...).Add(int64(res.CommittedPayloads))
+	reg.Counter("fastba_load_committed_entries_total", "Entries committed during load runs.", label...).Add(int64(res.Committed))
+	reg.Counter("fastba_load_restarts_total", "Crash/recover cycles performed under load.", label...).Add(int64(res.Restarts))
+	net := res.Net
+	metrics.RegisterNetStats(reg, func() NetStats { return net }, label...)
+}
